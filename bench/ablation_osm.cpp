@@ -1,0 +1,116 @@
+// Ablation: which ingredient of orthogonal striping and mirroring buys
+// what?  DESIGN.md calls out two separable design choices:
+//   * background vs foreground image flushes ("hiding mirroring overhead");
+//   * clustered vs scattered image placement (one long sequential write
+//     per stripe vs n-1 scattered ops).
+// This bench measures all four combinations at 16 clients, against
+// RAID-10 (synchronous + scattered by construction) and RAID-0 (no
+// redundancy ceiling).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "workload/parallel_io.hpp"
+
+namespace {
+
+using namespace raidx;
+using bench::World;
+using workload::Arch;
+using workload::IoOp;
+using workload::ParallelIoConfig;
+
+struct Measured {
+  double foreground;
+  double sustained;
+};
+
+Measured measure_raidx(bool background, bool clustered, IoOp op,
+                       std::uint64_t bytes_per_op, int ops, bool scattered) {
+  raid::EngineParams ep;
+  ep.background_mirrors = background;
+  ep.clustered_images = clustered;
+  World world(bench::perf_trojans(), Arch::kRaidX, ep);
+  ParallelIoConfig cfg;
+  cfg.clients = 16;
+  cfg.op = op;
+  cfg.bytes_per_op = bytes_per_op;
+  cfg.ops_per_client = ops;
+  cfg.scattered = scattered;
+  const auto r = workload::run_parallel_io(*world.engine, cfg);
+  return {r.aggregate_mbs, r.sustained_mbs};
+}
+
+Measured measure_arch(Arch arch, IoOp op, std::uint64_t bytes_per_op,
+                      int ops, bool scattered) {
+  World world(bench::perf_trojans(), arch);
+  ParallelIoConfig cfg;
+  cfg.clients = 16;
+  cfg.op = op;
+  cfg.bytes_per_op = bytes_per_op;
+  cfg.ops_per_client = ops;
+  cfg.scattered = scattered;
+  const auto r = workload::run_parallel_io(*world.engine, cfg);
+  return {r.aggregate_mbs, r.sustained_mbs};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "OSM ablation: 16 clients on the simulated Trojans cluster "
+      "(aggregate MB/s)\n\n");
+
+  struct OpSpec {
+    const char* name;
+    IoOp op;
+    std::uint64_t bytes;
+    int ops;
+    bool scattered;
+  };
+  const OpSpec large{"large write (64 MB/client)", IoOp::kWrite,
+                     64ull << 20, 1, false};
+  const OpSpec small{"small write (32 KB scattered)", IoOp::kWrite,
+                     32ull << 10, 40, true};
+
+  for (const OpSpec& spec : {large, small}) {
+    std::printf("%s\n", spec.name);
+    sim::TablePrinter table(
+        {"configuration", "foreground MB/s", "sustained MB/s"});
+    auto add = [&](const char* label, Measured m) {
+      table.add_row({label, bench::mbs(m.foreground),
+                     bench::mbs(m.sustained)});
+    };
+    add("RAID-x: background + clustered  (OSM, the paper)",
+        measure_raidx(true, true, spec.op, spec.bytes, spec.ops,
+                      spec.scattered));
+    add("RAID-x: foreground + clustered  (no hiding)",
+        measure_raidx(false, true, spec.op, spec.bytes, spec.ops,
+                      spec.scattered));
+    add("RAID-x: background + scattered  (no clustering)",
+        measure_raidx(true, false, spec.op, spec.bytes, spec.ops,
+                      spec.scattered));
+    add("RAID-x: foreground + scattered  (both off)",
+        measure_raidx(false, false, spec.op, spec.bytes, spec.ops,
+                      spec.scattered));
+    add("RAID-10 (chained declustering reference)",
+        measure_arch(Arch::kRaid10, spec.op, spec.bytes, spec.ops,
+                     spec.scattered));
+    add("RAID-0 (no-redundancy ceiling)",
+        measure_arch(Arch::kRaid0, spec.op, spec.bytes, spec.ops,
+                     spec.scattered));
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading: 'foreground' is what clients observe (deferred image\n"
+      "flushes excluded); 'sustained' charges the full drain.  Deferral is\n"
+      "the dominant lever (~1.3-1.5x on writes).  The clustered/scattered\n"
+      "rows differ only in dispatch granularity -- both place images at\n"
+      "OSM addresses, so the run stays sequential either way; the *layout*\n"
+      "effect of genuinely scattered mirrors is the RAID-10 row, which\n"
+      "pays a synchronous scattered copy per block and lands ~2x lower.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared scaffolding for the table/figure reproduction harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cdd/cdd.hpp"
+#include "cluster/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/engines.hpp"
+
+namespace raidx::bench {
+
+/// One self-contained simulated cluster + CDD fabric + engine.  Every data
+/// point gets a fresh world so runs are independent and reproducible.
+struct World {
+  explicit World(cluster::ClusterParams params, workload::Arch arch,
+                 raid::EngineParams engine_params = {})
+      : cluster(sim, params),
+        fabric(cluster),
+        engine(workload::make_engine(arch, fabric, engine_params)) {}
+
+  sim::Simulation sim;
+  cluster::Cluster cluster;
+  cdd::CddFabric fabric;
+  std::unique_ptr<raid::ArrayController> engine;
+};
+
+/// The Trojans cluster with byte storage disabled (pure timing): the
+/// perf sweeps move gigabytes and must not allocate them.
+inline cluster::ClusterParams perf_trojans() {
+  auto p = cluster::ClusterParams::trojans();
+  p.disk.store_data = false;
+  return p;
+}
+
+/// The paper-faithful engine configuration.  The paper's RAID-5 driver
+/// checks parity (Table 1: reliability via "parity checks"; Section 5
+/// attributes its overhead to "parity calculations"), so the figure
+/// reproductions enable read-side parity verification; it only affects
+/// the RAID-5 engine.
+inline raid::EngineParams paper_engine() {
+  raid::EngineParams p;
+  p.verify_parity_on_read = true;
+  return p;
+}
+
+inline std::string mbs(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace raidx::bench

@@ -1,0 +1,90 @@
+// Performance under failure: aggregate read bandwidth of each redundant
+// architecture when healthy, running degraded (one disk lost), and while a
+// background rebuild is sweeping the replacement disk.
+//
+// This extends the paper's reliability story (Section 6, "can recover from
+// any single disk failure") with the question a storage operator actually
+// asks: what does service look like *during* the failure and the repair?
+// RAID-x degraded reads hit the mirror images (cheap); RAID-5 degraded
+// reads reconstruct from all surviving disks (n-1 reads + XOR per lost
+// block), so its degraded curve collapses hardest.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "workload/parallel_io.hpp"
+
+namespace {
+
+using namespace raidx;
+using bench::World;
+using workload::Arch;
+using workload::IoOp;
+using workload::ParallelIoConfig;
+
+enum class State { kHealthy, kDegraded, kRebuilding };
+
+sim::Task<> run_rebuild(raid::ArrayController* eng, Arch arch, int victim,
+                        std::uint64_t sweep) {
+  switch (arch) {
+    case Arch::kRaid5:
+      co_await static_cast<raid::Raid5Controller*>(eng)->rebuild_disk(
+          0, victim, sweep);
+      break;
+    case Arch::kRaid10:
+      co_await static_cast<raid::Raid10Controller*>(eng)->rebuild_disk(
+          0, victim, sweep);
+      break;
+    case Arch::kRaidX:
+      co_await static_cast<raid::RaidxController*>(eng)->rebuild_disk(
+          0, victim, sweep);
+      break;
+    default:
+      break;
+  }
+}
+
+double measure(Arch arch, State state) {
+  World world(bench::perf_trojans(), arch);
+  const int victim = 3;
+  if (state != State::kHealthy) {
+    world.cluster.disk(victim).fail();
+  }
+  if (state == State::kRebuilding) {
+    world.cluster.disk(victim).replace();
+    // A bounded sweep keeps the rebuild active throughout the measurement.
+    world.sim.spawn(run_rebuild(world.engine.get(), arch, victim, 1500));
+  }
+  ParallelIoConfig cfg;
+  cfg.clients = 8;
+  cfg.op = IoOp::kRead;
+  cfg.bytes_per_op = 16ull << 20;
+  return workload::run_parallel_io(*world.engine, cfg).aggregate_mbs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Read bandwidth under failure (8 clients, 16 MB each; disk D3 is "
+      "the casualty)\n\n");
+  sim::TablePrinter table({"architecture", "healthy MB/s", "degraded MB/s",
+                           "during rebuild MB/s"});
+  for (Arch arch : {Arch::kRaidX, Arch::kRaid5, Arch::kRaid10}) {
+    table.add_row({workload::arch_name(arch),
+                   bench::mbs(measure(arch, State::kHealthy)),
+                   bench::mbs(measure(arch, State::kDegraded)),
+                   bench::mbs(measure(arch, State::kRebuilding))});
+  }
+  table.print();
+  std::printf(
+      "\nReading: RAID-x degrades gentlest -- the lost disk's images are\n"
+      "spread over the whole array by the rotating image-node placement.\n"
+      "RAID-10's chain concentrates every lost block's copy on ONE\n"
+      "neighbor disk (a hotspot), and RAID-5 pays n-1 reconstruction\n"
+      "reads per lost block.  'During rebuild' keeps un-rebuilt blocks on\n"
+      "the degraded path (rebuild watermark) while the sweep itself runs\n"
+      "at background disk priority.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 5 reproduction: aggregate I/O bandwidth of RAID-x vs RAID-5,
+// RAID-10 and NFS on the (simulated) Trojans cluster, as the number of
+// barrier-synchronized clients grows from 1 to 16.
+//
+//   (a) large read   -- 64 MB per client
+//   (b) small read   -- 32 KB per operation, scattered
+//   (c) large write  -- 64 MB per client
+//   (d) small write  -- 32 KB per operation, scattered
+//
+// Expected shape (paper): RAID-x tracks the best architecture on every
+// panel; RAID-5 trails on reads and collapses on small writes
+// (read-modify-write); RAID-10 loses about 2x on parallel writes
+// (synchronous scattered mirrors); NFS flattens at roughly one server
+// link's worth of bandwidth.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/stats.hpp"
+#include "workload/parallel_io.hpp"
+
+namespace {
+
+using namespace raidx;
+using bench::World;
+using workload::Arch;
+using workload::IoOp;
+using workload::ParallelIoConfig;
+
+struct Panel {
+  const char* title;
+  IoOp op;
+  std::uint64_t bytes_per_op;
+  int ops_per_client;
+  bool scattered;
+};
+
+double measure(Arch arch, const Panel& panel, int clients) {
+  World world(bench::perf_trojans(), arch, bench::paper_engine());
+  ParallelIoConfig cfg;
+  cfg.clients = clients;
+  cfg.op = panel.op;
+  cfg.bytes_per_op = panel.bytes_per_op;
+  cfg.ops_per_client = panel.ops_per_client;
+  cfg.scattered = panel.scattered;
+  // The paper's clients are distinct from the NFS file server.
+  if (auto* srv = dynamic_cast<nfs::NfsEngine*>(world.engine.get())) {
+    cfg.exclude_node = srv->server_node();
+  }
+  const auto result = workload::run_parallel_io(*world.engine, cfg);
+  return result.aggregate_mbs;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> client_counts = {1, 2, 4, 8, 12, 16};
+  const std::vector<Panel> panels = {
+      {"Fig 5(a): Large read (64 MB per client)", IoOp::kRead, 64ull << 20,
+       1, false},
+      {"Fig 5(b): Small read (32 KB per op)", IoOp::kRead, 32ull << 10, 40,
+       true},
+      {"Fig 5(c): Large write (64 MB per client)", IoOp::kWrite,
+       64ull << 20, 1, false},
+      {"Fig 5(d): Small write (32 KB per op)", IoOp::kWrite, 32ull << 10,
+       40, true},
+  };
+  const auto archs = workload::paper_architectures();
+
+  std::printf(
+      "Figure 5: aggregate I/O bandwidth (MB/s) vs number of clients\n"
+      "Simulated Trojans cluster: 16 nodes, 1x10GB disk each, 100 Mbps "
+      "switched Fast Ethernet\n\n");
+
+  for (const Panel& panel : panels) {
+    std::printf("%s\n", panel.title);
+    std::vector<std::string> headers = {"clients"};
+    for (Arch a : archs) headers.emplace_back(workload::arch_name(a));
+    sim::TablePrinter table(headers);
+    for (int clients : client_counts) {
+      std::vector<std::string> row = {std::to_string(clients)};
+      for (Arch a : archs) {
+        row.push_back(bench::mbs(measure(a, panel, clients)));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark micro benchmarks of the simulator substrate itself:
+// event-queue throughput, coroutine scheduling, resource contention, and
+// layout address arithmetic.  These bound how big a cluster experiment the
+// harness can run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "block/sios.hpp"
+#include "raid/raid0.hpp"
+#include "raid/raid10.hpp"
+#include "raid/raid5.hpp"
+#include "raid/raidx.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace raidx;
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule(i, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+sim::Task<> hop(sim::Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(1);
+}
+
+void BM_CoroutineDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.spawn(hop(sim, 1024));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CoroutineDelayHops);
+
+sim::Task<> contender(sim::Simulation& sim, sim::Resource& r, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await r.acquire();
+    co_await sim.delay(1);
+  }
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Resource r(sim, 1);
+    for (int c = 0; c < 8; ++c) sim.spawn(contender(sim, r, 64));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 64);
+}
+BENCHMARK(BM_ResourceContention);
+
+block::ArrayGeometry bench_geo() {
+  block::ArrayGeometry g;
+  g.nodes = 16;
+  g.disks_per_node = 1;
+  g.blocks_per_disk = 327'680;
+  return g;
+}
+
+void BM_Raid0Mapping(benchmark::State& state) {
+  raid::Raid0Layout layout(bench_geo());
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.data_location(lba));
+    lba = (lba + 97) % layout.logical_blocks();
+  }
+}
+BENCHMARK(BM_Raid0Mapping);
+
+void BM_Raid5MappingWithParity(benchmark::State& state) {
+  raid::Raid5Layout layout(bench_geo());
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.data_location(lba));
+    benchmark::DoNotOptimize(layout.parity_location(layout.stripe_of(lba)));
+    lba = (lba + 97) % layout.logical_blocks();
+  }
+}
+BENCHMARK(BM_Raid5MappingWithParity);
+
+void BM_RaidxMappingWithImage(benchmark::State& state) {
+  raid::RaidxLayout layout(bench_geo());
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.data_location(lba));
+    benchmark::DoNotOptimize(layout.mirror_locations(lba));
+    lba = (lba + 97) % layout.logical_blocks();
+  }
+}
+BENCHMARK(BM_RaidxMappingWithImage);
+
+void BM_RaidxStripeImages(benchmark::State& state) {
+  raid::RaidxLayout layout(bench_geo());
+  std::uint64_t stripe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.stripe_images(stripe));
+    stripe = (stripe + 13) % (layout.logical_blocks() / 16);
+  }
+}
+BENCHMARK(BM_RaidxStripeImages);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+#include "analytic/model.hpp"
+
+namespace raidx::analytic {
+
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::kRaid0: return "RAID-0";
+    case Arch::kRaid5: return "RAID-5";
+    case Arch::kChained: return "Chained Declustering";
+    case Arch::kRaidX: return "RAID-x";
+  }
+  return "?";
+}
+
+double read_bandwidth(Arch a, const ModelParams& p) {
+  const double nb = p.n * p.disk_bw_mbs;
+  switch (a) {
+    case Arch::kRaid5: return (p.n - 1) * p.disk_bw_mbs;
+    case Arch::kRaid0:
+    case Arch::kChained:
+    case Arch::kRaidX: return nb;
+  }
+  return 0;
+}
+
+double large_write_bandwidth(Arch a, const ModelParams& p) {
+  switch (a) {
+    case Arch::kRaid0: return p.n * p.disk_bw_mbs;
+    case Arch::kRaid5: return (p.n - 1) * p.disk_bw_mbs;
+    case Arch::kChained: return p.n * p.disk_bw_mbs / 2.0;
+    case Arch::kRaidX: return p.n * p.disk_bw_mbs;
+  }
+  return 0;
+}
+
+double small_write_bandwidth(Arch a, const ModelParams& p) {
+  const double nb = p.n * p.disk_bw_mbs;
+  switch (a) {
+    case Arch::kRaid0: return nb;
+    case Arch::kRaid5: return nb / 4.0;  // read-modify-write: 4 disk ops
+    case Arch::kChained: return nb / 2.0;
+    case Arch::kRaidX: return nb;
+  }
+  return 0;
+}
+
+sim::Time large_read_time(Arch a, const ModelParams& p) {
+  const auto m = static_cast<double>(p.m);
+  const auto r = static_cast<double>(p.r);
+  switch (a) {
+    case Arch::kRaid5: return static_cast<sim::Time>(m * r / (p.n - 1));
+    case Arch::kRaid0:
+    case Arch::kChained:
+    case Arch::kRaidX: return static_cast<sim::Time>(m * r / p.n);
+  }
+  return 0;
+}
+
+sim::Time small_read_time(Arch, const ModelParams& p) { return p.r; }
+
+sim::Time large_write_time(Arch a, const ModelParams& p) {
+  const auto m = static_cast<double>(p.m);
+  const auto w = static_cast<double>(p.w);
+  switch (a) {
+    case Arch::kRaid0: return static_cast<sim::Time>(m * w / p.n);
+    case Arch::kRaid5: return static_cast<sim::Time>(m * w / (p.n - 1));
+    case Arch::kChained: return static_cast<sim::Time>(2.0 * m * w / p.n);
+    case Arch::kRaidX:
+      // Foreground stripes plus the background clustered image flush.
+      return static_cast<sim::Time>(m * w / p.n +
+                                    m * w / (static_cast<double>(p.n) *
+                                             (p.n - 1)));
+  }
+  return 0;
+}
+
+sim::Time small_write_time(Arch a, const ModelParams& p) {
+  switch (a) {
+    case Arch::kRaid5: return p.r + p.w;  // read old data+parity, then write
+    case Arch::kRaid0:
+    case Arch::kChained:
+    case Arch::kRaidX: return p.w;
+  }
+  return 0;
+}
+
+std::string fault_coverage(Arch a, const ModelParams& p) {
+  switch (a) {
+    case Arch::kRaid0: return "none";
+    case Arch::kRaid5: return "single disk failure";
+    case Arch::kChained:
+      return "up to " + std::to_string(p.n / 2) + " non-adjacent disks";
+    case Arch::kRaidX: return "single disk failure per mirror group";
+  }
+  return "?";
+}
+
+}  // namespace raidx::analytic

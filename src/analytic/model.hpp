@@ -1,0 +1,59 @@
+// Closed-form performance model of Table 2.
+//
+// The paper's expected peak performance of the four RAID architectures as a
+// function of: n (disks), B (per-disk bandwidth), m (file blocks), R and W
+// (average block read/write time).  Reconstructed values (OCR of the table
+// is partial; entries follow the canonical derivations the surrounding text
+// confirms -- e.g. "the improvement factor [over chained declustering]
+// approaches two" fixes CD large write at nB/2):
+//
+//                      RAID-0      RAID-5      Chained Decl.  RAID-x
+//  Read bandwidth      nB          (n-1)B      nB             nB
+//  Large-write bw      nB          (n-1)B/?    nB/2           nB
+//  Small-write bw      nB          nB/4        nB/2           nB
+//  Large-read time     mR/n        mR/(n-1)    mR/n           mR/n
+//  Small-read time     R           R           R              R
+//  Large-write time    mW/n        mW/(n-1)    2mW/n          mW/n + mW/(n(n-1))
+//  Small-write time    W           R+W         W              W
+//  Fault coverage      none        1 disk      n/2 disks      1 disk/mirror group
+//
+// (RAID-5 large writes are full-stripe: (n-1) data blocks per stripe of n
+// disks, hence (n-1)B bandwidth and mW/(n-1) time.  RAID-5 small writes
+// pay the 4-op read-modify-write: nB/4 and R+W.  RAID-x's extra
+// mW/(n(n-1)) term is the clustered background image write: every disk
+// absorbs 1/(n-1) extra sequential traffic.)
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace raidx::analytic {
+
+enum class Arch { kRaid0, kRaid5, kChained, kRaidX };
+
+const char* arch_name(Arch a);
+
+struct ModelParams {
+  int n = 16;                 // disks in the array
+  double disk_bw_mbs = 18.0;  // B: bandwidth per disk
+  std::uint64_t m = 2048;     // blocks per file
+  sim::Time r = sim::milliseconds(12.0);  // average block read time
+  sim::Time w = sim::milliseconds(13.0);  // average block write time
+};
+
+/// Max aggregate bandwidth (MB/s).
+double read_bandwidth(Arch a, const ModelParams& p);
+double large_write_bandwidth(Arch a, const ModelParams& p);
+double small_write_bandwidth(Arch a, const ModelParams& p);
+
+/// Parallel access times.
+sim::Time large_read_time(Arch a, const ModelParams& p);
+sim::Time small_read_time(Arch a, const ModelParams& p);
+sim::Time large_write_time(Arch a, const ModelParams& p);
+sim::Time small_write_time(Arch a, const ModelParams& p);
+
+/// Human-readable maximum fault coverage.
+std::string fault_coverage(Arch a, const ModelParams& p);
+
+}  // namespace raidx::analytic

@@ -1,0 +1,17 @@
+#include "block/sios.hpp"
+
+#include <cstdio>
+
+namespace raidx::block {
+
+std::string ArrayGeometry::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%dx%d array (%d disks, %llu blocks/disk, %u B blocks)",
+                nodes, disks_per_node, total_disks(),
+                static_cast<unsigned long long>(blocks_per_disk),
+                block_bytes);
+  return buf;
+}
+
+}  // namespace raidx::block

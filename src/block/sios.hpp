@@ -1,0 +1,59 @@
+// Single I/O space (SIOS) geometry.
+//
+// The paper's SIOS makes all n*k distributed disks addressable as one
+// global virtual disk.  ArrayGeometry fixes the paper's disk naming: disk
+// D(g*n + j) is the g-th local disk of node j, so a "row" g is a group of n
+// disks, one per node, that forms a stripe group; consecutive rows of the
+// same node share that node's SCSI bus (the pipelining dimension k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace raidx::block {
+
+struct ArrayGeometry {
+  int nodes = 16;                       // n: degree of striping parallelism
+  int disks_per_node = 1;               // k: depth of SCSI pipelining
+  std::uint64_t blocks_per_disk = 327'680;  // 10 GB of 32 KB stripe units
+  std::uint32_t block_bytes = 32'768;   // the paper's stripe unit
+
+  int total_disks() const { return nodes * disks_per_node; }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(total_disks()) * blocks_per_disk;
+  }
+  std::uint64_t bytes_per_disk() const {
+    return blocks_per_disk * block_bytes;
+  }
+
+  /// Disk id of the g-th disk of node j (paper's D(g*n + j)).
+  int disk_id(int row, int node) const { return row * nodes + node; }
+  int node_of(int disk) const { return disk % nodes; }
+  int row_of(int disk) const { return disk / nodes; }
+
+  bool valid() const {
+    return nodes >= 2 && disks_per_node >= 1 && blocks_per_disk > 0 &&
+           block_bytes > 0;
+  }
+
+  std::string describe() const;
+};
+
+/// A contiguous physical run on one disk.
+struct PhysExtent {
+  int disk = -1;
+  std::uint64_t offset = 0;
+  std::uint32_t nblocks = 0;
+
+  bool operator==(const PhysExtent&) const = default;
+};
+
+/// A single physical block address.
+struct PhysBlock {
+  int disk = -1;
+  std::uint64_t offset = 0;
+
+  bool operator==(const PhysBlock&) const = default;
+};
+
+}  // namespace raidx::block

@@ -1,0 +1,216 @@
+#include "cdd/cdd.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace raidx::cdd {
+
+CddService::CddService(CddFabric& fabric, int node_id)
+    : fabric_(fabric),
+      node_(node_id),
+      mailbox_(fabric.cluster().sim()),
+      locks_(fabric.cluster().sim()) {}
+
+sim::Task<> CddService::server_loop() {
+  for (;;) {
+    Request req = co_await mailbox_.recv();
+    // Each request is handled concurrently; ordering on the actual disk is
+    // enforced by the disk's own FIFO queue, as in a real driver.
+    fabric_.cluster().sim().spawn(handle(std::move(req)));
+  }
+}
+
+sim::Task<> CddService::handle(Request req) {
+  ++served_;
+  auto& cluster = fabric_.cluster();
+  auto& node = cluster.node(node_);
+
+  switch (req.op) {
+    case Request::Op::kRead: {
+      Reply reply;
+      co_await node.cpu_work(req.wire_bytes());
+      try {
+        auto& d = cluster.disk(req.disk);
+        // Failed disks and not-yet-rebuilt regions cannot serve reads;
+        // the client's controller falls back to its degraded path.
+        if (!d.readable(req.offset, req.nblocks)) {
+          reply.ok = false;
+        } else {
+          co_await d.io(disk::IoKind::kRead, req.offset, req.nblocks,
+                        req.prio);
+          reply.data = d.read_data(req.offset, req.nblocks);
+        }
+      } catch (const disk::DiskFailedError&) {
+        reply.ok = false;
+      }
+      co_await send_reply(req.from, req.op, req.reply, std::move(reply));
+      break;
+    }
+    case Request::Op::kWrite: {
+      Reply reply;
+      co_await node.cpu_work(req.wire_bytes());
+      try {
+        auto& d = cluster.disk(req.disk);
+        co_await d.io(disk::IoKind::kWrite, req.offset, req.nblocks,
+                      req.prio);
+        d.write_data(req.offset, req.payload);
+      } catch (const disk::DiskFailedError&) {
+        reply.ok = false;
+      }
+      co_await send_reply(req.from, req.op, req.reply, std::move(reply));
+      break;
+    }
+    case Request::Op::kLock: {
+      co_await node.cpu_work(req.wire_bytes());
+      // Grant the whole record atomically: groups in ascending order, the
+      // same order every requester uses.
+      for (std::uint64_t g : req.lock_groups) {
+        co_await locks_.acquire(g, req.lock_owner);
+        if (fabric_.params().replicate_lock_table) {
+          fabric_.cluster().sim().spawn(
+              replicate_lock_state(g, req.lock_owner));
+        }
+      }
+      co_await send_reply(req.from, req.op, req.reply, Reply{});
+      break;
+    }
+    case Request::Op::kUnlock: {
+      co_await node.cpu_work(req.wire_bytes());
+      for (std::uint64_t g : req.lock_groups) {
+        locks_.release(g, req.lock_owner);
+        if (fabric_.params().replicate_lock_table) {
+          fabric_.cluster().sim().spawn(
+              replicate_lock_state(g, locks_.owner(g)));
+        }
+      }
+      co_await send_reply(req.from, req.op, req.reply, Reply{});
+      break;
+    }
+    case Request::Op::kLockSync: {
+      // One-way replication update; lock_owner 0 means "group is free".
+      co_await node.cpu_work(req.wire_bytes());
+      locks_.apply_replica_update(req.group, req.lock_owner);
+      break;
+    }
+  }
+}
+
+sim::Task<> CddService::send_reply(int to, Request::Op /*op*/,
+                                   sim::Oneshot<Reply>* slot, Reply reply) {
+  assert(slot != nullptr);
+  if (to != node_) {
+    auto& cluster = fabric_.cluster();
+    co_await cluster.node(node_).cpu_work(reply.wire_bytes());
+    co_await cluster.network().transmit(node_, to, reply.wire_bytes());
+  }
+  slot->set(std::move(reply));
+}
+
+sim::Task<> CddService::replicate_lock_state(std::uint64_t group,
+                                             std::uint64_t owner) {
+  auto& cluster = fabric_.cluster();
+  for (int peer = 0; peer < cluster.num_nodes(); ++peer) {
+    if (peer == node_) continue;
+    Request sync;
+    sync.op = Request::Op::kLockSync;
+    sync.from = node_;
+    sync.group = group;
+    sync.lock_owner = owner;
+    co_await cluster.network().transmit(node_, peer, sync.wire_bytes());
+    fabric_.service(peer).mailbox().send(std::move(sync));
+  }
+}
+
+CddFabric::CddFabric(cluster::Cluster& cluster, CddParams params)
+    : cluster_(cluster), params_(params) {
+  services_.reserve(static_cast<std::size_t>(cluster.num_nodes()));
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    services_.push_back(std::make_unique<CddService>(*this, i));
+    cluster.sim().spawn(services_.back()->server_loop());
+  }
+}
+
+sim::Task<Reply> CddFabric::submit(int client, int target_node, Request req) {
+  sim::Oneshot<Reply> slot(cluster_.sim());
+  req.from = client;
+  req.reply = &slot;
+  const std::uint64_t request_bytes = req.wire_bytes();
+
+  if (target_node == client) {
+    ++local_requests_;
+    service(client).mailbox().send(std::move(req));
+    co_return co_await slot.wait();
+  }
+
+  ++remote_requests_;
+  co_await cluster_.node(client).cpu_work(request_bytes);
+  co_await cluster_.network().transmit(client, target_node, request_bytes);
+  service(target_node).mailbox().send(std::move(req));
+  Reply reply = co_await slot.wait();
+  co_await cluster_.node(client).cpu_work(reply.wire_bytes());
+  co_return reply;
+}
+
+sim::Task<Reply> CddFabric::read(int client, int disk_id, std::uint64_t offset,
+                                 std::uint32_t nblocks,
+                                 disk::IoPriority prio) {
+  Request req;
+  req.op = Request::Op::kRead;
+  req.disk = disk_id;
+  req.offset = offset;
+  req.nblocks = nblocks;
+  req.prio = prio;
+  co_return co_await submit(client, cluster_.geometry().node_of(disk_id),
+                            std::move(req));
+}
+
+sim::Task<Reply> CddFabric::write(int client, int disk_id,
+                                  std::uint64_t offset,
+                                  std::vector<std::byte> data,
+                                  disk::IoPriority prio) {
+  assert(data.size() % cluster_.geometry().block_bytes == 0);
+  Request req;
+  req.op = Request::Op::kWrite;
+  req.disk = disk_id;
+  req.offset = offset;
+  req.nblocks = static_cast<std::uint32_t>(
+      data.size() / cluster_.geometry().block_bytes);
+  req.payload = std::move(data);
+  req.prio = prio;
+  co_return co_await submit(client, cluster_.geometry().node_of(disk_id),
+                            std::move(req));
+}
+
+sim::Task<> CddFabric::lock_groups(int client,
+                                   std::vector<std::uint64_t> groups,
+                                   std::uint64_t owner) {
+  // One RPC per home node, homes in ascending order.  Groups are already
+  // sorted, so each home's sub-list is ascending too.
+  for (int home = 0; home < cluster_.num_nodes(); ++home) {
+    Request req;
+    req.op = Request::Op::kLock;
+    req.lock_owner = owner;
+    for (std::uint64_t g : groups) {
+      if (lock_home(g) == home) req.lock_groups.push_back(g);
+    }
+    if (req.lock_groups.empty()) continue;
+    co_await submit(client, home, std::move(req));
+  }
+}
+
+sim::Task<> CddFabric::unlock_groups(int client,
+                                     std::vector<std::uint64_t> groups,
+                                     std::uint64_t owner) {
+  for (int home = 0; home < cluster_.num_nodes(); ++home) {
+    Request req;
+    req.op = Request::Op::kUnlock;
+    req.lock_owner = owner;
+    for (std::uint64_t g : groups) {
+      if (lock_home(g) == home) req.lock_groups.push_back(g);
+    }
+    if (req.lock_groups.empty()) continue;
+    co_await submit(client, home, std::move(req));
+  }
+}
+
+}  // namespace raidx::cdd

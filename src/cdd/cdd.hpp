@@ -1,0 +1,128 @@
+// Cooperative disk drivers (CDD) -- the paper's enabling mechanism for the
+// single I/O space.
+//
+// One CddService runs on every node, combining the paper's three modules:
+//  * storage manager: a server loop draining the node's request mailbox and
+//    executing I/O against the locally attached disks;
+//  * client module: redirects I/O on remotely-managed disks to the owning
+//    node's storage manager over the network ("device masquerading" -- the
+//    caller addresses any disk in the SIOS and never sees the difference
+//    beyond latency);
+//  * consistency module: home-node partitioned lock-group table, replicated
+//    to peers with one-way background updates.
+//
+// Local requests bypass the network entirely (one kernel crossing), which is
+// exactly the property that lets a serverless cluster beat a central file
+// server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cdd/lock_table.hpp"
+#include "cdd/message.hpp"
+#include "cluster/cluster.hpp"
+#include "sim/channel.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::cdd {
+
+struct CddParams {
+  /// Mirror every lock grant/release to all peer consistency modules.
+  bool replicate_lock_table = true;
+};
+
+class CddFabric;
+
+class CddService {
+ public:
+  CddService(CddFabric& fabric, int node_id);
+  CddService(const CddService&) = delete;
+  CddService& operator=(const CddService&) = delete;
+
+  sim::Channel<Request>& mailbox() { return mailbox_; }
+  LockGroupTable& lock_table() { return locks_; }
+  int node_id() const { return node_; }
+
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  friend class CddFabric;
+
+  sim::Task<> server_loop();
+  sim::Task<> handle(Request req);
+  sim::Task<> send_reply(int to, Request::Op op, sim::Oneshot<Reply>* slot,
+                         Reply reply);
+  sim::Task<> replicate_lock_state(std::uint64_t group, std::uint64_t owner);
+
+  CddFabric& fabric_;
+  int node_;
+  sim::Channel<Request> mailbox_;
+  LockGroupTable locks_;
+  std::uint64_t served_ = 0;
+};
+
+/// The cluster-wide collection of CDDs plus the client-side API that the
+/// RAID controllers program against.
+class CddFabric {
+ public:
+  CddFabric(cluster::Cluster& cluster, CddParams params = {});
+  CddFabric(const CddFabric&) = delete;
+  CddFabric& operator=(const CddFabric&) = delete;
+
+  /// Read `nblocks` from physical (disk, offset) on behalf of node
+  /// `client`.  Returns the data; Reply.ok is false if the disk failed.
+  sim::Task<Reply> read(int client, int disk_id, std::uint64_t offset,
+                        std::uint32_t nblocks,
+                        disk::IoPriority prio = disk::IoPriority::kForeground);
+
+  /// Write `data` to physical (disk, offset) on behalf of node `client`.
+  sim::Task<Reply> write(int client, int disk_id, std::uint64_t offset,
+                         std::vector<std::byte> data,
+                         disk::IoPriority prio = disk::IoPriority::kForeground);
+
+  /// Acquire/release exclusive write locks on a set of groups (sorted
+  /// ascending, no duplicates).  Batched: one RPC per home node, homes
+  /// visited in ascending order -- every client uses the same global
+  /// (home, group) acquisition order, so overlapping writers queue FIFO
+  /// instead of deadlocking.  `owner` is a token from next_lock_owner().
+  sim::Task<> lock_groups(int client, std::vector<std::uint64_t> groups,
+                          std::uint64_t owner);
+  sim::Task<> unlock_groups(int client, std::vector<std::uint64_t> groups,
+                            std::uint64_t owner);
+
+  /// Mint a fresh lock-owner token (unique across the fabric's lifetime).
+  std::uint64_t next_lock_owner() { return ++lock_owner_seq_; }
+
+  int lock_home(std::uint64_t group) const {
+    return static_cast<int>(group % static_cast<std::uint64_t>(
+                                        cluster_.num_nodes()));
+  }
+
+  cluster::Cluster& cluster() { return cluster_; }
+  const CddParams& params() const { return params_; }
+  CddService& service(int node) {
+    return *services_[static_cast<std::size_t>(node)];
+  }
+
+  std::uint64_t remote_requests() const { return remote_requests_; }
+  std::uint64_t local_requests() const { return local_requests_; }
+
+ private:
+  friend class CddService;
+
+  /// Route a request to the node owning its target; completes when the
+  /// reply has fully arrived back at the client.
+  sim::Task<Reply> submit(int client, int target_node, Request req);
+
+  cluster::Cluster& cluster_;
+  CddParams params_;
+  std::vector<std::unique_ptr<CddService>> services_;
+  std::uint64_t remote_requests_ = 0;
+  std::uint64_t local_requests_ = 0;
+  std::uint64_t lock_owner_seq_ = 0;
+};
+
+}  // namespace raidx::cdd

@@ -1,0 +1,68 @@
+#include "cdd/lock_table.hpp"
+
+#include <cassert>
+
+namespace raidx::cdd {
+
+sim::Task<> LockGroupTable::acquire(std::uint64_t group,
+                                    std::uint64_t owner) {
+  assert(owner != 0 && "owner token 0 is the free sentinel");
+  Entry& e = table_[group];
+  if (e.owner == 0 && e.queue.empty()) {
+    e.owner = owner;
+    co_return;
+  }
+  assert(e.owner != owner && "lock groups are not re-entrant");
+  auto trigger = std::make_unique<sim::Trigger>(sim_);
+  sim::Trigger* waiting_on = trigger.get();
+  e.queue.push_back(Waiter{owner, std::move(trigger)});
+  co_await waiting_on->wait();
+}
+
+void LockGroupTable::release(std::uint64_t group, std::uint64_t owner) {
+  auto it = table_.find(group);
+  assert(it != table_.end() && it->second.owner == owner &&
+         "release by non-owner");
+  (void)owner;
+  Entry& e = it->second;
+  if (e.queue.empty()) {
+    table_.erase(it);
+    return;
+  }
+  Waiter next = std::move(e.queue.front());
+  e.queue.pop_front();
+  e.owner = next.owner;
+  next.granted->set();
+}
+
+bool LockGroupTable::held(std::uint64_t group) const {
+  auto it = table_.find(group);
+  return it != table_.end() && it->second.owner != 0;
+}
+
+std::uint64_t LockGroupTable::owner(std::uint64_t group) const {
+  auto it = table_.find(group);
+  return it == table_.end() ? 0 : it->second.owner;
+}
+
+std::size_t LockGroupTable::waiters(std::uint64_t group) const {
+  auto it = table_.find(group);
+  return it == table_.end() ? 0 : it->second.queue.size();
+}
+
+void LockGroupTable::apply_replica_update(std::uint64_t group,
+                                          std::uint64_t owner) {
+  ++replica_updates_;
+  if (owner == 0) {
+    replica_.erase(group);
+  } else {
+    replica_[group] = owner;
+  }
+}
+
+std::uint64_t LockGroupTable::replica_owner(std::uint64_t group) const {
+  auto it = replica_.find(group);
+  return it == replica_.end() ? 0 : it->second;
+}
+
+}  // namespace raidx::cdd

@@ -1,0 +1,60 @@
+// Lock-group table of the CDD consistency module.
+//
+// The paper: "Each record in this table corresponds to a group of data
+// blocks that have been granted to a specific CDD client with write
+// permissions.  The write locks in each record are granted and released
+// atomically."  A group's lock is exclusive and waiters are served FIFO.
+// Each node manages the groups that hash to it (home-node partitioning) and
+// mirrors every grant/release to its peers so the table stays replicated.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::cdd {
+
+class LockGroupTable {
+ public:
+  explicit LockGroupTable(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Completes once `owner` holds the exclusive write lock on `group`.
+  /// Owners are unique requester tokens (0 = free sentinel), not node ids:
+  /// two writers on one node must still exclude each other.
+  sim::Task<> acquire(std::uint64_t group, std::uint64_t owner);
+
+  /// Release; ownership passes atomically to the oldest waiter, if any.
+  void release(std::uint64_t group, std::uint64_t owner);
+
+  bool held(std::uint64_t group) const;
+  std::uint64_t owner(std::uint64_t group) const;  // 0 if free
+  std::size_t waiters(std::uint64_t group) const;
+  std::size_t records() const { return table_.size(); }
+
+  /// Replica bookkeeping (applied when a kLockSync message arrives).
+  void apply_replica_update(std::uint64_t group, std::uint64_t owner);
+  std::uint64_t replica_owner(std::uint64_t group) const;  // 0 if free/unknown
+  std::uint64_t replica_updates() const { return replica_updates_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t owner;
+    std::unique_ptr<sim::Trigger> granted;
+  };
+  struct Entry {
+    std::uint64_t owner = 0;
+    std::deque<Waiter> queue;
+  };
+
+  sim::Simulation& sim_;
+  std::unordered_map<std::uint64_t, Entry> table_;
+  std::unordered_map<std::uint64_t, std::uint64_t> replica_;
+  std::uint64_t replica_updates_ = 0;
+};
+
+}  // namespace raidx::cdd

@@ -1,0 +1,54 @@
+// Wire messages exchanged between cooperative disk drivers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "sim/channel.hpp"
+
+namespace raidx::cdd {
+
+/// Fixed framing cost of every CDD message (headers, opcodes, addresses).
+inline constexpr std::uint64_t kHeaderBytes = 128;
+
+struct Reply {
+  bool ok = true;
+  std::vector<std::byte> data;  // read payload
+
+  std::uint64_t wire_bytes() const { return kHeaderBytes + data.size(); }
+};
+
+struct Request {
+  enum class Op : std::uint8_t {
+    kRead,      // block read from a remote-managed disk
+    kWrite,     // block write
+    kLock,      // acquire a lock-group write lock (to its home manager)
+    kUnlock,    // release it
+    kLockSync,  // one-way lock-table replication update
+  };
+
+  Op op = Op::kRead;
+  int from = -1;                 // requesting node
+  int disk = -1;                 // global disk id (read/write)
+  std::uint64_t offset = 0;      // physical block offset on that disk
+  std::uint32_t nblocks = 0;
+  disk::IoPriority prio = disk::IoPriority::kForeground;
+  std::vector<std::byte> payload;  // write data
+  /// Lock groups covered by one request -- the paper's "record in the
+  /// lock-group table": a set of block groups granted to one client
+  /// atomically.  All groups in one message share a home node.
+  std::vector<std::uint64_t> lock_groups;
+  std::uint64_t group = 0;  // single group (kLockSync)
+  /// Lock requester token: unique per logical writer, NOT the node id --
+  /// two processes on one node must still exclude each other.  0 is the
+  /// "free" sentinel.
+  std::uint64_t lock_owner = 0;
+  sim::Oneshot<Reply>* reply = nullptr;  // null for one-way messages
+
+  std::uint64_t wire_bytes() const {
+    return kHeaderBytes + payload.size() + 8 * lock_groups.size();
+  }
+};
+
+}  // namespace raidx::cdd

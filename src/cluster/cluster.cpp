@@ -1,0 +1,60 @@
+#include "cluster/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace raidx::cluster {
+
+ClusterParams ClusterParams::trojans() {
+  ClusterParams p;
+  p.geometry.nodes = 16;
+  p.geometry.disks_per_node = 1;
+  p.geometry.block_bytes = 32'768;  // the paper's 32 KB stripe unit
+  p.geometry.blocks_per_disk = 327'680;  // 10 GB
+  p.disk.block_bytes = p.geometry.block_bytes;
+  p.disk.total_blocks = p.geometry.blocks_per_disk;
+  return p;
+}
+
+ClusterParams ClusterParams::trojans_4x3() {
+  ClusterParams p = trojans();
+  p.geometry.nodes = 4;
+  p.geometry.disks_per_node = 3;
+  return p;
+}
+
+Cluster::Cluster(sim::Simulation& sim, ClusterParams params)
+    : sim_(sim), params_(params) {
+  if (!params_.geometry.valid()) {
+    throw std::invalid_argument("invalid array geometry: " +
+                                params_.geometry.describe());
+  }
+  // Keep the disk model consistent with the geometry the layouts use.
+  params_.disk.block_bytes = params_.geometry.block_bytes;
+  params_.disk.total_blocks = params_.geometry.blocks_per_disk;
+
+  network_ = std::make_unique<net::Network>(sim, params_.net,
+                                            params_.geometry.nodes);
+  nodes_.reserve(static_cast<std::size_t>(params_.geometry.nodes));
+  for (int j = 0; j < params_.geometry.nodes; ++j) {
+    nodes_.push_back(std::make_unique<Node>(sim, j, params_.node,
+                                            params_.bus, params_.disk,
+                                            params_.geometry.disks_per_node));
+  }
+}
+
+disk::Disk& Cluster::disk(int global_id) {
+  assert(global_id >= 0 && global_id < total_disks());
+  const int node_id = geometry().node_of(global_id);
+  const int row = geometry().row_of(global_id);
+  return nodes_[static_cast<std::size_t>(node_id)]->local_disk(row);
+}
+
+const disk::Disk& Cluster::disk(int global_id) const {
+  assert(global_id >= 0 && global_id < params_.geometry.total_disks());
+  const int node_id = params_.geometry.node_of(global_id);
+  const int row = params_.geometry.row_of(global_id);
+  return nodes_[static_cast<std::size_t>(node_id)]->local_disk(row);
+}
+
+}  // namespace raidx::cluster

@@ -1,0 +1,54 @@
+// The simulated Trojans cluster: n nodes, k disks each, one switch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "block/sios.hpp"
+#include "cluster/node.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidx::cluster {
+
+struct ClusterParams {
+  block::ArrayGeometry geometry;  // nodes, disks/node, disk size, block size
+  NodeParams node;
+  disk::DiskParams disk;
+  disk::BusParams bus;
+  net::NetParams net;
+
+  /// The default models the 1999 USC Trojans cluster: 16 PCs, one 10 GB
+  /// SCSI disk each, 100 Mbps switched Fast Ethernet.
+  static ClusterParams trojans();
+  /// The paper's Fig. 3 / Fig. 7 configuration: 4 nodes x 3 disks.
+  static ClusterParams trojans_4x3();
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, ClusterParams params);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  const ClusterParams& params() const { return params_; }
+  const block::ArrayGeometry& geometry() const { return params_.geometry; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  net::Network& network() { return *network_; }
+
+  /// Disk by global id (D(g*n + j) = row g, node j).
+  disk::Disk& disk(int global_id);
+  const disk::Disk& disk(int global_id) const;
+  int total_disks() const { return geometry().total_disks(); }
+
+ private:
+  sim::Simulation& sim_;
+  ClusterParams params_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace raidx::cluster

@@ -1,0 +1,35 @@
+#include "cluster/node.hpp"
+
+namespace raidx::cluster {
+
+Node::Node(sim::Simulation& sim, int id, NodeParams params,
+           disk::BusParams bus_params, disk::DiskParams disk_params,
+           int num_disks)
+    : sim_(sim),
+      id_(id),
+      params_(params),
+      cpu_(sim, /*capacity=*/1),
+      bus_(std::make_unique<disk::ScsiBus>(sim, bus_params)) {
+  disks_.reserve(static_cast<std::size_t>(num_disks));
+  for (int row = 0; row < num_disks; ++row) {
+    // Global ids are assigned by the Cluster; the local id encodes
+    // (node, row) for diagnostics until then.
+    disks_.push_back(
+        std::make_unique<disk::Disk>(sim, disk_params, id * 1000 + row,
+                                     bus_.get()));
+  }
+}
+
+sim::Task<> Node::cpu_work(std::uint64_t bytes) {
+  auto guard = co_await cpu_.acquire();
+  const auto per_byte = static_cast<sim::Time>(
+      params_.cpu_ns_per_byte * static_cast<double>(bytes));
+  co_await sim_.delay(params_.cpu_op_overhead + per_byte);
+}
+
+sim::Task<> Node::compute(sim::Time t) {
+  auto guard = co_await cpu_.acquire();
+  co_await sim_.delay(t);
+}
+
+}  // namespace raidx::cluster

@@ -1,0 +1,64 @@
+// A cluster node: CPU, one SCSI bus, k locally attached disks.
+//
+// The CPU is a capacity-1 resource charged per kernel operation plus a
+// per-byte cost for protocol/copy work.  On a serverless cluster every node
+// is simultaneously an I/O client and a storage server for its peers, so
+// this shared CPU is a first-order bottleneck at scale (it is what keeps
+// the measured aggregate bandwidth well below the switch's raw capacity,
+// as in the paper's Trojans numbers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "disk/scsi_bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::cluster {
+
+struct NodeParams {
+  /// Fixed kernel-path cost per I/O operation (syscall, driver dispatch).
+  sim::Time cpu_op_overhead = sim::microseconds(150);
+  /// Per-byte protocol/copy cost.  Rule of thumb: 1 GHz moves ~100 MB/s of
+  /// TCP; a 400 MHz Pentium II with kernel-2.2 checksumming and an extra
+  /// copy lands near 60 ns/B (~16 MB/s of CPU-limited protocol work per
+  /// node, shared between its client and storage-server roles).
+  double cpu_ns_per_byte = 60.0;
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, int id, NodeParams params,
+       disk::BusParams bus_params, disk::DiskParams disk_params,
+       int num_disks);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Charge CPU time for handling `bytes` of I/O payload.
+  sim::Task<> cpu_work(std::uint64_t bytes);
+
+  /// Charge a raw computation time (checksum/XOR/compile work).
+  sim::Task<> compute(sim::Time t);
+
+  int id() const { return id_; }
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+  disk::Disk& local_disk(int row) { return *disks_[static_cast<std::size_t>(row)]; }
+  const disk::Disk& local_disk(int row) const {
+    return *disks_[static_cast<std::size_t>(row)];
+  }
+  disk::ScsiBus& bus() { return *bus_; }
+  sim::Time cpu_busy() const { return cpu_.busy_time(); }
+
+ private:
+  sim::Simulation& sim_;
+  int id_;
+  NodeParams params_;
+  sim::Resource cpu_;
+  std::unique_ptr<disk::ScsiBus> bus_;
+  std::vector<std::unique_ptr<disk::Disk>> disks_;
+};
+
+}  // namespace raidx::cluster

@@ -1,0 +1,111 @@
+#include "disk/disk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace raidx::disk {
+
+Disk::Disk(sim::Simulation& sim, DiskParams params, int id, ScsiBus* bus)
+    : sim_(sim),
+      params_(params),
+      id_(id),
+      bus_(bus),
+      queue_(sim, /*capacity=*/1, /*priority_levels=*/2) {}
+
+sim::Time Disk::seek_time(std::uint64_t from, std::uint64_t to) const {
+  if (from == to) return 0;
+  const double dist = static_cast<double>(from > to ? from - to : to - from) /
+                      static_cast<double>(params_.total_blocks);
+  // Square-root seek curve: short seeks dominated by settle time, long seeks
+  // by arm acceleration (Ruemmler & Wilkes style approximation).
+  const double span = static_cast<double>(params_.full_stroke_seek -
+                                          params_.track_to_track_seek);
+  return params_.track_to_track_seek +
+         static_cast<sim::Time>(span * std::sqrt(dist));
+}
+
+sim::Time Disk::service_time(std::uint64_t block, std::uint32_t nblocks,
+                             bool sequential) const {
+  sim::Time t = params_.controller_overhead;
+  if (!sequential) {
+    t += seek_time(head_pos_, block);
+    t += params_.avg_rotational_latency();
+  }
+  t += sim::transfer_time(
+      static_cast<std::uint64_t>(nblocks) * params_.block_bytes,
+      params_.media_rate_mbs);
+  return t;
+}
+
+sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
+                     IoPriority prio) {
+  if (failed_) throw DiskFailedError(id_);
+  assert(block + nblocks <= params_.total_blocks);
+
+  auto arm = co_await queue_.acquire(static_cast<int>(prio));
+  if (failed_) throw DiskFailedError(id_);
+
+  const bool sequential = (block == head_pos_);
+  const sim::Time mech = service_time(block, nblocks, sequential);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(nblocks) * params_.block_bytes;
+
+  if (kind == IoKind::kRead) {
+    // Media first, then ship across the bus.
+    co_await sim_.delay(mech);
+    head_pos_ = block + nblocks;
+    arm.release();  // the arm is free while the buffer drains to the bus
+    if (bus_) co_await bus_->transfer(bytes);
+    ++reads_;
+    bytes_read_ += bytes;
+  } else {
+    // Data arrives over the bus into the disk buffer, then hits the media.
+    if (bus_) co_await bus_->transfer(bytes);
+    co_await sim_.delay(mech);
+    head_pos_ = block + nblocks;
+    ++writes_;
+    bytes_written_ += bytes;
+  }
+  if (failed_) throw DiskFailedError(id_);
+}
+
+void Disk::write_data(std::uint64_t block, std::span<const std::byte> data) {
+  if (!params_.store_data) return;
+  assert(data.size() % params_.block_bytes == 0);
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(data.size() / params_.block_bytes);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& blk = blocks_[block + i];
+    blk.assign(data.begin() + static_cast<std::ptrdiff_t>(i) *
+                                  params_.block_bytes,
+               data.begin() + static_cast<std::ptrdiff_t>(i + 1) *
+                                  params_.block_bytes);
+  }
+}
+
+std::vector<std::byte> Disk::read_data(std::uint64_t block,
+                                       std::uint32_t nblocks) const {
+  std::vector<std::byte> out(static_cast<std::size_t>(nblocks) *
+                                 params_.block_bytes,
+                             std::byte{0});
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    auto it = blocks_.find(block + i);
+    if (it != blocks_.end()) {
+      std::copy(it->second.begin(), it->second.end(),
+                out.begin() +
+                    static_cast<std::ptrdiff_t>(i) * params_.block_bytes);
+    }
+  }
+  return out;
+}
+
+void Disk::fail() { failed_ = true; }
+
+void Disk::replace() {
+  failed_ = false;
+  blocks_.clear();
+  head_pos_ = 0;
+}
+
+}  // namespace raidx::disk

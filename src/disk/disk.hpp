@@ -1,0 +1,146 @@
+// Single-disk model: timing, byte storage, and fault injection.
+//
+// Timing follows the classic mechanical decomposition (controller overhead +
+// seek + rotational latency + media transfer) with sequential-access
+// detection: a request starting where the previous one ended pays neither
+// seek nor rotational latency.  That asymmetry is what makes RAID-x's
+// *clustered* mirror images (one long sequential background write) cheaper
+// than chained declustering's scattered mirror writes, so it is the single
+// most important property of this model.
+//
+// The disk also stores real bytes, which lets the test suite verify layout
+// correctness (round trips, degraded reads, rebuilds) rather than timing
+// alone.  Unwritten blocks read as zeroes, like a fresh disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/scsi_bus.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::disk {
+
+/// Parameters modeled on a 10 GB, 7200 rpm Ultra-SCSI disk of the Trojans
+/// cluster era (1999).
+struct DiskParams {
+  std::uint32_t block_bytes = 4096;
+  std::uint64_t total_blocks = 2'621'440;  // 10 GB of 4 KB blocks
+  double media_rate_mbs = 18.0;
+  double rpm = 7200.0;
+  sim::Time track_to_track_seek = sim::milliseconds(1.0);
+  sim::Time full_stroke_seek = sim::milliseconds(16.0);
+  sim::Time controller_overhead = sim::microseconds(300);
+  /// When false, write_data discards contents and read_data returns zeros.
+  /// Timing is unaffected; large performance sweeps use this so simulating
+  /// gigabytes of traffic does not allocate gigabytes of host memory.
+  bool store_data = true;
+
+  sim::Time avg_rotational_latency() const {
+    return sim::seconds(60.0 / rpm / 2.0);
+  }
+};
+
+enum class IoKind { kRead, kWrite };
+
+/// Foreground requests overtake queued background (mirror-update) work.
+enum class IoPriority : int { kForeground = 0, kBackground = 1 };
+
+class DiskFailedError : public std::runtime_error {
+ public:
+  explicit DiskFailedError(int disk_id)
+      : std::runtime_error("disk " + std::to_string(disk_id) + " failed"),
+        disk_id(disk_id) {}
+  int disk_id;
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulation& sim, DiskParams params, int id,
+       ScsiBus* bus = nullptr);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Perform the timing of one contiguous request.  Throws DiskFailedError
+  /// if the disk is failed.  Does not touch stored data; callers pair it
+  /// with read_data/write_data as appropriate.
+  sim::Task<> io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
+                 IoPriority prio = IoPriority::kForeground);
+
+  /// Functional storage access (no simulated time).
+  void write_data(std::uint64_t block, std::span<const std::byte> data);
+  std::vector<std::byte> read_data(std::uint64_t block,
+                                   std::uint32_t nblocks) const;
+
+  /// Fault injection.
+  void fail();
+  /// Replace with a blank disk (rebuild then restores contents).
+  void replace();
+  bool failed() const { return failed_; }
+
+  /// Rebuild frontier: while a rebuild sweep is active, blocks at or above
+  /// the watermark have not been restored yet and must not serve reads
+  /// (the CDD routes them to the degraded path instead).  Writes are
+  /// always allowed: they carry current data and the sweep's later
+  /// reconstruction writes the same bytes back.
+  void begin_rebuild() {
+    rebuilding_ = true;
+    rebuild_watermark_ = 0;
+  }
+  void advance_rebuild(std::uint64_t watermark) {
+    rebuild_watermark_ = watermark;
+  }
+  void finish_rebuild() { rebuilding_ = false; }
+  bool rebuilding() const { return rebuilding_; }
+  std::uint64_t rebuild_watermark() const { return rebuild_watermark_; }
+
+  /// Can a read of [block, block+n) be served from this disk right now?
+  bool readable(std::uint64_t block, std::uint32_t nblocks) const {
+    if (failed_) return false;
+    if (rebuilding_ && block + nblocks > rebuild_watermark_) return false;
+    return true;
+  }
+
+  int id() const { return id_; }
+  const DiskParams& params() const { return params_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  sim::Time busy_time() const { return queue_.busy_time(); }
+  std::size_t queue_depth() const { return queue_.queued(); }
+
+  /// Pure timing helper (no queueing): service time of one request given
+  /// the head position; exposed for the analytic model and unit tests.
+  sim::Time service_time(std::uint64_t block, std::uint32_t nblocks,
+                         bool sequential) const;
+
+ private:
+  sim::Time seek_time(std::uint64_t from, std::uint64_t to) const;
+
+  sim::Simulation& sim_;
+  DiskParams params_;
+  int id_;
+  ScsiBus* bus_;
+  sim::Resource queue_;  // the disk arm: capacity 1, 2 priority classes
+  std::uint64_t head_pos_ = 0;
+  bool failed_ = false;
+  bool rebuilding_ = false;
+  std::uint64_t rebuild_watermark_ = 0;
+
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace raidx::disk

@@ -1,0 +1,14 @@
+#include "disk/scsi_bus.hpp"
+
+namespace raidx::disk {
+
+ScsiBus::ScsiBus(sim::Simulation& sim, BusParams params)
+    : sim_(sim), params_(params), bus_(sim, /*capacity=*/1) {}
+
+sim::Task<> ScsiBus::transfer(std::uint64_t bytes) {
+  auto guard = co_await bus_.acquire();
+  co_await sim_.delay(params_.arbitration +
+                      sim::transfer_time(bytes, params_.rate_mbs));
+}
+
+}  // namespace raidx::disk

@@ -1,0 +1,40 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace raidx::net {
+
+Network::Network(sim::Simulation& sim, NetParams params, int nodes)
+    : sim_(sim),
+      params_(params),
+      bytes_sent_(static_cast<std::size_t>(nodes), 0),
+      msgs_sent_(static_cast<std::size_t>(nodes), 0) {
+  assert(nodes > 0);
+  tx_.reserve(static_cast<std::size_t>(nodes));
+  rx_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    tx_.push_back(std::make_unique<sim::Resource>(sim, 1));
+    rx_.push_back(std::make_unique<sim::Resource>(sim, 1));
+  }
+}
+
+sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes) {
+  assert(from >= 0 && from < nodes());
+  assert(to >= 0 && to < nodes());
+  bytes_sent_[static_cast<std::size_t>(from)] += bytes;
+  ++msgs_sent_[static_cast<std::size_t>(from)];
+  if (from == to) co_return;
+
+  const sim::Time wire = sim::transfer_time(bytes, params_.effective_mbs());
+  {
+    auto tx = co_await tx_[static_cast<std::size_t>(from)]->acquire();
+    co_await sim_.delay(params_.per_message_overhead + wire);
+  }
+  co_await sim_.delay(params_.switch_latency);
+  {
+    auto rx = co_await rx_[static_cast<std::size_t>(to)]->acquire();
+    co_await sim_.delay(wire);
+  }
+}
+
+}  // namespace raidx::net

@@ -1,0 +1,64 @@
+// Switched full-duplex Fast Ethernet model.
+//
+// Every node has one link to the switch, modeled as two capacity-1
+// resources (TX and RX).  A message serializes on the sender's TX port,
+// crosses the switch after a fixed forwarding latency, then serializes on
+// the receiver's RX port.  This captures the two effects the paper's
+// numbers hinge on:
+//   * per-link serialization: one 100 Mbps link moves at most ~12.5 MB/s,
+//     which bounds any single client and any single server;
+//   * output-port contention: N clients funneling into one server share the
+//     server's RX port -- the mechanism behind the NFS baseline flattening
+//     out while the serverless architectures keep scaling.
+// Streams of back-to-back messages pipeline across the TX and RX phases, so
+// sustained point-to-point throughput equals the effective link rate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::net {
+
+struct NetParams {
+  double link_mbs = 12.5;       // 100 Mbps Fast Ethernet
+  double efficiency = 0.90;     // Ethernet/IP/TCP framing overhead
+  sim::Time switch_latency = sim::microseconds(20);
+  sim::Time per_message_overhead = sim::microseconds(120);  // protocol stack
+
+  double effective_mbs() const { return link_mbs * efficiency; }
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, NetParams params, int nodes);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Move `bytes` from node `from` to node `to`; completes when the last
+  /// byte has drained from the receiver's port.  from == to is free (the
+  /// loopback path never touches the wire).
+  sim::Task<> transmit(int from, int to, std::uint64_t bytes);
+
+  int nodes() const { return static_cast<int>(tx_.size()); }
+  const NetParams& params() const { return params_; }
+
+  std::uint64_t bytes_sent(int node) const { return bytes_sent_[node]; }
+  std::uint64_t messages_sent(int node) const { return msgs_sent_[node]; }
+  sim::Time tx_busy(int node) const { return tx_[node]->busy_time(); }
+  sim::Time rx_busy(int node) const { return rx_[node]->busy_time(); }
+
+ private:
+  sim::Simulation& sim_;
+  NetParams params_;
+  std::vector<std::unique_ptr<sim::Resource>> tx_;
+  std::vector<std::unique_ptr<sim::Resource>> rx_;
+  std::vector<std::uint64_t> bytes_sent_;
+  std::vector<std::uint64_t> msgs_sent_;
+};
+
+}  // namespace raidx::net

@@ -1,0 +1,78 @@
+#include "nfs/nfs.hpp"
+
+#include <algorithm>
+
+namespace raidx::nfs {
+
+NfsEngine::NfsEngine(cdd::CddFabric& fabric, raid::EngineParams engine_params,
+                     NfsParams nfs_params)
+    : ArrayController(fabric, engine_params),
+      nfs_(nfs_params),
+      layout_(fabric.cluster().geometry(), nfs_params.server_node) {
+  // The NFS daemon serializes updates itself; block-level lock-group
+  // traffic is a serverless-CDD mechanism and does not exist here.
+  params_.use_locks = false;
+  params_.read_chunk_blocks = std::max(params_.read_chunk_blocks,
+                                       nfs_.server_readahead_blocks);
+}
+
+sim::Task<> NfsEngine::server_overhead(std::uint64_t bytes) {
+  auto& server = fabric_.cluster().node(nfs_.server_node);
+  const auto extra = static_cast<sim::Time>(
+      nfs_.server_extra_ns_per_byte * static_cast<double>(bytes));
+  co_await server.compute(nfs_.server_extra_op + extra);
+}
+
+sim::Task<> NfsEngine::control_rpc(int client) {
+  if (client == nfs_.server_node) co_return;
+  auto& cluster = fabric_.cluster();
+  co_await cluster.node(client).cpu_work(cdd::kHeaderBytes);
+  co_await cluster.network().transmit(client, nfs_.server_node,
+                                      cdd::kHeaderBytes);
+  co_await cluster.node(nfs_.server_node).cpu_work(cdd::kHeaderBytes);
+  co_await cluster.network().transmit(nfs_.server_node, client,
+                                      cdd::kHeaderBytes);
+  co_await cluster.node(client).cpu_work(cdd::kHeaderBytes);
+}
+
+sim::Task<> NfsEngine::read_chunk(int client, std::uint64_t lba,
+                                  std::uint32_t nblocks,
+                                  std::span<std::byte> out) {
+  co_await control_rpc(client);
+  co_await server_overhead(static_cast<std::uint64_t>(nblocks) *
+                           block_bytes());
+  co_await ArrayController::read_chunk(client, lba, nblocks, out);
+}
+
+sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
+                                   std::span<const std::byte> data) {
+  co_await control_rpc(client);
+  co_await server_overhead(data.size());
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  auto extents = mapped_extents(lba, nblocks);
+  sim::Joiner join(sim());
+  auto write_extent = [](NfsEngine* self, int c, block::PhysExtent e,
+                         std::vector<std::byte> p) -> sim::Task<> {
+    cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
+                                                std::move(p));
+    if (!r.ok) {
+      throw raid::IoError("NFS: server disk " + std::to_string(e.disk) +
+                          " failed");
+    }
+  };
+  for (auto& me : extents) {
+    std::vector<std::byte> payload(
+        static_cast<std::size_t>(me.extent.nblocks) * bs);
+    for (std::uint32_t i = 0; i < me.extent.nblocks; ++i) {
+      auto src = data.subspan(
+          static_cast<std::size_t>(me.lbas[i] - lba) * bs, bs);
+      std::copy(src.begin(), src.end(),
+                payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+    }
+    join.spawn(write_extent(this, client, me.extent, std::move(payload)));
+  }
+  co_await join.wait();
+}
+
+}  // namespace raidx::nfs

@@ -1,0 +1,82 @@
+// Central-server NFS baseline.
+//
+// The paper's fourth I/O architecture: a conventional client/server setup
+// where every client's file traffic funnels through one node's NFS daemon
+// and that node's locally attached disks.  Two structural penalties follow,
+// both visible in Fig. 5/6:
+//  * the server's single network port and single CPU serialize all clients
+//    (aggregate bandwidth flattens near one link's worth);
+//  * each request crosses address spaces twice on the server (daemon
+//    user/kernel copies), modeled as extra per-byte CPU work on top of the
+//    common kernel path.
+// Storage is the server's k local disks, striped round-robin.
+#pragma once
+
+#include "raid/controller.hpp"
+
+namespace raidx::nfs {
+
+struct NfsParams {
+  int server_node = 0;
+  /// Extra per-byte server CPU (user-space daemon copies, RPC decode).
+  double server_extra_ns_per_byte = 30.0;
+  /// Extra fixed server CPU per request (lookup, attributes, cache probe).
+  sim::Time server_extra_op = sim::microseconds(400);
+  /// Server-side readahead: the NFS daemon issues contiguous disk reads of
+  /// this many blocks per client stream (Linux page-cache readahead),
+  /// which is what keeps one disk serving many streams above pure
+  /// seek-per-block rates.
+  std::uint32_t server_readahead_blocks = 4;
+};
+
+/// Striping over the server's local disks only.
+class NfsLayout : public raid::Layout {
+ public:
+  NfsLayout(block::ArrayGeometry geo, int server_node)
+      : Layout(geo), server_(server_node) {}
+
+  std::string name() const override { return "NFS"; }
+  std::uint64_t logical_blocks() const override {
+    return static_cast<std::uint64_t>(geo_.disks_per_node) *
+           geo_.blocks_per_disk;
+  }
+  block::PhysBlock data_location(std::uint64_t lba) const override {
+    const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+    const int row = static_cast<int>(lba % k);
+    return block::PhysBlock{geo_.disk_id(row, server_), lba / k};
+  }
+  std::uint32_t stripe_width() const override {
+    return static_cast<std::uint32_t>(geo_.disks_per_node);
+  }
+
+ private:
+  int server_;
+};
+
+class NfsEngine : public raid::ArrayController {
+ public:
+  NfsEngine(cdd::CddFabric& fabric, raid::EngineParams engine_params = {},
+            NfsParams nfs_params = {});
+
+  const raid::Layout& layout() const override { return layout_; }
+  int server_node() const { return nfs_.server_node; }
+
+ protected:
+  sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
+                         std::span<std::byte> out) override;
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+
+ private:
+  /// The daemon-side surcharge for one request over `bytes` of payload.
+  sim::Task<> server_overhead(std::uint64_t bytes);
+
+  /// The per-request control traffic NFSv2 pays before moving data: a
+  /// lookup/getattr round trip through the server's port and CPU.
+  sim::Task<> control_rpc(int client);
+
+  NfsParams nfs_;
+  NfsLayout layout_;
+};
+
+}  // namespace raidx::nfs

@@ -1,0 +1,827 @@
+#include "raid/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace raidx::raid {
+
+namespace {
+
+void xor_into(std::span<std::byte> acc, std::span<const std::byte> src) {
+  assert(acc.size() == src.size());
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
+}
+
+std::vector<std::byte> to_vector(std::span<const std::byte> s) {
+  return std::vector<std::byte>(s.begin(), s.end());
+}
+
+}  // namespace
+
+ArrayController::ArrayController(cdd::CddFabric& fabric, EngineParams params)
+    : fabric_(fabric), params_(params) {}
+
+std::vector<ArrayController::MappedExtent> ArrayController::mapped_extents(
+    std::uint64_t lba, std::uint32_t nblocks) const {
+  std::vector<MappedExtent> extents;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    const block::PhysBlock pb = layout().data_location(lba + i);
+    bool merged = false;
+    for (auto& e : extents) {
+      if (e.extent.disk == pb.disk &&
+          e.extent.offset + e.extent.nblocks == pb.offset) {
+        ++e.extent.nblocks;
+        e.lbas.push_back(lba + i);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      extents.push_back(MappedExtent{block::PhysExtent{pb.disk, pb.offset, 1},
+                                     {lba + i}});
+    }
+  }
+  return extents;
+}
+
+sim::Task<> ArrayController::xor_cpu(int client, std::uint64_t bytes) {
+  const auto t = static_cast<sim::Time>(params_.xor_ns_per_byte *
+                                        static_cast<double>(bytes));
+  co_await fabric_.cluster().node(client).compute(t);
+}
+
+sim::Task<> ArrayController::windowed_op(sim::Task<> op,
+                                         sim::Resource& window,
+                                         sim::Latch& done,
+                                         std::exception_ptr& error) {
+  auto slot = co_await window.acquire();
+  try {
+    co_await std::move(op);
+  } catch (...) {
+    if (!error) error = std::current_exception();
+  }
+  slot.release();
+  done.count_down();
+}
+
+sim::Task<> ArrayController::read(int client, std::uint64_t lba,
+                                  std::uint32_t nblocks,
+                                  std::span<std::byte> out) {
+  if (nblocks == 0) co_return;
+  if (lba + nblocks > logical_blocks()) {
+    throw IoError("read beyond end of " + name());
+  }
+  assert(out.size() == static_cast<std::size_t>(nblocks) * block_bytes());
+
+  sim::Resource window(sim(), params_.read_window);
+  sim::Latch done(sim(), 0);
+  std::exception_ptr error;
+  const std::uint32_t chunk = std::max(1u, params_.read_chunk_blocks);
+  const std::uint32_t bs = block_bytes();
+
+  for (std::uint32_t off = 0; off < nblocks; off += chunk) {
+    const std::uint32_t n = std::min(chunk, nblocks - off);
+    auto sub = out.subspan(static_cast<std::size_t>(off) * bs,
+                           static_cast<std::size_t>(n) * bs);
+    done.add(1);
+    sim().spawn(
+        windowed_op(read_chunk(client, lba + off, n, sub), window, done,
+                    error));
+  }
+  co_await done.wait();
+  if (error) std::rethrow_exception(error);
+}
+
+sim::Task<> ArrayController::write(int client, std::uint64_t lba,
+                                   std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  assert(data.size() % bs == 0);
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  if (nblocks == 0) co_return;
+  if (lba + nblocks > logical_blocks()) {
+    throw IoError("write beyond end of " + name());
+  }
+
+  std::vector<std::uint64_t> groups;
+  const std::uint64_t owner =
+      params_.use_locks ? fabric_.next_lock_owner() : 0;
+  if (params_.use_locks) {
+    for (std::uint64_t b = lba; b < lba + nblocks; ++b) {
+      const std::uint64_t g = lock_group_of(b);
+      if (groups.empty() || groups.back() != g) groups.push_back(g);
+    }
+    co_await fabric_.lock_groups(client, groups, owner);
+  }
+
+  std::exception_ptr error;
+  {
+    sim::Resource window(sim(), params_.write_window);
+    sim::Latch done(sim(), 0);
+    const std::uint32_t width = layout().stripe_width();
+    std::uint64_t pos = lba;
+    const std::uint64_t end = lba + nblocks;
+    while (pos < end) {
+      const std::uint64_t stripe_end = (pos / width + 1) * width;
+      const std::uint64_t chunk_end = std::min(end, stripe_end);
+      auto sub = data.subspan(static_cast<std::size_t>(pos - lba) * bs,
+                              static_cast<std::size_t>(chunk_end - pos) * bs);
+      done.add(1);
+      sim().spawn(
+          windowed_op(write_chunk(client, pos, sub), window, done, error));
+      pos = chunk_end;
+    }
+    co_await done.wait();
+  }
+
+  if (params_.use_locks) {
+    co_await fabric_.unlock_groups(client, std::move(groups), owner);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+sim::Task<> ArrayController::read_chunk(int client, std::uint64_t lba,
+                                        std::uint32_t nblocks,
+                                        std::span<std::byte> out) {
+  auto extents = mapped_extents(lba, nblocks);
+  sim::Joiner join(sim());
+  for (auto& me : extents) {
+    join.spawn(read_extent_into(client, me.extent, me.lbas, lba, out));
+  }
+  co_await join.wait();
+}
+
+sim::Task<> ArrayController::read_extent_into(
+    int client, block::PhysExtent extent,
+    std::span<const std::uint64_t> lbas, std::uint64_t chunk_lba,
+    std::span<std::byte> out) {
+  const std::uint32_t bs = block_bytes();
+  cdd::Reply reply =
+      co_await fabric_.read(client, extent.disk, extent.offset,
+                            extent.nblocks);
+  for (std::uint32_t i = 0; i < extent.nblocks; ++i) {
+    auto dst = out.subspan(
+        static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
+    if (reply.ok) {
+      std::copy_n(reply.data.begin() + static_cast<std::ptrdiff_t>(i) * bs,
+                  bs, dst.begin());
+    } else {
+      std::vector<std::byte> rec = co_await degraded_read_block(client,
+                                                                lbas[i]);
+      std::copy(rec.begin(), rec.end(), dst.begin());
+    }
+  }
+}
+
+void ArrayController::preload(std::uint64_t lba,
+                              std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  assert(data.size() % bs == 0);
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  auto& cluster = fabric_.cluster();
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    auto blockdata = data.subspan(static_cast<std::size_t>(i) * bs, bs);
+    const block::PhysBlock pb = layout().data_location(lba + i);
+    cluster.disk(pb.disk).write_data(pb.offset, blockdata);
+    for (const block::PhysBlock& m : layout().mirror_locations(lba + i)) {
+      cluster.disk(m.disk).write_data(m.offset, blockdata);
+    }
+  }
+}
+
+sim::Task<std::vector<std::byte>> ArrayController::degraded_read_block(
+    int client, std::uint64_t lba) {
+  (void)client;
+  throw IoError(name() + ": block " + std::to_string(lba) +
+                " lost (no redundancy)");
+  co_return std::vector<std::byte>{};  // unreachable
+}
+
+// ---------------------------------------------------------------- RAID-0 --
+
+Raid0Controller::Raid0Controller(cdd::CddFabric& fabric, EngineParams params)
+    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+
+sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
+                                         std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  auto extents = mapped_extents(lba, nblocks);
+  sim::Joiner join(sim());
+  auto write_extent = [](Raid0Controller* self, int c, block::PhysExtent e,
+                         std::vector<std::byte> p) -> sim::Task<> {
+    cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
+                                                std::move(p));
+    if (!r.ok) {
+      throw IoError("RAID-0: write hit failed disk " +
+                    std::to_string(e.disk));
+    }
+  };
+  for (auto& me : extents) {
+    std::vector<std::byte> payload(
+        static_cast<std::size_t>(me.extent.nblocks) * bs);
+    for (std::uint32_t i = 0; i < me.extent.nblocks; ++i) {
+      auto src = data.subspan(
+          static_cast<std::size_t>(me.lbas[i] - lba) * bs, bs);
+      std::copy(src.begin(), src.end(),
+                payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+    }
+    join.spawn(write_extent(this, client, me.extent, std::move(payload)));
+  }
+  co_await join.wait();
+}
+
+// ---------------------------------------------------------------- RAID-5 --
+
+Raid5Controller::Raid5Controller(cdd::CddFabric& fabric, EngineParams params)
+    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+
+sim::Task<> Raid5Controller::read_chunk(int client, std::uint64_t lba,
+                                        std::uint32_t nblocks,
+                                        std::span<std::byte> out) {
+  co_await ArrayController::read_chunk(client, lba, nblocks, out);
+  if (params_.verify_parity_on_read) {
+    // Fetch the parity of each covered stripe alongside the data (Table 1:
+    // "parity checks" reliability) and charge the XOR comparison.
+    sim::Joiner join(sim());
+    auto read_parity = [](Raid5Controller* self, int c,
+                          block::PhysBlock pb) -> sim::Task<> {
+      co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+    };
+    std::uint64_t first = layout_.stripe_of(lba);
+    std::uint64_t last = layout_.stripe_of(lba + nblocks - 1);
+    for (std::uint64_t s = first; s <= last; ++s) {
+      join.spawn(read_parity(this, client, layout_.parity_location(s)));
+    }
+    co_await join.wait();
+  }
+  // Client-side parity bookkeeping cost of the software RAID-5 path.
+  co_await xor_cpu(client, static_cast<std::uint64_t>(nblocks) *
+                               block_bytes());
+}
+
+sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
+                                         std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  const std::uint32_t width = layout_.stripe_width();
+  if (params_.raid5_full_stripe_writes && lba % width == 0 &&
+      nblocks == width) {
+    co_await full_stripe_write(client, layout_.stripe_of(lba), data);
+  } else if (params_.raid5_full_stripe_writes) {
+    co_await rmw_write(client, lba, data);
+  } else {
+    // Per-block read-modify-write: the request stream a 1999 block layer
+    // hands the driver.  Blocks go one at a time; each pays the 4-op RMW
+    // and they contend on the stripe's parity disk -- the small-write
+    // problem, now also visible on large sequential writes.
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      co_await rmw_write(client, lba + i,
+                         data.subspan(static_cast<std::size_t>(i) *
+                                          block_bytes(),
+                                      block_bytes()));
+    }
+  }
+}
+
+sim::Task<> Raid5Controller::full_stripe_write(
+    int client, std::uint64_t stripe, std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const std::uint32_t width = layout_.stripe_width();
+  const std::uint64_t first = layout_.stripe_first_lba(stripe);
+
+  std::vector<std::byte> parity(bs, std::byte{0});
+  for (std::uint32_t j = 0; j < width; ++j) {
+    xor_into(parity, data.subspan(static_cast<std::size_t>(j) * bs, bs));
+  }
+  co_await xor_cpu(client, data.size());
+
+  sim::Joiner join(sim());
+  auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                      std::vector<std::byte> payload) -> sim::Task<> {
+    cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
+                                                std::move(payload));
+    (void)r;  // a failed disk is tolerated; parity or data covers it
+  };
+  for (std::uint32_t j = 0; j < width; ++j) {
+    join.spawn(write_one(this, client, layout_.data_location(first + j),
+                         to_vector(data.subspan(
+                             static_cast<std::size_t>(j) * bs, bs))));
+  }
+  join.spawn(write_one(this, client, layout_.parity_location(stripe),
+                       std::move(parity)));
+  co_await join.wait();
+}
+
+sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
+                                       std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  const std::uint64_t stripe = layout_.stripe_of(lba);
+  assert(layout_.stripe_of(lba + nblocks - 1) == stripe &&
+         "write_chunk never crosses a stripe");
+
+  // Read old data and old parity in parallel.
+  std::vector<cdd::Reply> old_data(nblocks);
+  cdd::Reply old_parity;
+  {
+    sim::Joiner join(sim());
+    auto read_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                       cdd::Reply* out) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+    };
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      join.spawn(read_one(this, client, layout_.data_location(lba + i),
+                          &old_data[i]));
+    }
+    join.spawn(read_one(this, client, layout_.parity_location(stripe),
+                        &old_parity));
+    co_await join.wait();
+  }
+
+  const bool target_failed = std::any_of(
+      old_data.begin(), old_data.end(),
+      [](const cdd::Reply& r) { return !r.ok; });
+
+  std::vector<std::byte> parity(bs, std::byte{0});
+  if (!target_failed && old_parity.ok) {
+    // Classic RMW: new_parity = old_parity ^ old_data ^ new_data.
+    parity = std::move(old_parity.data);
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      xor_into(parity, old_data[i].data);
+      xor_into(parity,
+               data.subspan(static_cast<std::size_t>(i) * bs, bs));
+    }
+    co_await xor_cpu(client, 3 * data.size());
+  } else {
+    // Degraded reconstruct-write: parity = XOR of every live data block of
+    // the stripe with the new contents substituted in.
+    const std::uint32_t width = layout_.stripe_width();
+    const std::uint64_t first = layout_.stripe_first_lba(stripe);
+    sim::Joiner join(sim());
+    std::vector<cdd::Reply> others(width);
+    std::vector<char> was_read(width, 0);
+    auto read_other = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                         cdd::Reply* out) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+    };
+    for (std::uint32_t j = 0; j < width; ++j) {
+      const std::uint64_t b = first + j;
+      if (b >= lba && b < lba + nblocks) continue;  // being overwritten
+      was_read[j] = 1;
+      join.spawn(read_other(this, client, layout_.data_location(b),
+                            &others[j]));
+    }
+    co_await join.wait();
+    for (std::uint32_t j = 0; j < width; ++j) {
+      const std::uint64_t b = first + j;
+      if (b >= lba && b < lba + nblocks) {
+        xor_into(parity, data.subspan(
+                             static_cast<std::size_t>(b - lba) * bs, bs));
+      } else if (was_read[j]) {
+        if (!others[j].ok) {
+          throw IoError("RAID-5: double failure in stripe " +
+                        std::to_string(stripe));
+        }
+        xor_into(parity, others[j].data);
+      }
+    }
+    co_await xor_cpu(client,
+                     static_cast<std::uint64_t>(width) * bs);
+  }
+
+  // Write new data and new parity in parallel.
+  {
+    sim::Joiner join(sim());
+    auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                        std::vector<std::byte> payload) -> sim::Task<> {
+      co_await self->fabric_.write(c, pb.disk, pb.offset,
+                                   std::move(payload));
+    };
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      join.spawn(write_one(
+          this, client, layout_.data_location(lba + i),
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs))));
+    }
+    join.spawn(write_one(this, client, layout_.parity_location(stripe),
+                         std::move(parity)));
+    co_await join.wait();
+  }
+}
+
+void Raid5Controller::preload(std::uint64_t lba,
+                              std::span<const std::byte> data) {
+  ArrayController::preload(lba, data);
+  // Recompute the parity of every touched stripe from the placed contents.
+  const std::uint32_t bs = block_bytes();
+  const std::uint32_t width = layout_.stripe_width();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  auto& cluster = fabric_.cluster();
+  const std::uint64_t first_stripe = layout_.stripe_of(lba);
+  const std::uint64_t last_stripe = layout_.stripe_of(lba + nblocks - 1);
+  for (std::uint64_t s = first_stripe; s <= last_stripe; ++s) {
+    std::vector<std::byte> parity(bs, std::byte{0});
+    for (std::uint32_t j = 0; j < width; ++j) {
+      const block::PhysBlock pb =
+          layout_.data_location(layout_.stripe_first_lba(s) + j);
+      const auto blk = cluster.disk(pb.disk).read_data(pb.offset, 1);
+      xor_into(parity, blk);
+    }
+    const block::PhysBlock pp = layout_.parity_location(s);
+    cluster.disk(pp.disk).write_data(pp.offset, parity);
+  }
+}
+
+sim::Task<std::vector<std::byte>> Raid5Controller::degraded_read_block(
+    int client, std::uint64_t lba) {
+  const std::uint32_t bs = block_bytes();
+  const std::uint32_t width = layout_.stripe_width();
+  const std::uint64_t stripe = layout_.stripe_of(lba);
+  const std::uint64_t first = layout_.stripe_first_lba(stripe);
+
+  std::vector<cdd::Reply> replies(width + 1);
+  sim::Joiner join(sim());
+  auto read_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                     cdd::Reply* out) -> sim::Task<> {
+    *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+  };
+  std::size_t slot = 0;
+  for (std::uint32_t j = 0; j < width; ++j) {
+    const std::uint64_t b = first + j;
+    if (b == lba) continue;
+    join.spawn(read_one(this, client, layout_.data_location(b),
+                        &replies[slot++]));
+  }
+  join.spawn(read_one(this, client, layout_.parity_location(stripe),
+                      &replies[slot++]));
+  co_await join.wait();
+
+  std::vector<std::byte> out(bs, std::byte{0});
+  for (std::size_t i = 0; i < slot; ++i) {
+    if (!replies[i].ok) {
+      throw IoError("RAID-5: double failure reconstructing block " +
+                    std::to_string(lba));
+    }
+    xor_into(out, replies[i].data);
+  }
+  co_await xor_cpu(client, static_cast<std::uint64_t>(slot) * bs);
+  co_return out;
+}
+
+// --------------------------------------------------------------- RAID-10 --
+
+Raid10Controller::Raid10Controller(cdd::CddFabric& fabric,
+                                   EngineParams params)
+    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+
+sim::Task<> Raid10Controller::read_chunk(int client, std::uint64_t lba,
+                                         std::uint32_t nblocks,
+                                         std::span<std::byte> out) {
+  if (!params_.balance_mirror_reads) {
+    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_return;
+  }
+  auto extents = mapped_extents(lba, nblocks);
+  sim::Joiner join(sim());
+  for (auto& me : extents) {
+    // Alternate copies by physical offset so a sequential scan spreads
+    // evenly over the primary and the chained backup.
+    const bool use_mirror = (me.extent.offset % 2) == 1;
+    join.spawn(balanced_read_extent(client, me.extent, use_mirror, me.lbas,
+                                    lba, out));
+  }
+  co_await join.wait();
+}
+
+sim::Task<> Raid10Controller::balanced_read_extent(
+    int client, block::PhysExtent primary, bool use_mirror,
+    std::span<const std::uint64_t> lbas, std::uint64_t chunk_lba,
+    std::span<std::byte> out) {
+  const std::uint32_t bs = block_bytes();
+  block::PhysExtent target = primary;
+  if (use_mirror) {
+    const block::PhysBlock m = layout_.mirror_locations(lbas[0])[0];
+    target = block::PhysExtent{m.disk, m.offset, primary.nblocks};
+  }
+  cdd::Reply reply = co_await fabric_.read(client, target.disk,
+                                           target.offset, target.nblocks);
+  for (std::uint32_t i = 0; i < target.nblocks; ++i) {
+    auto dst = out.subspan(
+        static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
+    if (reply.ok) {
+      std::copy_n(reply.data.begin() + static_cast<std::ptrdiff_t>(i) * bs,
+                  bs, dst.begin());
+      continue;
+    }
+    // The chosen copy's disk failed: read the other copy of this block.
+    const block::PhysBlock other =
+        use_mirror ? layout_.data_location(lbas[i])
+                   : layout_.mirror_locations(lbas[i])[0];
+    cdd::Reply fallback =
+        co_await fabric_.read(client, other.disk, other.offset, 1);
+    if (!fallback.ok) {
+      throw IoError("RAID-10: both copies of block " +
+                    std::to_string(lbas[i]) + " unavailable");
+    }
+    std::copy(fallback.data.begin(), fallback.data.end(), dst.begin());
+  }
+}
+
+sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
+                                          std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+
+  // Chained declustering updates both copies synchronously; the mirror of
+  // each block sits on a *different* disk, so a stripe write costs every
+  // disk one data write plus one scattered mirror write (Table 2: nB/2).
+  sim::Joiner join(sim());
+  auto write_one = [](Raid10Controller* self, int c, block::PhysBlock pb,
+                      std::vector<std::byte> payload,
+                      char* ok) -> sim::Task<> {
+    cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
+                                                std::move(payload));
+    *ok = r.ok ? 1 : 0;
+  };
+  std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
+    join.spawn(write_one(this, client, layout_.data_location(lba + i),
+                         to_vector(blockspan), &pok[i]));
+    join.spawn(write_one(this, client,
+                         layout_.mirror_locations(lba + i)[0],
+                         to_vector(blockspan), &mok[i]));
+  }
+  co_await join.wait();
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    if (!pok[i] && !mok[i]) {
+      throw IoError("RAID-10: both copies of block " +
+                    std::to_string(lba + i) + " failed");
+    }
+  }
+}
+
+sim::Task<std::vector<std::byte>> Raid10Controller::degraded_read_block(
+    int client, std::uint64_t lba) {
+  const block::PhysBlock mirror = layout_.mirror_locations(lba)[0];
+  cdd::Reply r = co_await fabric_.read(client, mirror.disk, mirror.offset, 1);
+  if (!r.ok) {
+    throw IoError("RAID-10: both copies of block " + std::to_string(lba) +
+                  " unavailable");
+  }
+  co_return std::move(r.data);
+}
+
+// ---------------------------------------------------------------- RAID-1 --
+
+Raid1Controller::Raid1Controller(cdd::CddFabric& fabric, EngineParams params)
+    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+
+sim::Task<> Raid1Controller::read_chunk(int client, std::uint64_t lba,
+                                        std::uint32_t nblocks,
+                                        std::span<std::byte> out) {
+  if (!params_.balance_mirror_reads) {
+    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_return;
+  }
+  // Balance over the pair: even physical offsets from the primary, odd
+  // from the partner (both copies live at identical offsets).
+  auto extents = mapped_extents(lba, nblocks);
+  sim::Joiner join(sim());
+  auto read_copy = [](Raid1Controller* self, int c, block::PhysExtent e,
+                      std::span<const std::uint64_t> lbas,
+                      std::uint64_t chunk_lba,
+                      std::span<std::byte> dst) -> sim::Task<> {
+    co_await self->read_extent_into(c, e, lbas, chunk_lba, dst);
+  };
+  for (auto& me : extents) {
+    block::PhysExtent e = me.extent;
+    if (e.offset % 2 == 1) e.disk += 1;  // partner copy
+    join.spawn(read_copy(this, client, e, me.lbas, lba, out));
+  }
+  co_await join.wait();
+}
+
+sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
+                                         std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  sim::Joiner join(sim());
+  auto write_one = [](Raid1Controller* self, int c, block::PhysBlock pb,
+                      std::vector<std::byte> payload,
+                      char* ok) -> sim::Task<> {
+    cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
+                                                std::move(payload));
+    *ok = r.ok ? 1 : 0;
+  };
+  std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
+    join.spawn(write_one(this, client, layout_.data_location(lba + i),
+                         to_vector(blockspan), &pok[i]));
+    join.spawn(write_one(this, client, layout_.mirror_locations(lba + i)[0],
+                         to_vector(blockspan), &mok[i]));
+  }
+  co_await join.wait();
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    if (!pok[i] && !mok[i]) {
+      throw IoError("RAID-1: both copies of block " +
+                    std::to_string(lba + i) + " failed");
+    }
+  }
+}
+
+sim::Task<std::vector<std::byte>> Raid1Controller::degraded_read_block(
+    int client, std::uint64_t lba) {
+  // Try the partner copy; if the chosen copy was already the partner
+  // (balanced reads), the primary serves instead.
+  const block::PhysBlock primary = layout_.data_location(lba);
+  const block::PhysBlock partner = layout_.mirror_locations(lba)[0];
+  for (const block::PhysBlock& pb : {partner, primary}) {
+    cdd::Reply r = co_await fabric_.read(client, pb.disk, pb.offset, 1);
+    if (r.ok) co_return std::move(r.data);
+  }
+  throw IoError("RAID-1: pair of block " + std::to_string(lba) + " lost");
+}
+
+// ---------------------------------------------------------------- RAID-x --
+
+RaidxController::RaidxController(cdd::CddFabric& fabric, EngineParams params)
+    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+
+sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
+                                        std::uint32_t nblocks,
+                                        std::span<std::byte> out) {
+  if (!params_.balance_mirror_reads || nblocks != 1) {
+    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_return;
+  }
+  // Spread single-block reads over the two copies; fall back to the other
+  // copy if the chosen one is unavailable.
+  const bool use_image = (lba % 2) == 1;
+  const block::PhysBlock data_pb = layout_.data_location(lba);
+  const block::PhysBlock image_pb = layout_.mirror_locations(lba)[0];
+  const block::PhysBlock first = use_image ? image_pb : data_pb;
+  const block::PhysBlock second = use_image ? data_pb : image_pb;
+  cdd::Reply r = co_await fabric_.read(client, first.disk, first.offset, 1);
+  if (!r.ok) {
+    r = co_await fabric_.read(client, second.disk, second.offset, 1);
+  }
+  if (!r.ok) {
+    throw IoError("RAID-x: data and image of block " + std::to_string(lba) +
+                  " both unavailable");
+  }
+  std::copy(r.data.begin(), r.data.end(), out.begin());
+}
+
+sim::Task<> RaidxController::background(sim::Task<> op) {
+  ++background_in_flight_;
+  try {
+    co_await std::move(op);
+  } catch (...) {
+    // Background image flushes tolerate failed disks; the rebuild engine
+    // re-establishes redundancy.
+  }
+  --background_in_flight_;
+}
+
+sim::Task<> RaidxController::flush_stripe_images(
+    int client, std::uint64_t stripe, std::vector<std::byte> stripe_data) {
+  const std::uint32_t bs = block_bytes();
+  const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+  const std::uint64_t first = layout_.stripe_first_lba(stripe);
+
+  if (params_.clustered_images) {
+    // One long sequential write of the n-1 clustered images...
+    std::vector<std::byte> run(
+        static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+    for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+      const std::uint64_t lba = imgs.clustered_lbas[i];
+      std::copy_n(stripe_data.begin() +
+                      static_cast<std::ptrdiff_t>(lba - first) * bs,
+                  bs, run.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+    }
+    sim::Joiner join(sim());
+    auto write_run = [](RaidxController* self, int c, block::PhysExtent e,
+                        std::vector<std::byte> p) -> sim::Task<> {
+      co_await self->fabric_.write(c, e.disk, e.offset, std::move(p),
+                                   disk::IoPriority::kBackground);
+    };
+    auto write_neighbor = [](RaidxController* self, int c,
+                             block::PhysBlock pb,
+                             std::vector<std::byte> p) -> sim::Task<> {
+      co_await self->fabric_.write(c, pb.disk, pb.offset, std::move(p),
+                                   disk::IoPriority::kBackground);
+    };
+    join.spawn(write_run(this, client, imgs.clustered, std::move(run)));
+    // ...plus the single neighbor image.
+    std::vector<std::byte> nb(
+        stripe_data.begin() +
+            static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first) * bs,
+        stripe_data.begin() +
+            static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first + 1) * bs);
+    join.spawn(write_neighbor(this, client, imgs.neighbor, std::move(nb)));
+    co_await join.wait();
+  } else {
+    // Ablation: scatter n individual image writes (declustering-style).
+    sim::Joiner join(sim());
+    for (std::uint32_t j = 0;
+         j < static_cast<std::uint32_t>(layout_.geometry().nodes); ++j) {
+      const std::uint64_t lba = first + j;
+      join.spawn(flush_block_image(
+          client, lba,
+          std::vector<std::byte>(
+              stripe_data.begin() + static_cast<std::ptrdiff_t>(j) * bs,
+              stripe_data.begin() +
+                  static_cast<std::ptrdiff_t>(j + 1) * bs)));
+    }
+    co_await join.wait();
+  }
+}
+
+sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
+                                               std::vector<std::byte> data) {
+  const block::PhysBlock img = layout_.mirror_locations(lba)[0];
+  co_await fabric_.write(client, img.disk, img.offset, std::move(data),
+                         disk::IoPriority::kBackground);
+}
+
+sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
+                                         std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  const std::uint32_t width = layout_.stripe_width();
+  const bool full_stripe = (lba % width == 0 && nblocks == width);
+
+  // Foreground: the data blocks, striped in parallel.
+  std::vector<char> ok(nblocks, 0);
+  {
+    sim::Joiner join(sim());
+    auto write_one = [](RaidxController* self, int c, block::PhysBlock pb,
+                        std::vector<std::byte> payload,
+                        char* ok_out) -> sim::Task<> {
+      cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
+                                                  std::move(payload));
+      *ok_out = r.ok ? 1 : 0;
+    };
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      join.spawn(write_one(
+          this, client, layout_.data_location(lba + i),
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
+          &ok[i]));
+    }
+    co_await join.wait();
+  }
+
+  // Any block whose data disk failed gets its image written in the
+  // foreground -- the image is then the only durable copy.
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    if (!ok[i]) {
+      cdd::Reply r;
+      const block::PhysBlock img = layout_.mirror_locations(lba + i)[0];
+      r = co_await fabric_.write(
+          client, img.disk, img.offset,
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)));
+      if (!r.ok) {
+        throw IoError("RAID-x: block " + std::to_string(lba + i) +
+                      " lost data disk and image disk");
+      }
+    }
+  }
+
+  // Mirror images -- deferred to the background (the OSM trick), unless the
+  // ablation runs them synchronously.
+  if (full_stripe) {
+    auto flush = flush_stripe_images(client, layout_.stripe_of(lba),
+                                     to_vector(data));
+    if (params_.background_mirrors) {
+      sim().spawn(background(std::move(flush)));
+    } else {
+      co_await std::move(flush);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      if (!ok[i]) continue;  // already written in the foreground
+      auto flush = flush_block_image(
+          client, lba + i,
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)));
+      if (params_.background_mirrors) {
+        sim().spawn(background(std::move(flush)));
+      } else {
+        co_await std::move(flush);
+      }
+    }
+  }
+}
+
+sim::Task<std::vector<std::byte>> RaidxController::degraded_read_block(
+    int client, std::uint64_t lba) {
+  const block::PhysBlock img = layout_.mirror_locations(lba)[0];
+  cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1);
+  if (!r.ok) {
+    throw IoError("RAID-x: data and image of block " + std::to_string(lba) +
+                  " both unavailable");
+  }
+  co_return std::move(r.data);
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,325 @@
+// Array controllers: execute logical I/O against a layout through the CDDs.
+//
+// The controller plays the role of the paper's client-side driver logic: it
+// splits a logical request into per-disk operations, fans them out through
+// the cooperative disk drivers (local fast path or remote RPC), enforces
+// write consistency via lock groups, and implements each level's redundancy
+// protocol -- RAID-5 read-modify-write, RAID-10 synchronous dual writes,
+// RAID-x foreground data + background clustered image flushes.
+//
+// Client request streaming models the 1999 Linux client stack: a request
+// stream is chopped into chunks with a bounded window of outstanding chunks
+// (kernel readahead / request-queue depth), which is what keeps a single
+// client well below the array's aggregate bandwidth, as the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cdd/cdd.hpp"
+#include "raid/layout.hpp"
+#include "raid/raid0.hpp"
+#include "raid/raid1.hpp"
+#include "raid/raid10.hpp"
+#include "raid/raid5.hpp"
+#include "raid/raidx.hpp"
+#include "sim/join.hpp"
+#include "sim/task.hpp"
+
+namespace raidx::raid {
+
+struct EngineParams {
+  /// Blocks per read chunk issued by a client stream.
+  std::uint32_t read_chunk_blocks = 1;
+  /// Outstanding read chunks per stream (readahead window).
+  int read_window = 2;
+  /// Outstanding write chunks per stream.
+  int write_window = 2;
+  /// Acquire lock-group write locks around writes (the consistency module).
+  bool use_locks = true;
+  /// RAID-5: fetch and check parity on reads (Table 1: "parity checks").
+  /// Off by default (md-style reads); on as an ablation.
+  bool verify_parity_on_read = false;
+  /// RAID-5: assemble full-stripe writes to skip read-modify-write.  A
+  /// 1999 driver with 16 x 32 KB = 512 KB stripes could not aggregate that
+  /// much per request (128 KB request-merge ceiling), so the faithful
+  /// default is per-block RMW; flip on as a modern-aggregation ablation.
+  bool raid5_full_stripe_writes = false;
+  /// RAID-x: flush mirror images in the background (OSM).  Off = ablation:
+  /// images written synchronously in the foreground.
+  bool background_mirrors = true;
+  /// RAID-x: cluster a stripe's images into one long write.  Off =
+  /// ablation: n-1 scattered single-block image writes (chained-
+  /// declustering style placement cost).
+  bool clustered_images = true;
+  /// RAID-10: spread reads over primary and mirror copies.
+  bool balance_mirror_reads = false;
+  /// Client-side XOR cost for parity math (400 MHz-era ~10 ns/byte).
+  double xor_ns_per_byte = 10.0;
+};
+
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The block-level API workloads program against: a logical volume
+/// addressed in blocks, usable from any client node.
+class IoEngine {
+ public:
+  virtual ~IoEngine() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::uint64_t logical_blocks() const = 0;
+  virtual std::uint32_t block_bytes() const = 0;
+
+  /// The simulation this engine's world lives in (for layers above that
+  /// need timers/locks, e.g. the file system).
+  virtual sim::Simulation& simulation() = 0;
+
+  /// Read blocks [lba, lba+nblocks) into `out` (size nblocks*block_bytes),
+  /// on behalf of node `client`.  `out` must outlive the task.
+  virtual sim::Task<> read(int client, std::uint64_t lba,
+                           std::uint32_t nblocks,
+                           std::span<std::byte> out) = 0;
+
+  /// Write `data` (whole blocks) at `lba` on behalf of node `client`.
+  virtual sim::Task<> write(int client, std::uint64_t lba,
+                            std::span<const std::byte> data) = 0;
+};
+
+/// Common machinery for the four layout-backed controllers.
+class ArrayController : public IoEngine {
+ public:
+  ArrayController(cdd::CddFabric& fabric, EngineParams params);
+
+  std::string name() const override { return layout().name(); }
+  std::uint64_t logical_blocks() const override {
+    return layout().logical_blocks();
+  }
+  std::uint32_t block_bytes() const override {
+    return fabric_.cluster().geometry().block_bytes;
+  }
+  sim::Simulation& simulation() override { return fabric_.cluster().sim(); }
+
+  sim::Task<> read(int client, std::uint64_t lba, std::uint32_t nblocks,
+                   std::span<std::byte> out) override;
+  sim::Task<> write(int client, std::uint64_t lba,
+                    std::span<const std::byte> data) override;
+
+  virtual const Layout& layout() const = 0;
+
+  cdd::CddFabric& fabric() { return fabric_; }
+  const EngineParams& params() const { return params_; }
+
+  /// Background (deferred) operations currently in flight -- nonzero only
+  /// for RAID-x with background mirroring.
+  int background_in_flight() const { return background_in_flight_; }
+
+  /// Place data (and redundancy) directly into the disks' byte stores with
+  /// no simulated time -- test/benchmark setup, not an I/O path.
+  virtual void preload(std::uint64_t lba, std::span<const std::byte> data);
+
+ protected:
+  /// One read chunk: contiguous logical blocks, bounded size.
+  virtual sim::Task<> read_chunk(int client, std::uint64_t lba,
+                                 std::uint32_t nblocks,
+                                 std::span<std::byte> out);
+  /// One write chunk: at most one stripe, stripe-aligned when full.
+  virtual sim::Task<> write_chunk(int client, std::uint64_t lba,
+                                  std::span<const std::byte> data) = 0;
+
+  /// Recover one block whose data disk failed; default throws IoError.
+  virtual sim::Task<std::vector<std::byte>> degraded_read_block(
+      int client, std::uint64_t lba);
+
+  /// Lock group covering a logical block.  Default: per-block groups (no
+  /// false sharing between independent writers); RAID-5 overrides with
+  /// per-stripe groups because concurrent read-modify-writes within one
+  /// stripe would race on the parity block.
+  virtual std::uint64_t lock_group_of(std::uint64_t lba) const {
+    return lba;
+  }
+
+  /// Charge client CPU for XOR work over `bytes`.
+  sim::Task<> xor_cpu(int client, std::uint64_t bytes);
+
+  /// Read a contiguous physical extent, retrying per-block through
+  /// degraded_read_block on disk failure.  Results land in `out` at the
+  /// positions given by the extent's logical blocks relative to chunk_lba.
+  sim::Task<> read_extent_into(int client, block::PhysExtent extent,
+                               std::span<const std::uint64_t> lbas,
+                               std::uint64_t chunk_lba,
+                               std::span<std::byte> out);
+
+  sim::Simulation& sim() { return fabric_.cluster().sim(); }
+
+  cdd::CddFabric& fabric_;
+  EngineParams params_;
+  int background_in_flight_ = 0;
+
+  struct MappedExtent {
+    block::PhysExtent extent;
+    std::vector<std::uint64_t> lbas;  // logical block per extent position
+  };
+  std::vector<MappedExtent> mapped_extents(std::uint64_t lba,
+                                           std::uint32_t nblocks) const;
+
+ private:
+  sim::Task<> windowed_op(sim::Task<> op, sim::Resource& window,
+                          sim::Latch& done, std::exception_ptr& error);
+  sim::Task<> locked_write(int client, std::uint64_t lba,
+                           std::span<const std::byte> data);
+};
+
+class Raid0Controller : public ArrayController {
+ public:
+  Raid0Controller(cdd::CddFabric& fabric, EngineParams params = {});
+  const Layout& layout() const override { return layout_; }
+
+ protected:
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+
+ private:
+  Raid0Layout layout_;
+};
+
+class Raid5Controller : public ArrayController {
+ public:
+  Raid5Controller(cdd::CddFabric& fabric, EngineParams params = {});
+  const Layout& layout() const override { return layout_; }
+  const Raid5Layout& raid5() const { return layout_; }
+
+  /// Rebuild a replaced disk's contents from the surviving N-1 disks.
+  /// `max_offset` bounds the sweep (physical stripes rebuilt); the default
+  /// covers the whole disk.
+  sim::Task<> rebuild_disk(int client, int disk_id,
+                           std::uint64_t max_offset = ~0ull);
+
+  /// Direct placement must also keep parity consistent.
+  void preload(std::uint64_t lba, std::span<const std::byte> data) override;
+
+ protected:
+  sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
+                         std::span<std::byte> out) override;
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+  sim::Task<std::vector<std::byte>> degraded_read_block(
+      int client, std::uint64_t lba) override;
+  std::uint64_t lock_group_of(std::uint64_t lba) const override {
+    // Stripe-aligned groups: concurrent partial-stripe writers must never
+    // race on the same parity block.
+    return layout_.stripe_of(lba);
+  }
+
+ private:
+  /// Full-stripe write: XOR parity client-side, one write per disk.
+  sim::Task<> full_stripe_write(int client, std::uint64_t stripe,
+                                std::span<const std::byte> data);
+  /// Partial write inside one stripe: read-modify-write.
+  sim::Task<> rmw_write(int client, std::uint64_t lba,
+                        std::span<const std::byte> data);
+
+  Raid5Layout layout_;
+};
+
+class Raid10Controller : public ArrayController {
+ public:
+  Raid10Controller(cdd::CddFabric& fabric, EngineParams params = {});
+  const Layout& layout() const override { return layout_; }
+
+  /// Re-copy a replaced disk's primary and mirror zones from the chained
+  /// neighbors.  `max_offset` bounds the data-zone rows swept.
+  sim::Task<> rebuild_disk(int client, int disk_id,
+                           std::uint64_t max_offset = ~0ull);
+
+ protected:
+  /// With balance_mirror_reads, alternate extents between the primary and
+  /// the chained backup copy -- Hsiao & DeWitt's load-balancing read path.
+  sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
+                         std::span<std::byte> out) override;
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+  sim::Task<std::vector<std::byte>> degraded_read_block(
+      int client, std::uint64_t lba) override;
+
+ private:
+  /// Balanced read of one extent: possibly redirected to the mirror copy,
+  /// falling back to the other copy per block on failure.
+  sim::Task<> balanced_read_extent(int client, block::PhysExtent primary,
+                                   bool use_mirror,
+                                   std::span<const std::uint64_t> lbas,
+                                   std::uint64_t chunk_lba,
+                                   std::span<std::byte> out);
+
+  Raid10Layout layout_;
+};
+
+/// Mirrored pairs (the conclusion's "we will also consider RAID-1").
+/// Writes hit both copies synchronously at the same offset; reads can
+/// balance over the pair.
+class Raid1Controller : public ArrayController {
+ public:
+  Raid1Controller(cdd::CddFabric& fabric, EngineParams params = {});
+  const Layout& layout() const override { return layout_; }
+
+  /// Re-copy a replaced disk from its pair partner.
+  sim::Task<> rebuild_disk(int client, int disk_id,
+                           std::uint64_t max_offset = ~0ull);
+
+ protected:
+  sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
+                         std::span<std::byte> out) override;
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+  sim::Task<std::vector<std::byte>> degraded_read_block(
+      int client, std::uint64_t lba) override;
+
+ private:
+  Raid1Layout layout_;
+};
+
+class RaidxController : public ArrayController {
+ public:
+  RaidxController(cdd::CddFabric& fabric, EngineParams params = {});
+  const Layout& layout() const override { return layout_; }
+  const RaidxLayout& raidx() const { return layout_; }
+
+  /// Restore a replaced disk: data blocks from their images, image zones
+  /// from the surviving data blocks.  `max_offset` bounds the data-zone
+  /// rows (q) swept.
+  sim::Task<> rebuild_disk(int client, int disk_id,
+                           std::uint64_t max_offset = ~0ull);
+
+ protected:
+  /// With balance_mirror_reads, single-block reads alternate between the
+  /// data block and its image -- the "I/O load balancing" the paper's
+  /// next-phase file system targets.  Multi-block chunks always read the
+  /// data stripe: a stripe's images are clustered on ONE disk, so routing
+  /// a whole stripe at them would serialize what striping parallelizes.
+  sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
+                         std::span<std::byte> out) override;
+  sim::Task<> write_chunk(int client, std::uint64_t lba,
+                          std::span<const std::byte> data) override;
+  sim::Task<std::vector<std::byte>> degraded_read_block(
+      int client, std::uint64_t lba) override;
+
+ private:
+  /// Flush a full stripe's images: one clustered run + one neighbor block.
+  sim::Task<> flush_stripe_images(int client, std::uint64_t stripe,
+                                  std::vector<std::byte> stripe_data);
+  /// Flush a single block's image.
+  sim::Task<> flush_block_image(int client, std::uint64_t lba,
+                                std::vector<std::byte> data);
+  /// Wrapper that tracks background_in_flight_.
+  sim::Task<> background(sim::Task<> op);
+
+  RaidxLayout layout_;
+};
+
+}  // namespace raidx::raid

@@ -1,0 +1,26 @@
+#include "raid/layout.hpp"
+
+namespace raidx::raid {
+
+std::vector<block::PhysExtent> data_extents(const Layout& layout,
+                                            std::uint64_t lba,
+                                            std::uint32_t nblocks) {
+  std::vector<block::PhysExtent> extents;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    const block::PhysBlock pb = layout.data_location(lba + i);
+    bool merged = false;
+    for (auto& e : extents) {
+      if (e.disk == pb.disk && e.offset + e.nblocks == pb.offset) {
+        ++e.nblocks;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      extents.push_back(block::PhysExtent{pb.disk, pb.offset, 1});
+    }
+  }
+  return extents;
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,59 @@
+// Layout policies: how logical blocks map to physical disk blocks.
+//
+// A Layout is pure address arithmetic (no simulation state), so every
+// mapping property -- orthogonality, capacity accounting, contiguity of
+// per-disk runs -- is unit- and property-testable in isolation.  The shared
+// logical addressing follows the paper: block b belongs to stripe group
+// s = b/n at slot j = b%n; stripe groups are laid across disk rows
+// round-robin (row g = s%k), so consecutive groups land on different disks
+// of the same SCSI bus and can be pipelined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "block/sios.hpp"
+
+namespace raidx::raid {
+
+class Layout {
+ public:
+  explicit Layout(block::ArrayGeometry geo) : geo_(geo) {}
+  virtual ~Layout() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Usable logical capacity in blocks.
+  virtual std::uint64_t logical_blocks() const = 0;
+
+  /// Primary (data) location of a logical block.
+  virtual block::PhysBlock data_location(std::uint64_t lba) const = 0;
+
+  /// Redundant copies of the block (empty for RAID-0/RAID-5).
+  virtual std::vector<block::PhysBlock> mirror_locations(
+      std::uint64_t lba) const {
+    (void)lba;
+    return {};
+  }
+
+  const block::ArrayGeometry& geometry() const { return geo_; }
+
+  /// Blocks per full stripe group (the natural write-chunk size).
+  virtual std::uint32_t stripe_width() const {
+    return static_cast<std::uint32_t>(geo_.nodes);
+  }
+
+ protected:
+  block::ArrayGeometry geo_;
+};
+
+/// Merge the data locations of [lba, lba+nblocks) into maximal contiguous
+/// per-disk extents, preserving logical order within each disk.  Large
+/// parallel I/O relies on this: a full-stripe access becomes exactly one
+/// run per disk.
+std::vector<block::PhysExtent> data_extents(const Layout& layout,
+                                            std::uint64_t lba,
+                                            std::uint32_t nblocks);
+
+}  // namespace raidx::raid

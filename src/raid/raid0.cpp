@@ -1,0 +1,18 @@
+#include "raid/raid0.hpp"
+
+#include <cassert>
+
+namespace raidx::raid {
+
+block::PhysBlock Raid0Layout::data_location(std::uint64_t lba) const {
+  assert(lba < logical_blocks());
+  const auto n = static_cast<std::uint64_t>(geo_.nodes);
+  const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+  const std::uint64_t stripe = lba / n;
+  const int slot = static_cast<int>(lba % n);
+  const int row = static_cast<int>(stripe % k);
+  const std::uint64_t offset = stripe / k;
+  return block::PhysBlock{geo_.disk_id(row, slot), offset};
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,25 @@
+// RAID-0: striping across all n*k disks, no redundancy.
+//
+// This is both a baseline in its own right (the paper's bandwidth ceiling:
+// "RAID-x shows the same bandwidth potential as RAID-0") and the data-zone
+// addressing that RAID-x inherits.
+#pragma once
+
+#include "raid/layout.hpp"
+
+namespace raidx::raid {
+
+class Raid0Layout : public Layout {
+ public:
+  using Layout::Layout;
+
+  std::string name() const override { return "RAID-0"; }
+
+  std::uint64_t logical_blocks() const override {
+    return geo_.total_blocks();
+  }
+
+  block::PhysBlock data_location(std::uint64_t lba) const override;
+};
+
+}  // namespace raidx::raid

@@ -1,0 +1,27 @@
+#include "raid/raid1.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace raidx::raid {
+
+Raid1Layout::Raid1Layout(block::ArrayGeometry geo) : Layout(geo) {
+  if (geo.total_disks() % 2 != 0) {
+    throw std::invalid_argument("RAID-1 needs an even number of disks");
+  }
+}
+
+block::PhysBlock Raid1Layout::data_location(std::uint64_t lba) const {
+  assert(lba < logical_blocks());
+  const auto p = static_cast<std::uint64_t>(pairs());
+  const int pair = static_cast<int>(lba % p);
+  return block::PhysBlock{2 * pair, lba / p};
+}
+
+std::vector<block::PhysBlock> Raid1Layout::mirror_locations(
+    std::uint64_t lba) const {
+  const block::PhysBlock primary = data_location(lba);
+  return {block::PhysBlock{primary.disk + 1, primary.offset}};
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,28 @@
+#include "raid/raid10.hpp"
+
+#include <cassert>
+
+namespace raidx::raid {
+
+block::PhysBlock Raid10Layout::data_location(std::uint64_t lba) const {
+  assert(lba < logical_blocks());
+  const auto n = static_cast<std::uint64_t>(geo_.nodes);
+  const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+  const std::uint64_t stripe = lba / n;
+  const int slot = static_cast<int>(lba % n);
+  const int row = static_cast<int>(stripe % k);
+  const std::uint64_t offset = stripe / k;
+  assert(offset < mirror_zone_base());
+  return block::PhysBlock{geo_.disk_id(row, slot), offset};
+}
+
+std::vector<block::PhysBlock> Raid10Layout::mirror_locations(
+    std::uint64_t lba) const {
+  const block::PhysBlock primary = data_location(lba);
+  const int node = geo_.node_of(primary.disk);
+  const int row = geo_.row_of(primary.disk);
+  const int chained = geo_.disk_id(row, (node + 1) % geo_.nodes);
+  return {block::PhysBlock{chained, mirror_zone_base() + primary.offset}};
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,34 @@
+// RAID-10 with chained declustering (Hsiao & DeWitt).
+//
+// Each disk's primary data is striped RAID-0 style over the top half of the
+// array; its backup copy lives on the *next* node's disk of the same row
+// (the "chain"), in the mirror zone (bottom half).  Unlike RAID-x, a write
+// must synchronously update both copies, and the mirror copies of one
+// stripe scatter over n different disks as n individual writes -- the two
+// properties responsible for the parallel-write gap the paper measures
+// (Table 2: nB/2 vs RAID-x's nB).
+#pragma once
+
+#include "raid/layout.hpp"
+
+namespace raidx::raid {
+
+class Raid10Layout : public Layout {
+ public:
+  using Layout::Layout;
+
+  std::string name() const override { return "RAID-10"; }
+
+  std::uint64_t logical_blocks() const override {
+    return geo_.total_blocks() / 2;
+  }
+
+  block::PhysBlock data_location(std::uint64_t lba) const override;
+  std::vector<block::PhysBlock> mirror_locations(
+      std::uint64_t lba) const override;
+
+  /// First physical block of the mirror zone on every disk.
+  std::uint64_t mirror_zone_base() const { return geo_.blocks_per_disk / 2; }
+};
+
+}  // namespace raidx::raid

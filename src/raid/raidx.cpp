@@ -1,0 +1,71 @@
+#include "raid/raidx.hpp"
+
+#include <cassert>
+
+namespace raidx::raid {
+
+RaidxLayout::RaidxLayout(block::ArrayGeometry geo)
+    : Layout(geo),
+      q_max_(geo.blocks_per_disk /
+             static_cast<std::uint64_t>(geo.nodes + 1)) {
+  assert(q_max_ > 0);
+}
+
+block::PhysBlock RaidxLayout::data_location(std::uint64_t lba) const {
+  assert(lba < logical_blocks());
+  const auto n = static_cast<std::uint64_t>(geo_.nodes);
+  const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+  const std::uint64_t stripe = lba / n;
+  const int slot = static_cast<int>(lba % n);
+  const int row = static_cast<int>(stripe % k);
+  const std::uint64_t q = stripe / k;
+  assert(q < q_max_);
+  return block::PhysBlock{geo_.disk_id(row, slot), q};
+}
+
+int RaidxLayout::image_node(std::uint64_t stripe) const {
+  const auto n = static_cast<std::uint64_t>(geo_.nodes);
+  return static_cast<int>(n - 1 - (stripe % n));
+}
+
+RaidxLayout::StripeImages RaidxLayout::stripe_images(
+    std::uint64_t stripe) const {
+  const int n = geo_.nodes;
+  const int k = geo_.disks_per_node;
+  const int row = static_cast<int>(stripe % static_cast<std::uint64_t>(k));
+  const std::uint64_t q = stripe / static_cast<std::uint64_t>(k);
+  const int d = image_node(stripe);
+
+  StripeImages out;
+  out.clustered.disk = geo_.disk_id(row, d);
+  out.clustered.offset =
+      clustered_zone_base() + q * static_cast<std::uint64_t>(n - 1);
+  out.clustered.nblocks = static_cast<std::uint32_t>(n - 1);
+  out.clustered_lbas.reserve(static_cast<std::size_t>(n - 1));
+  for (int j = 0; j < n; ++j) {
+    if (j == d) continue;
+    out.clustered_lbas.push_back(stripe_first_lba(stripe) +
+                                 static_cast<std::uint64_t>(j));
+  }
+  out.neighbor_lba = stripe_first_lba(stripe) + static_cast<std::uint64_t>(d);
+  out.neighbor =
+      block::PhysBlock{geo_.disk_id(row, (d + 1) % n), neighbor_zone_base() + q};
+  return out;
+}
+
+std::vector<block::PhysBlock> RaidxLayout::mirror_locations(
+    std::uint64_t lba) const {
+  const std::uint64_t stripe = stripe_of(lba);
+  const int slot = static_cast<int>(lba % static_cast<std::uint64_t>(geo_.nodes));
+  const StripeImages imgs = stripe_images(stripe);
+  if (imgs.neighbor_lba == lba) {
+    return {imgs.neighbor};
+  }
+  const int d = image_node(stripe);
+  // Index within the clustered run: slots ascend skipping the image node.
+  const std::uint64_t idx =
+      static_cast<std::uint64_t>(slot < d ? slot : slot - 1);
+  return {block::PhysBlock{imgs.clustered.disk, imgs.clustered.offset + idx}};
+}
+
+}  // namespace raidx::raid

@@ -1,0 +1,84 @@
+// RAID-x: orthogonal striping and mirroring (OSM) -- the paper's core
+// contribution.
+//
+// Data blocks stripe across all n*k disks exactly like RAID-0 (full-stripe
+// parallelism).  The mirror images of one stripe group are placed
+// *orthogonally*:
+//   * the images of the n-1 blocks NOT on the stripe's image node d are
+//     CLUSTERED -- stored contiguously on node d's disk of the same row, so
+//     they can be flushed as one long sequential background write;
+//   * the image of the block that lives on node d itself goes to node
+//     (d+1) mod n (it cannot share a disk with its data block);
+//   * d = n-1 - (s mod n) rotates with the stripe index s, spreading mirror
+//     load over all disks.
+// Hence every stripe's images occupy exactly two disks, no block shares a
+// disk (or node) with its own image, and the array tolerates one disk
+// failure per mirror group -- the invariants Section 2 of the paper states,
+// all property-tested in tests/raidx_layout_test.cpp.
+//
+// Disk space accounting: each disk is split into three zones --
+//   [0, q_max)                    data zone (one block per stripe-row q)
+//   [q_max, q_max*n)              clustered-image zone ((n-1) slots per q)
+//   [q_max*n, q_max*(n+1))        neighbor-image zone (1 slot per q)
+// with q_max = blocks_per_disk / (n+1).  For a given row g and stripe-row
+// q there is exactly one stripe s = (q*k + g)... more precisely s is the
+// unique stripe with s % k == g and s / k == q, so zone slots never
+// collide.  Only ~1/n of each disk's image slots are populated (the ones
+// for stripes whose image node it is); the reservation wastes address
+// space, not simulated storage.
+#pragma once
+
+#include "raid/layout.hpp"
+
+namespace raidx::raid {
+
+class RaidxLayout : public Layout {
+ public:
+  explicit RaidxLayout(block::ArrayGeometry geo);
+
+  std::string name() const override { return "RAID-x"; }
+
+  std::uint64_t logical_blocks() const override {
+    return static_cast<std::uint64_t>(geo_.total_disks()) * q_max_;
+  }
+
+  block::PhysBlock data_location(std::uint64_t lba) const override;
+  std::vector<block::PhysBlock> mirror_locations(
+      std::uint64_t lba) const override;
+
+  /// Stripe group index of a logical block.
+  std::uint64_t stripe_of(std::uint64_t lba) const {
+    return lba / static_cast<std::uint64_t>(geo_.nodes);
+  }
+  std::uint64_t stripe_first_lba(std::uint64_t stripe) const {
+    return stripe * static_cast<std::uint64_t>(geo_.nodes);
+  }
+
+  /// The node whose disk clusters this stripe's images.
+  int image_node(std::uint64_t stripe) const;
+
+  /// Where a whole stripe's images go, for the background flush.
+  struct StripeImages {
+    /// The clustered run: images of the n-1 off-image-node blocks, one
+    /// contiguous extent writable as a single long sequential op.
+    block::PhysExtent clustered;
+    /// Logical blocks stored in the run, in run order.
+    std::vector<std::uint64_t> clustered_lbas;
+    /// The image of the block living on the image node itself.
+    block::PhysBlock neighbor;
+    std::uint64_t neighbor_lba;
+  };
+  StripeImages stripe_images(std::uint64_t stripe) const;
+
+  /// Zone boundaries (exposed for tests and the rebuild engine).
+  std::uint64_t data_zone_blocks() const { return q_max_; }
+  std::uint64_t clustered_zone_base() const { return q_max_; }
+  std::uint64_t neighbor_zone_base() const {
+    return q_max_ * static_cast<std::uint64_t>(geo_.nodes);
+  }
+
+ private:
+  std::uint64_t q_max_;
+};
+
+}  // namespace raidx::raid

@@ -1,0 +1,197 @@
+// Rebuild engines: restore a replaced disk's contents from redundancy.
+//
+// Rebuilds run at background disk priority so foreground traffic keeps its
+// latency while redundancy is being re-established.  Each level's sweep
+// follows its own geometry:
+//  * RAID-5: every physical offset of the lost disk (data or parity alike)
+//    is the XOR of the other N-1 disks' blocks at the same offset.
+//  * RAID-10: primary zone re-copied from the chained mirror, mirror zone
+//    re-copied from the chained-from neighbor's primaries.
+//  * RAID-x: data zone restored from images, clustered and neighbor image
+//    zones regenerated from the surviving data blocks.
+#include <algorithm>
+
+#include "raid/controller.hpp"
+
+namespace raidx::raid {
+
+namespace {
+void xor_into(std::vector<std::byte>& acc,
+              const std::vector<std::byte>& src) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
+}
+
+// Marks the target disk as rebuilding for the duration of the sweep; the
+// watermark rises as rows complete, so reads of not-yet-restored regions
+// keep falling back to the degraded path.  RAII: the rebuilding flag
+// clears even if the sweep throws (e.g. a second failure).
+class RebuildScope {
+ public:
+  explicit RebuildScope(disk::Disk& d) : disk_(d) { disk_.begin_rebuild(); }
+  ~RebuildScope() { disk_.finish_rebuild(); }
+  RebuildScope(const RebuildScope&) = delete;
+  RebuildScope& operator=(const RebuildScope&) = delete;
+  void advance(std::uint64_t watermark) { disk_.advance_rebuild(watermark); }
+
+ private:
+  disk::Disk& disk_;
+};
+}  // namespace
+
+sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
+                                          std::uint64_t max_offset) {
+  const auto& geo = fabric_.cluster().geometry();
+  const std::uint32_t bs = block_bytes();
+  const std::uint64_t limit = std::min(max_offset, geo.blocks_per_disk);
+  const int total = geo.total_disks();
+  RebuildScope scope(fabric_.cluster().disk(disk_id));
+
+  for (std::uint64_t off = 0; off < limit; ++off) {
+    scope.advance(off);
+    // The missing block (data or parity) is the XOR of its stripe peers.
+    std::vector<std::byte> acc(bs, std::byte{0});
+    for (int d = 0; d < total; ++d) {
+      if (d == disk_id) continue;
+      cdd::Reply r = co_await fabric_.read(client, d, off, 1,
+                                           disk::IoPriority::kBackground);
+      if (!r.ok) {
+        throw IoError("RAID-5 rebuild: second failure on disk " +
+                      std::to_string(d));
+      }
+      xor_into(acc, r.data);
+    }
+    co_await xor_cpu(client, static_cast<std::uint64_t>(total - 1) * bs);
+    cdd::Reply w = co_await fabric_.write(client, disk_id, off,
+                                          std::move(acc),
+                                          disk::IoPriority::kBackground);
+    if (!w.ok) {
+      throw IoError("RAID-5 rebuild: replacement disk failed");
+    }
+  }
+}
+
+sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
+                                           std::uint64_t max_offset) {
+  const auto& geo = fabric_.cluster().geometry();
+  const auto& lay = static_cast<const Raid10Layout&>(layout());
+  const int n = geo.nodes;
+  const int node = geo.node_of(disk_id);
+  const int row = geo.row_of(disk_id);
+  const std::uint64_t limit = std::min(max_offset, lay.mirror_zone_base());
+  const auto nk = static_cast<std::uint64_t>(n);
+  RebuildScope scope(fabric_.cluster().disk(disk_id));
+
+  for (std::uint64_t off = 0; off < limit; ++off) {
+    scope.advance(off);
+    const std::uint64_t stripe =
+        off * static_cast<std::uint64_t>(geo.disks_per_node) +
+        static_cast<std::uint64_t>(row);
+    // Primary zone: block `lba` lived here; its copy is on the next node.
+    const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
+    if (lba < logical_blocks()) {
+      const int mirror_disk = geo.disk_id(row, (node + 1) % n);
+      cdd::Reply r =
+          co_await fabric_.read(client, mirror_disk,
+                                lay.mirror_zone_base() + off, 1,
+                                disk::IoPriority::kBackground);
+      if (!r.ok) throw IoError("RAID-10 rebuild: mirror copy unavailable");
+      co_await fabric_.write(client, disk_id, off, std::move(r.data),
+                             disk::IoPriority::kBackground);
+    }
+    // Mirror zone: this disk backs the previous node's primaries.
+    const std::uint64_t backed_lba =
+        stripe * nk + static_cast<std::uint64_t>((node + n - 1) % n);
+    if (backed_lba < logical_blocks()) {
+      const int primary_disk = geo.disk_id(row, (node + n - 1) % n);
+      cdd::Reply r = co_await fabric_.read(client, primary_disk, off, 1,
+                                           disk::IoPriority::kBackground);
+      if (!r.ok) throw IoError("RAID-10 rebuild: primary copy unavailable");
+      co_await fabric_.write(client, disk_id, lay.mirror_zone_base() + off,
+                             std::move(r.data),
+                             disk::IoPriority::kBackground);
+    }
+  }
+}
+
+sim::Task<> Raid1Controller::rebuild_disk(int client, int disk_id,
+                                          std::uint64_t max_offset) {
+  const auto& geo = fabric_.cluster().geometry();
+  // Both disks of a pair use the same offsets over the whole disk.
+  const std::uint64_t limit = std::min(max_offset, geo.blocks_per_disk);
+  const int partner = (disk_id % 2 == 0) ? disk_id + 1 : disk_id - 1;
+  RebuildScope scope(fabric_.cluster().disk(disk_id));
+
+  for (std::uint64_t off = 0; off < limit; ++off) {
+    scope.advance(off);
+    cdd::Reply r = co_await fabric_.read(client, partner, off, 1,
+                                         disk::IoPriority::kBackground);
+    if (!r.ok) throw IoError("RAID-1 rebuild: partner copy unavailable");
+    co_await fabric_.write(client, disk_id, off, std::move(r.data),
+                           disk::IoPriority::kBackground);
+  }
+}
+
+sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
+                                          std::uint64_t max_offset) {
+  const auto& geo = fabric_.cluster().geometry();
+  const std::uint32_t bs = block_bytes();
+  const int n = geo.nodes;
+  const int node = geo.node_of(disk_id);
+  const int row = geo.row_of(disk_id);
+  const std::uint64_t limit =
+      std::min(max_offset, layout_.data_zone_blocks());
+  const auto nk = static_cast<std::uint64_t>(n);
+  RebuildScope scope(fabric_.cluster().disk(disk_id));
+
+  for (std::uint64_t q = 0; q < limit; ++q) {
+    scope.advance(q);
+    const std::uint64_t stripe =
+        q * static_cast<std::uint64_t>(geo.disks_per_node) +
+        static_cast<std::uint64_t>(row);
+
+    // Data zone: restore this disk's data block from its image.
+    const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
+    {
+      const block::PhysBlock img = layout_.mirror_locations(lba)[0];
+      cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,
+                                           disk::IoPriority::kBackground);
+      if (!r.ok) throw IoError("RAID-x rebuild: image unavailable");
+      co_await fabric_.write(client, disk_id, q, std::move(r.data),
+                             disk::IoPriority::kBackground);
+    }
+
+    // Clustered zone: if this disk clusters stripe `stripe`'s images,
+    // regenerate the run from the surviving data blocks.
+    if (layout_.image_node(stripe) == node) {
+      const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+      std::vector<std::byte> run(
+          static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+      for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+        const block::PhysBlock src =
+            layout_.data_location(imgs.clustered_lbas[i]);
+        cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
+                                             disk::IoPriority::kBackground);
+        if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
+        std::copy(r.data.begin(), r.data.end(),
+                  run.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+      }
+      co_await fabric_.write(client, imgs.clustered.disk,
+                             imgs.clustered.offset, std::move(run),
+                             disk::IoPriority::kBackground);
+    }
+
+    // Neighbor zone: if this disk holds the stray image of stripe `stripe`.
+    if ((layout_.image_node(stripe) + 1) % n == node) {
+      const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+      const block::PhysBlock src = layout_.data_location(imgs.neighbor_lba);
+      cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
+                                           disk::IoPriority::kBackground);
+      if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
+      co_await fabric_.write(client, imgs.neighbor.disk, imgs.neighbor.offset,
+                             std::move(r.data),
+                             disk::IoPriority::kBackground);
+    }
+  }
+}
+
+}  // namespace raidx::raid

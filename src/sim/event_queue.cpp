@@ -1,0 +1,97 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace raidx::sim {
+
+Simulation::~Simulation() {
+  // Destroy any still-suspended top-level frames.  Nothing will resume them
+  // afterwards: the event queue dies with us and child frames are owned by
+  // their parents' frames, so destruction cascades safely.
+  for (auto h : processes_) {
+    if (h) h.destroy();
+  }
+}
+
+void Simulation::schedule(Time delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
+}
+
+void Simulation::schedule_resume(Time delay, std::coroutine_handle<> h) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, {}, h});
+}
+
+void Simulation::spawn(Task<> task) {
+  auto handle = task.release();
+  if (!handle) return;
+  processes_.push_back(handle);
+  // Start lazily via the queue so spawn() itself never re-enters user code;
+  // processes spawned at the same instant start in spawn order.
+  queue_.push(Event{now_, next_seq_++, {}, handle});
+}
+
+void Simulation::dispatch(Event& ev) {
+  now_ = ev.at;
+  ++events_processed_;
+  if (ev.fn) {
+    ev.fn();
+  } else if (ev.resume && !ev.resume.done()) {
+    ev.resume.resume();
+  }
+}
+
+void Simulation::reap_finished() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    auto h = processes_[i];
+    if (h.done()) {
+      if (h.promise().exception && !pending_exception_) {
+        pending_exception_ = h.promise().exception;
+      }
+      h.destroy();
+    } else {
+      processes_[kept++] = h;
+    }
+  }
+  processes_.resize(kept);
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+    if ((events_processed_ & 0x3ff) == 0) reap_finished();
+    if (pending_exception_) break;
+  }
+  reap_finished();
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+bool Simulation::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(ev);
+    if ((events_processed_ & 0x3ff) == 0) reap_finished();
+    if (pending_exception_) break;
+  }
+  reap_finished();
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+  if (queue_.empty()) return true;
+  now_ = deadline > now_ ? deadline : now_;
+  return false;
+}
+
+}  // namespace raidx::sim

@@ -1,0 +1,58 @@
+#include "sim/resource.hpp"
+
+#include <cassert>
+
+namespace raidx::sim {
+
+Resource::Resource(Simulation& sim, int capacity, int priority_levels)
+    : sim_(sim), capacity_(capacity), waiters_(priority_levels) {
+  assert(capacity > 0);
+  assert(priority_levels > 0);
+}
+
+bool Resource::try_acquire() {
+  if (in_use_ < capacity_) {
+    note_busy_change();
+    ++in_use_;
+    return true;
+  }
+  return false;
+}
+
+void Resource::enqueue(int priority, std::coroutine_handle<> h) {
+  assert(priority >= 0 &&
+         static_cast<std::size_t>(priority) < waiters_.size());
+  waiters_[priority].push_back(h);
+}
+
+void Resource::release() {
+  for (auto& q : waiters_) {
+    if (!q.empty()) {
+      // Hand the slot straight to the waiter: in_use_ is unchanged.
+      auto h = q.front();
+      q.pop_front();
+      sim_.schedule_resume(0, h);
+      return;
+    }
+  }
+  note_busy_change();
+  --in_use_;
+  assert(in_use_ >= 0);
+}
+
+std::size_t Resource::queued() const {
+  std::size_t total = 0;
+  for (const auto& q : waiters_) total += q.size();
+  return total;
+}
+
+Time Resource::busy_time() const {
+  return busy_accum_ + static_cast<Time>(in_use_) * (sim_.now() - last_change_);
+}
+
+void Resource::note_busy_change() {
+  busy_accum_ += static_cast<Time>(in_use_) * (sim_.now() - last_change_);
+  last_change_ = sim_.now();
+}
+
+}  // namespace raidx::sim

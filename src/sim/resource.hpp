@@ -1,0 +1,95 @@
+// FIFO counted resource with priority classes.
+//
+// A Resource models anything with finite concurrent capacity: a disk arm
+// (capacity 1), a SCSI bus, a NIC port, a node CPU.  Waiters are served
+// strictly FIFO within a priority class; lower class number = higher
+// priority.  The disk layer uses two classes so foreground I/O overtakes
+// queued background mirror updates -- the mechanism behind RAID-x's
+// "mirroring hidden in the background" claim.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace raidx::sim {
+
+class Resource {
+ public:
+  /// Move-only RAII grant.  Releases the slot when destroyed.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(Resource* r) : resource_(r) {}
+    Guard(Guard&& other) noexcept
+        : resource_(std::exchange(other.resource_, nullptr)) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        release();
+        resource_ = std::exchange(other.resource_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    void release() {
+      if (resource_) {
+        resource_->release();
+        resource_ = nullptr;
+      }
+    }
+    bool held() const { return resource_ != nullptr; }
+
+   private:
+    Resource* resource_ = nullptr;
+  };
+
+  Resource(Simulation& sim, int capacity, int priority_levels = 1);
+
+  /// Awaitable acquisition; resumes (or completes immediately) holding one
+  /// slot.  `priority` must be < priority_levels (0 = most urgent).
+  auto acquire(int priority = 0) {
+    struct Awaiter {
+      Resource* res;
+      int priority;
+      bool await_ready() const noexcept { return res->try_acquire(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        res->enqueue(priority, h);
+      }
+      Guard await_resume() const noexcept { return Guard{res}; }
+    };
+    return Awaiter{this, priority};
+  }
+
+  /// Non-blocking attempt; returns true and takes a slot if available.
+  bool try_acquire();
+
+  /// Return one slot; hands it to the oldest highest-priority waiter.
+  void release();
+
+  int in_use() const { return in_use_; }
+  int capacity() const { return capacity_; }
+  std::size_t queued() const;
+
+  /// Total slot-nanoseconds consumed (for utilization reporting).
+  Time busy_time() const;
+
+ private:
+  void enqueue(int priority, std::coroutine_handle<> h);
+  void note_busy_change();
+
+  Simulation& sim_;
+  int capacity_;
+  int in_use_ = 0;
+  std::vector<std::deque<std::coroutine_handle<>>> waiters_;
+  // Utilization accounting.
+  Time busy_accum_ = 0;
+  Time last_change_ = 0;
+};
+
+}  // namespace raidx::sim

@@ -1,0 +1,70 @@
+// Measurement helpers: latency distributions and throughput accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace raidx::sim {
+
+/// Collects a sample of latencies and summarizes them.
+class LatencyRecorder {
+ public:
+  void add(Time t);
+
+  std::size_t count() const { return samples_.size(); }
+  Time min() const;
+  Time max() const;
+  double mean() const;
+  /// q in [0,1]; nearest-rank percentile.
+  Time percentile(double q) const;
+  Time total() const { return total_; }
+
+  void clear();
+
+ private:
+  mutable std::vector<Time> samples_;
+  mutable bool sorted_ = false;
+  Time total_ = 0;
+};
+
+/// Accumulates bytes moved between first_at/last_done marks; reports MB/s.
+class Throughput {
+ public:
+  void record(Time start, Time end, std::uint64_t bytes);
+
+  std::uint64_t bytes() const { return bytes_; }
+  Time first_start() const { return first_start_; }
+  Time last_end() const { return last_end_; }
+  /// Aggregate bandwidth over the span [first_start, last_end].
+  double mb_per_s() const;
+  std::size_t operations() const { return ops_; }
+
+  void clear();
+
+ private:
+  std::uint64_t bytes_ = 0;
+  std::size_t ops_ = 0;
+  Time first_start_ = -1;
+  Time last_end_ = -1;
+};
+
+/// Fixed-width table printer used by the benchmark harnesses so every
+/// figure/table reproduction prints in a uniform, diff-friendly format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace raidx::sim

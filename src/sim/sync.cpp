@@ -1,0 +1,48 @@
+#include "sim/sync.hpp"
+
+#include <cassert>
+
+namespace raidx::sim {
+
+Barrier::Barrier(Simulation& sim, int parties) : sim_(sim), parties_(parties) {
+  assert(parties >= 1);
+}
+
+bool Barrier::arrive(std::coroutine_handle<> h) {
+  ++arrived_;
+  if (arrived_ < parties_) {
+    waiting_.push_back(h);
+    return true;  // suspend
+  }
+  // Last arriver: release the generation and continue without suspending.
+  arrived_ = 0;
+  auto released = std::move(waiting_);
+  waiting_.clear();
+  for (auto w : released) sim_.schedule_resume(0, w);
+  return false;
+}
+
+Latch::Latch(Simulation& sim, int count) : sim_(sim), count_(count) {
+  assert(count >= 0);
+}
+
+void Latch::count_down(int n) {
+  count_ -= n;
+  if (count_ <= 0 && !waiting_.empty()) {
+    auto released = std::move(waiting_);
+    waiting_.clear();
+    for (auto w : released) sim_.schedule_resume(0, w);
+  }
+}
+
+Trigger::Trigger(Simulation& sim) : sim_(sim) {}
+
+void Trigger::set() {
+  if (set_) return;
+  set_ = true;
+  auto released = std::move(waiting_);
+  waiting_.clear();
+  for (auto w : released) sim_.schedule_resume(0, w);
+}
+
+}  // namespace raidx::sim

@@ -1,0 +1,100 @@
+// Synchronization primitives: Barrier, Latch, Trigger.
+//
+// Barrier reproduces the MPI_Barrier() the paper's clients use to start
+// parallel I/O simultaneously.  Latch is a countdown join used for stripe
+// fan-out (wait for all per-disk sub-requests).  Trigger is a one-shot
+// broadcast condition (e.g. "rebuild complete").
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace raidx::sim {
+
+/// Reusable cyclic barrier for `parties` processes.
+class Barrier {
+ public:
+  Barrier(Simulation& sim, int parties);
+
+  /// Awaitable: suspends until all parties have arrived in this generation.
+  auto arrive_and_wait() {
+    struct Awaiter {
+      Barrier* b;
+      bool await_ready() const noexcept { return b->parties_ <= 1; }
+      bool await_suspend(std::coroutine_handle<> h) { return b->arrive(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  int parties() const { return parties_; }
+  int arrived() const { return arrived_; }
+
+ private:
+  // Returns false (do not suspend) for the last arriver.
+  bool arrive(std::coroutine_handle<> h);
+
+  Simulation& sim_;
+  int parties_;
+  int arrived_ = 0;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// Countdown latch: wait() resumes once the count reaches zero.
+class Latch {
+ public:
+  Latch(Simulation& sim, int count);
+
+  void count_down(int n = 1);
+  /// Raise the count (register more outstanding work before waiting).
+  void add(int n = 1) { count_ += n; }
+
+  auto wait() {
+    struct Awaiter {
+      Latch* l;
+      bool await_ready() const noexcept { return l->count_ <= 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        l->waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  int count() const { return count_; }
+
+ private:
+  Simulation& sim_;
+  int count_;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+/// One-shot broadcast event.
+class Trigger {
+ public:
+  explicit Trigger(Simulation& sim);
+
+  void set();
+  bool is_set() const { return set_; }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return t->set_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->waiting_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiting_;
+};
+
+}  // namespace raidx::sim

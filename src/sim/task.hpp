@@ -1,0 +1,176 @@
+// Lazy coroutine task used as the process abstraction of the simulator.
+//
+// Every concurrent activity in the simulated cluster -- a client issuing
+// I/O, a cooperative-disk-driver server loop, a disk arm, a rebuild sweep --
+// is a Task<> coroutine.  Tasks compose with `co_await child()` (the awaiting
+// parent is resumed when the child runs to completion) and are driven at the
+// top level by Simulation::spawn.
+//
+// Design notes (and why):
+//  * Lazy start: a Task does nothing until awaited or spawned, so building a
+//    pipeline of tasks has no side effects and ownership is unambiguous.
+//  * Symmetric transfer in final_suspend avoids unbounded recursion when
+//    long chains of children complete at the same instant.
+//  * Exceptions propagate across co_await; a top-level task that throws
+//    surfaces the exception from Simulation::run, never std::terminate.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace raidx::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      auto& cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine producing a value of type T (or void).
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      void await_resume() const {
+        if (handle && handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Used by Simulation::spawn: release ownership of the frame.  The caller
+  /// becomes responsible for destroying the handle once done.
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_{};
+};
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    T value{};
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value = std::forward<U>(v);
+    }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;
+      }
+      T await_resume() const {
+        if (handle.promise().exception) {
+          std::rethrow_exception(handle.promise().exception);
+        }
+        return std::move(handle.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_{};
+};
+
+}  // namespace raidx::sim

@@ -1,0 +1,159 @@
+#include "workload/andrew.hpp"
+
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace raidx::workload {
+
+namespace {
+
+constexpr int kPhases = 5;
+
+struct Shared {
+  fs::FileSystem& filesystem;
+  const AndrewConfig& config;
+  sim::Barrier barrier;
+  /// Release time of each inter-phase barrier, stamped by any client.
+  std::vector<sim::Time> phase_edges;
+};
+
+int client_node(const AndrewConfig& cfg, int idx, int num_nodes) {
+  if (cfg.exclude_node >= 0) {
+    int node = idx % (num_nodes - 1);
+    if (node >= cfg.exclude_node) ++node;
+    return node;
+  }
+  return idx % num_nodes;
+}
+
+sim::Task<> client_task(Shared& sh, int idx, sim::Rng rng) {
+  auto& fsys = sh.filesystem;
+  auto& sim = fsys.engine().simulation();
+  const AndrewConfig& cfg = sh.config;
+  const std::string root = "/c" + std::to_string(idx);
+
+  const int cluster_nodes =
+      dynamic_cast<raid::ArrayController&>(fsys.engine())
+          .fabric()
+          .cluster()
+          .num_nodes();
+  const int cnode = client_node(cfg, idx, cluster_nodes);
+
+  auto edge = [&](int phase) {
+    sh.phase_edges[static_cast<std::size_t>(phase)] = sim.now();
+  };
+
+  // Phase boundaries: barrier, then any client stamps the release time
+  // (all clients resume at the same instant).
+  co_await sh.barrier.arrive_and_wait();
+  edge(0);
+
+  // ---- Phase 1: MakeDir -------------------------------------------------
+  co_await fsys.mkdir(cnode, root);
+  std::vector<std::string> dirnames;
+  for (int d = 0; d < cfg.dirs; ++d) {
+    dirnames.push_back(root + "/d" + std::to_string(d));
+    co_await fsys.mkdir(cnode, dirnames.back());
+  }
+  co_await sh.barrier.arrive_and_wait();
+  edge(1);
+
+  // ---- Phase 2: Copy ----------------------------------------------------
+  std::vector<std::string> filenames;
+  std::vector<std::uint64_t> filesizes;
+  for (int f = 0; f < cfg.files; ++f) {
+    const std::string path =
+        dirnames[static_cast<std::size_t>(f % cfg.dirs)] + "/f" +
+        std::to_string(f);
+    filenames.push_back(path);
+    const std::uint64_t size = rng.uniform_u64(
+        cfg.min_file_bytes, cfg.max_file_bytes);
+    filesizes.push_back(size);
+    const fs::Ino ino = co_await fsys.create(cnode, path);
+    std::vector<std::byte> data(size, std::byte{0x5a});
+    co_await fsys.write_at(cnode, ino, 0, data);
+  }
+  co_await sh.barrier.arrive_and_wait();
+  edge(2);
+
+  // ---- Phase 3: ScanDir ---------------------------------------------------
+  {
+    const fs::Ino root_ino = co_await fsys.lookup(cnode, root);
+    auto top = co_await fsys.readdir(cnode, root_ino);
+    for (const auto& de : top) {
+      (void)fsys.stat(de.ino);
+      if (de.type == fs::FileType::kDirectory) {
+        auto sub = co_await fsys.readdir(cnode, de.ino);
+        for (const auto& se : sub) (void)fsys.stat(se.ino);
+      }
+    }
+  }
+  co_await sh.barrier.arrive_and_wait();
+  edge(3);
+
+  // ---- Phase 4: ReadAll ---------------------------------------------------
+  for (std::size_t f = 0; f < filenames.size(); ++f) {
+    const fs::Ino ino = co_await fsys.lookup(cnode, filenames[f]);
+    std::vector<std::byte> buf(filesizes[f]);
+    co_await fsys.read_at(cnode, ino, 0, buf);
+  }
+  co_await sh.barrier.arrive_and_wait();
+  edge(4);
+
+  // ---- Phase 5: Compile ---------------------------------------------------
+  {
+    auto& cluster =
+        dynamic_cast<raid::ArrayController&>(fsys.engine()).fabric().cluster();
+    for (std::size_t f = 0; f < filenames.size(); ++f) {
+      const fs::Ino ino = co_await fsys.lookup(cnode, filenames[f]);
+      std::vector<std::byte> buf(filesizes[f]);
+      co_await fsys.read_at(cnode, ino, 0, buf);
+      co_await cluster.node(cnode).compute(static_cast<sim::Time>(
+          cfg.compile_ns_per_byte * static_cast<double>(filesizes[f])));
+      const std::string objname = filenames[f] + ".o";
+      const fs::Ino obj = co_await fsys.create(cnode, objname);
+      std::vector<std::byte> objdata(filesizes[f] / 2 + 1, std::byte{0x0f});
+      co_await fsys.write_at(cnode, obj, 0, objdata);
+    }
+  }
+  co_await sh.barrier.arrive_and_wait();
+  edge(5);
+}
+
+}  // namespace
+
+AndrewResult run_andrew(raid::ArrayController& engine,
+                        const AndrewConfig& config) {
+  auto& sim = engine.simulation();
+  fs::FileSystem fsys(engine,
+                      fs::FileSystem::Params{
+                          /*max_inodes=*/static_cast<std::uint64_t>(
+                              (config.files * 2 + config.dirs + 2) *
+                              config.clients + 16),
+                          /*dirent_bytes=*/64});
+  // Setup: format outside the measured phases.
+  sim.spawn(fsys.format(0));
+  sim.run();
+
+  Shared sh{fsys, config, sim::Barrier(sim, config.clients),
+            std::vector<sim::Time>(kPhases + 1, 0)};
+  sim::Rng root(config.seed);
+  for (int c = 0; c < config.clients; ++c) {
+    sim.spawn(client_task(sh, c, root.fork()));
+  }
+  sim.run();
+
+  AndrewResult r;
+  r.make_dir = sh.phase_edges[1] - sh.phase_edges[0];
+  r.copy_files = sh.phase_edges[2] - sh.phase_edges[1];
+  r.scan_dir = sh.phase_edges[3] - sh.phase_edges[2];
+  r.read_all = sh.phase_edges[4] - sh.phase_edges[3];
+  r.compile = sh.phase_edges[5] - sh.phase_edges[4];
+  return r;
+}
+
+}  // namespace raidx::workload

@@ -1,0 +1,55 @@
+// Andrew benchmark (Section 5.2 / Fig. 6).
+//
+// The classic 5-phase file-system benchmark, run by N concurrent clients in
+// private subtrees of one shared file system (the paper runs up to 32
+// clients over each storage architecture):
+//   1. MakeDir -- create the directory tree
+//   2. Copy    -- copy the source files into it (many small writes)
+//   3. ScanDir -- walk the tree, stat everything
+//   4. ReadAll -- read every file
+//   5. Compile -- read sources, burn CPU, write objects
+// Phases are barrier-separated; the reported elapsed time of a phase spans
+// from the barrier release to the last client's completion, matching the
+// paper's "elapsed time vs number of clients" panels.
+#pragma once
+
+#include <cstdint>
+
+#include "raid/controller.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::workload {
+
+struct AndrewConfig {
+  int clients = 1;
+  int dirs = 20;
+  int files = 70;
+  /// File sizes are uniform in [min,max] -- the original benchmark's small
+  /// source files, which is what makes Copy a small-write storm.
+  std::uint64_t min_file_bytes = 1024;
+  std::uint64_t max_file_bytes = 24 * 1024;
+  /// Compile-phase CPU burn per source byte (a 400 MHz-era compiler).
+  double compile_ns_per_byte = 400.0;
+  /// Node hosting no client (the NFS server), -1 for none.
+  int exclude_node = -1;
+  std::uint64_t seed = 7;
+};
+
+struct AndrewResult {
+  sim::Time make_dir = 0;
+  sim::Time copy_files = 0;
+  sim::Time scan_dir = 0;
+  sim::Time read_all = 0;
+  sim::Time compile = 0;
+
+  sim::Time total() const {
+    return make_dir + copy_files + scan_dir + read_all + compile;
+  }
+};
+
+/// Run the benchmark to completion on a fresh engine (formats a file
+/// system on it first; formatting is setup, not measured).
+AndrewResult run_andrew(raid::ArrayController& engine,
+                        const AndrewConfig& config);
+
+}  // namespace raidx::workload

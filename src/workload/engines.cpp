@@ -1,0 +1,42 @@
+#include "workload/engines.hpp"
+
+namespace raidx::workload {
+
+const char* arch_name(Arch a) {
+  switch (a) {
+    case Arch::kRaid0: return "RAID-0";
+    case Arch::kRaid1: return "RAID-1";
+    case Arch::kRaid5: return "RAID-5";
+    case Arch::kRaid10: return "RAID-10";
+    case Arch::kRaidX: return "RAID-x";
+    case Arch::kNfs: return "NFS";
+  }
+  return "?";
+}
+
+std::vector<Arch> paper_architectures() {
+  return {Arch::kRaidX, Arch::kRaid5, Arch::kRaid10, Arch::kNfs};
+}
+
+std::unique_ptr<raid::ArrayController> make_engine(Arch arch,
+                                                   cdd::CddFabric& fabric,
+                                                   raid::EngineParams params,
+                                                   nfs::NfsParams nfs_params) {
+  switch (arch) {
+    case Arch::kRaid0:
+      return std::make_unique<raid::Raid0Controller>(fabric, params);
+    case Arch::kRaid1:
+      return std::make_unique<raid::Raid1Controller>(fabric, params);
+    case Arch::kRaid5:
+      return std::make_unique<raid::Raid5Controller>(fabric, params);
+    case Arch::kRaid10:
+      return std::make_unique<raid::Raid10Controller>(fabric, params);
+    case Arch::kRaidX:
+      return std::make_unique<raid::RaidxController>(fabric, params);
+    case Arch::kNfs:
+      return std::make_unique<nfs::NfsEngine>(fabric, params, nfs_params);
+  }
+  return nullptr;
+}
+
+}  // namespace raidx::workload

@@ -1,0 +1,115 @@
+#include "workload/parallel_io.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace raidx::workload {
+
+namespace {
+
+struct Shared {
+  raid::ArrayController& engine;
+  const ParallelIoConfig& config;
+  sim::Barrier barrier;
+  std::vector<ClientResult>& results;
+  sim::LatencyRecorder& latency;
+};
+
+sim::Task<> client_task(Shared& sh, int client_idx, std::uint64_t region_lba,
+                        std::uint64_t region_blocks, sim::Rng rng) {
+  auto& sim = sh.engine.fabric().cluster().sim();
+  const int num_nodes = sh.engine.fabric().cluster().num_nodes();
+  int node;
+  if (sh.config.exclude_node >= 0) {
+    node = client_idx % (num_nodes - 1);
+    if (node >= sh.config.exclude_node) ++node;
+  } else {
+    node = client_idx % num_nodes;
+  }
+  const std::uint32_t bs = sh.engine.block_bytes();
+  const auto blocks_per_op =
+      static_cast<std::uint32_t>(sh.config.bytes_per_op / bs);
+  assert(blocks_per_op > 0);
+  std::vector<std::byte> buffer(
+      static_cast<std::size_t>(blocks_per_op) * bs);
+
+  co_await sh.barrier.arrive_and_wait();
+  ClientResult& r = sh.results[static_cast<std::size_t>(client_idx)];
+  r.start = sim.now();
+
+  std::uint64_t pos = region_lba;
+  for (int i = 0; i < sh.config.ops_per_client; ++i) {
+    std::uint64_t lba;
+    if (sh.config.scattered) {
+      lba = region_lba +
+            rng.uniform_u64(0, region_blocks - blocks_per_op);
+    } else {
+      lba = pos;
+      pos += blocks_per_op;
+      if (pos + blocks_per_op > region_lba + region_blocks) pos = region_lba;
+    }
+    const sim::Time t0 = sim.now();
+    if (sh.config.op == IoOp::kRead) {
+      co_await sh.engine.read(node, lba, blocks_per_op, buffer);
+    } else {
+      co_await sh.engine.write(node, lba, buffer);
+    }
+    sh.latency.add(sim.now() - t0);
+    r.bytes += sh.config.bytes_per_op;
+  }
+  r.end = sim.now();
+}
+
+}  // namespace
+
+ParallelIoResult run_parallel_io(raid::ArrayController& engine,
+                                 const ParallelIoConfig& config) {
+  auto& sim = engine.fabric().cluster().sim();
+  const std::uint32_t bs = engine.block_bytes();
+  if (config.bytes_per_op % bs != 0) {
+    throw std::invalid_argument("bytes_per_op must be whole blocks");
+  }
+  // Size regions to the workload, not to the layout's capacity: every
+  // architecture then covers the same physical footprint.
+  const std::uint64_t needed =
+      config.scattered
+          ? std::max(config.bytes_per_op / bs, config.scatter_region_blocks)
+          : static_cast<std::uint64_t>(config.ops_per_client) *
+                (config.bytes_per_op / bs);
+  const std::uint64_t region_blocks = needed;
+  if (region_blocks * static_cast<std::uint64_t>(config.clients) >
+      engine.logical_blocks()) {
+    throw std::invalid_argument("client region too small for workload");
+  }
+
+  ParallelIoResult result;
+  result.clients.resize(static_cast<std::size_t>(config.clients));
+
+  Shared sh{engine, config, sim::Barrier(sim, config.clients),
+            result.clients, result.op_latency};
+  sim::Rng root(config.seed);
+  for (int c = 0; c < config.clients; ++c) {
+    sim.spawn(client_task(sh, c,
+                          static_cast<std::uint64_t>(c) * region_blocks,
+                          region_blocks, root.fork()));
+  }
+  sim.run();  // drains foreground and background alike
+
+  sim::Time first = -1, last = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& cr : result.clients) {
+    if (first < 0 || cr.start < first) first = cr.start;
+    if (cr.end > last) last = cr.end;
+    bytes += cr.bytes;
+  }
+  result.elapsed = last - first;
+  result.aggregate_mbs = sim::bandwidth_mbs(bytes, result.elapsed);
+  result.background_drain = sim.now() - last;
+  result.sustained_mbs = sim::bandwidth_mbs(bytes, sim.now() - first);
+  return result;
+}
+
+}  // namespace raidx::workload

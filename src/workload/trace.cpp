@@ -1,0 +1,141 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace raidx::workload {
+
+std::vector<TraceRecord> parse_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::int64_t issue_us;
+    int client;
+    std::string op;
+    std::uint64_t lba;
+    std::uint32_t nblocks;
+    if (!(ls >> issue_us)) continue;  // blank/comment line
+    if (!(ls >> client >> op >> lba >> nblocks) ||
+        (op != "R" && op != "W") || issue_us < 0 || client < 0 ||
+        nblocks == 0) {
+      throw std::invalid_argument("bad trace line " +
+                                  std::to_string(lineno) + ": " + line);
+    }
+    records.push_back(TraceRecord{sim::microseconds(
+                                      static_cast<double>(issue_us)),
+                                  client, op == "W", lba, nblocks});
+  }
+  return records;
+}
+
+std::vector<TraceRecord> parse_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+std::string format_trace(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  out << "# issue_us client R|W lba nblocks\n";
+  for (const auto& r : records) {
+    out << static_cast<std::int64_t>(sim::to_microseconds(r.issue_at)) << ' '
+        << r.client << ' ' << (r.is_write ? 'W' : 'R') << ' ' << r.lba << ' '
+        << r.nblocks << '\n';
+  }
+  return out.str();
+}
+
+std::vector<TraceRecord> generate_trace(const TraceGenConfig& config) {
+  std::vector<TraceRecord> records;
+  sim::Rng root(config.seed);
+  for (int c = 0; c < config.clients; ++c) {
+    sim::Rng rng = root.fork();
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(c) * config.region_blocks;
+    sim::Time clock = 0;
+    std::uint64_t pos = base;
+    for (int i = 0; i < config.ops_per_client; ++i) {
+      clock += static_cast<sim::Time>(
+          rng.exponential(static_cast<double>(config.mean_think)));
+      const auto run = static_cast<std::uint32_t>(
+          rng.uniform(1, config.max_run_blocks));
+      if (rng.chance(config.jump_probability) ||
+          pos + run > base + config.region_blocks) {
+        pos = base + rng.uniform_u64(0, config.region_blocks - run);
+      }
+      records.push_back(TraceRecord{clock, c,
+                                    rng.chance(config.write_fraction), pos,
+                                    run});
+      pos += run;
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.issue_at < b.issue_at;
+                   });
+  return records;
+}
+
+namespace {
+
+sim::Task<> client_stream(raid::ArrayController& engine,
+                          std::vector<TraceRecord> mine,
+                          TraceReplayResult& result) {
+  auto& sim = engine.simulation();
+  const std::uint32_t bs = engine.block_bytes();
+  const int node =
+      mine.empty() ? 0 : mine.front().client %
+                             engine.fabric().cluster().num_nodes();
+  std::vector<std::byte> buffer;
+  for (const TraceRecord& r : mine) {
+    if (sim.now() < r.issue_at) co_await sim.delay(r.issue_at - sim.now());
+    buffer.assign(static_cast<std::size_t>(r.nblocks) * bs, std::byte{0});
+    const sim::Time t0 = sim.now();
+    if (r.is_write) {
+      co_await engine.write(node, r.lba, buffer);
+      result.write_latency.add(sim.now() - t0);
+      result.bytes_written += buffer.size();
+    } else {
+      co_await engine.read(node, r.lba, r.nblocks, buffer);
+      result.read_latency.add(sim.now() - t0);
+      result.bytes_read += buffer.size();
+    }
+  }
+}
+
+}  // namespace
+
+TraceReplayResult replay_trace(raid::ArrayController& engine,
+                               const std::vector<TraceRecord>& records) {
+  auto& sim = engine.simulation();
+  const std::uint32_t bs = engine.block_bytes();
+  (void)bs;
+  std::map<int, std::vector<TraceRecord>> per_client;
+  for (const TraceRecord& r : records) {
+    if (r.lba + r.nblocks > engine.logical_blocks()) {
+      throw std::invalid_argument("trace record beyond engine capacity");
+    }
+    per_client[r.client].push_back(r);
+  }
+
+  TraceReplayResult result;
+  const sim::Time start = sim.now();
+  for (auto& [client, recs] : per_client) {
+    sim.spawn(client_stream(engine, std::move(recs), result));
+  }
+  sim.run();
+  result.elapsed = sim.now() - start;
+  result.aggregate_mbs = sim::bandwidth_mbs(
+      result.bytes_read + result.bytes_written, result.elapsed);
+  return result;
+}
+
+}  // namespace raidx::workload

@@ -1,0 +1,176 @@
+// Striped-checkpointing tests: placement properties, strategy semantics,
+// and the two recovery paths.
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.hpp"
+#include "test_util.hpp"
+
+namespace raidx::ckpt {
+namespace {
+
+using test::Rig;
+
+CheckpointConfig small_config() {
+  CheckpointConfig cfg;
+  cfg.processes = 4;
+  cfg.bytes_per_process = 16 * 512;  // 8 stripes of 4 x 512 B
+  cfg.rounds = 2;
+  cfg.compute_between = sim::milliseconds(50);
+  return cfg;
+}
+
+TEST(CheckpointPlacement, LocalImagePlacementPutsImagesOnOwnNode) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  const auto& layout = eng.raidx();
+  const auto& geo = layout.geometry();
+  for (int proc = 0; proc < cfg.processes; ++proc) {
+    const int node = proc % geo.nodes;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const std::uint64_t lba = checkpoint_stripe_lba(eng, cfg, proc, i);
+      const std::uint64_t stripe = layout.stripe_of(lba);
+      EXPECT_EQ(layout.image_node(stripe), node)
+          << "proc " << proc << " stripe index " << i;
+      // The clustered run is on a disk of this process's node.
+      const auto imgs = layout.stripe_images(stripe);
+      EXPECT_EQ(geo.node_of(imgs.clustered.disk), node);
+    }
+  }
+}
+
+TEST(CheckpointPlacement, ProcessesGetDisjointStripes) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.processes = 8;  // two lanes per node
+  std::set<std::uint64_t> seen;
+  for (int proc = 0; proc < cfg.processes; ++proc) {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      const std::uint64_t lba = checkpoint_stripe_lba(eng, cfg, proc, i);
+      EXPECT_TRUE(seen.insert(lba).second)
+          << "proc " << proc << " index " << i << " reuses lba " << lba;
+    }
+  }
+}
+
+TEST(CheckpointPlacement, NaivePlacementUsedForNonRaidx) {
+  Rig rig(test::small_cluster());
+  raid::Raid0Controller eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  const std::uint64_t region = eng.logical_blocks() / cfg.processes;
+  EXPECT_EQ(checkpoint_stripe_lba(eng, cfg, 2, 0), 2 * region);
+}
+
+TEST(CheckpointRun, AllStrategiesCompleteAndMeasure) {
+  for (auto [st, waves] : {std::pair{Strategy::kSimultaneous, 1},
+                           std::pair{Strategy::kStaggered, 4},
+                           std::pair{Strategy::kStripedStaggered, 2}}) {
+    Rig rig(test::small_cluster());
+    raid::RaidxController eng(rig.fabric);
+    CheckpointConfig cfg = small_config();
+    cfg.strategy = st;
+    cfg.waves = waves;
+    const auto r = run_checkpoint(eng, cfg);
+    EXPECT_GT(r.total_elapsed, 0) << strategy_name(st);
+    EXPECT_GT(r.overhead_c, 0) << strategy_name(st);
+    EXPECT_EQ(r.procs.size(), 4u);
+    for (const auto& p : r.procs) EXPECT_GT(p.write_total, 0);
+  }
+}
+
+TEST(CheckpointRun, StaggeredSerializesMoreThanSimultaneous) {
+  auto run_with = [](Strategy st, int waves) {
+    Rig rig(test::small_cluster());
+    raid::RaidxController eng(rig.fabric);
+    CheckpointConfig cfg = small_config();
+    cfg.strategy = st;
+    cfg.waves = waves;
+    return run_checkpoint(eng, cfg);
+  };
+  const auto sim = run_with(Strategy::kSimultaneous, 1);
+  const auto stag = run_with(Strategy::kStaggered, 4);
+  // Full staggering serializes the writes: per-round overhead must exceed
+  // the all-parallel case.
+  EXPECT_GT(stag.overhead_c, sim.overhead_c);
+}
+
+TEST(CheckpointRun, CheckpointDataIsActuallyOnDisk) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.rounds = 1;
+  cfg.compute_between = 0;
+  (void)run_checkpoint(eng, cfg);
+  // Every checkpoint stripe must hold the written 0xcc payload.
+  const std::uint32_t bs = eng.block_bytes();
+  for (int proc = 0; proc < cfg.processes; ++proc) {
+    const std::uint64_t lba = checkpoint_stripe_lba(eng, cfg, proc, 0);
+    const auto pb = eng.raidx().data_location(lba);
+    const auto data = rig.cluster.disk(pb.disk).read_data(pb.offset, 1);
+    for (std::uint32_t i = 0; i < bs; ++i) {
+      ASSERT_EQ(data[i], std::byte{0xcc}) << "proc " << proc;
+    }
+  }
+}
+
+TEST(CheckpointRecovery, BothPathsReturnTheCheckpointTimed) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.rounds = 1;
+  cfg.compute_between = 0;
+  (void)run_checkpoint(eng, cfg);
+
+  sim::Time t_local = 0, t_striped = 0;
+  auto probe = [](raid::RaidxController* e, const CheckpointConfig* c,
+                  sim::Time* local, sim::Time* striped) -> sim::Task<> {
+    *local = co_await recover_from_local_mirror(*e, *c, 1);
+    *striped = co_await recover_striped(*e, *c, 1);
+  };
+  rig.run(probe(&eng, &cfg, &t_local, &t_striped));
+  EXPECT_GT(t_local, 0);
+  EXPECT_GT(t_striped, 0);
+}
+
+TEST(CheckpointRecovery, StripedPathSurvivesDiskFailure) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.rounds = 1;
+  cfg.compute_between = 0;
+  (void)run_checkpoint(eng, cfg);
+  rig.cluster.disk(1).fail();
+  sim::Time t = 0;
+  auto probe = [](raid::RaidxController* e, const CheckpointConfig* c,
+                  sim::Time* out) -> sim::Task<> {
+    *out = co_await recover_striped(*e, *c, 0);
+  };
+  rig.run(probe(&eng, &cfg, &t));
+  EXPECT_GT(t, 0);
+}
+
+TEST(CheckpointRun, SyncOverheadReflectsComputeSkew) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.compute_between = sim::seconds(1.0);  // +-10% skew -> ~50-100 ms waits
+  const auto r = run_checkpoint(eng, cfg);
+  EXPECT_GT(r.sync_s, 0);
+  EXPECT_LT(r.sync_s, sim::milliseconds(200));
+}
+
+TEST(CheckpointRun, WorksOnTwoDimensionalArray) {
+  Rig rig(test::small_cluster(4, 3));
+  raid::RaidxController eng(rig.fabric);
+  CheckpointConfig cfg = small_config();
+  cfg.processes = 12;
+  cfg.strategy = Strategy::kStripedStaggered;
+  cfg.waves = 3;
+  const auto r = run_checkpoint(eng, cfg);
+  EXPECT_GT(r.total_elapsed, 0);
+  EXPECT_EQ(r.procs.size(), 12u);
+}
+
+}  // namespace
+}  // namespace raidx::ckpt

@@ -1,0 +1,137 @@
+// Cluster and geometry tests: disk naming, parameter propagation, CPU
+// serialization.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "test_util.hpp"
+
+namespace raidx::cluster {
+namespace {
+
+TEST(Geometry, DiskIdRoundTrips) {
+  for (int n : {2, 4, 7, 16}) {
+    for (int k : {1, 2, 3, 5}) {
+      block::ArrayGeometry g;
+      g.nodes = n;
+      g.disks_per_node = k;
+      for (int row = 0; row < k; ++row) {
+        for (int node = 0; node < n; ++node) {
+          const int id = g.disk_id(row, node);
+          EXPECT_EQ(g.node_of(id), node);
+          EXPECT_EQ(g.row_of(id), row);
+          EXPECT_LT(id, g.total_disks());
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, PaperNamingConvention) {
+  // D(g*n + j) is the g-th disk of node j; Fig. 3's 4x3 example.
+  block::ArrayGeometry g;
+  g.nodes = 4;
+  g.disks_per_node = 3;
+  EXPECT_EQ(g.disk_id(0, 0), 0);   // D0 = row 0, node 0
+  EXPECT_EQ(g.disk_id(0, 3), 3);   // D3 = row 0, node 3
+  EXPECT_EQ(g.disk_id(1, 0), 4);   // D4 = row 1, node 0
+  EXPECT_EQ(g.disk_id(2, 3), 11);  // D11 = row 2, node 3
+}
+
+TEST(Geometry, CapacityArithmetic) {
+  block::ArrayGeometry g;
+  g.nodes = 16;
+  g.disks_per_node = 2;
+  g.blocks_per_disk = 1000;
+  g.block_bytes = 4096;
+  EXPECT_EQ(g.total_disks(), 32);
+  EXPECT_EQ(g.total_blocks(), 32'000u);
+  EXPECT_EQ(g.bytes_per_disk(), 4'096'000u);
+}
+
+TEST(Geometry, ValidityChecks) {
+  block::ArrayGeometry g;
+  EXPECT_TRUE(g.valid());
+  g.nodes = 1;
+  EXPECT_FALSE(g.valid());
+  g.nodes = 4;
+  g.disks_per_node = 0;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(Cluster, RejectsInvalidGeometry) {
+  sim::Simulation sim;
+  ClusterParams p = ClusterParams::trojans();
+  p.geometry.nodes = 1;
+  EXPECT_THROW(Cluster(sim, p), std::invalid_argument);
+}
+
+TEST(Cluster, WiresEveryDiskToItsNode) {
+  sim::Simulation sim;
+  Cluster cluster(sim, ClusterParams::trojans_4x3());
+  EXPECT_EQ(cluster.num_nodes(), 4);
+  EXPECT_EQ(cluster.total_disks(), 12);
+  for (int d = 0; d < 12; ++d) {
+    // Each global disk resolves to a live disk object.
+    EXPECT_FALSE(cluster.disk(d).failed());
+  }
+  // The same physical disk is reachable via its node's local index.
+  auto& via_global = cluster.disk(cluster.geometry().disk_id(2, 1));
+  auto& via_node = cluster.node(1).local_disk(2);
+  EXPECT_EQ(&via_global, &via_node);
+}
+
+TEST(Cluster, ForcesDiskModelToMatchGeometry) {
+  sim::Simulation sim;
+  ClusterParams p = ClusterParams::trojans();
+  p.geometry.block_bytes = 8192;
+  p.geometry.blocks_per_disk = 1234;
+  p.disk.block_bytes = 512;       // inconsistent on purpose
+  p.disk.total_blocks = 999'999;
+  Cluster cluster(sim, p);
+  EXPECT_EQ(cluster.disk(0).params().block_bytes, 8192u);
+  EXPECT_EQ(cluster.disk(0).params().total_blocks, 1234u);
+}
+
+sim::Task<> burn(Node& node, int times, std::uint64_t bytes) {
+  for (int i = 0; i < times; ++i) co_await node.cpu_work(bytes);
+}
+
+TEST(Node, CpuSerializesWork) {
+  sim::Simulation sim;
+  Cluster cluster(sim, test::small_cluster());
+  auto& node = cluster.node(0);
+  sim.spawn(burn(node, 4, 1000));
+  sim.spawn(burn(node, 4, 1000));
+  sim.run();
+  // 8 ops of (150 us + 60 us) strictly serialized.
+  const sim::Time per_op = sim::microseconds(150) +
+                           sim::nanoseconds(60 * 1000);
+  EXPECT_EQ(sim.now(), 8 * per_op);
+  EXPECT_EQ(node.cpu_busy(), sim.now());
+}
+
+TEST(Node, ComputeChargesRawTime) {
+  sim::Simulation sim;
+  Cluster cluster(sim, test::small_cluster());
+  auto task = [](Node& n) -> sim::Task<> {
+    co_await n.compute(sim::milliseconds(7));
+  };
+  sim.spawn(task(cluster.node(2)));
+  sim.run();
+  EXPECT_EQ(sim.now(), sim::milliseconds(7));
+}
+
+TEST(ClusterParams, TrojansDefaultsMatchThePaper) {
+  const auto p = ClusterParams::trojans();
+  EXPECT_EQ(p.geometry.nodes, 16);
+  EXPECT_EQ(p.geometry.disks_per_node, 1);
+  EXPECT_EQ(p.geometry.block_bytes, 32'768u);  // the 32 KB stripe unit
+  // 16 x 10 GB disks.
+  EXPECT_NEAR(static_cast<double>(p.geometry.total_blocks()) *
+                  p.geometry.block_bytes,
+              16 * 10.74e9, 0.5e9);
+  EXPECT_DOUBLE_EQ(p.net.link_mbs, 12.5);  // 100 Mbps Fast Ethernet
+}
+
+}  // namespace
+}  // namespace raidx::cluster

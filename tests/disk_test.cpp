@@ -1,0 +1,212 @@
+// Unit tests for the disk model: mechanical timing, sequential detection,
+// priority scheduling, byte store, and fault injection.
+#include <gtest/gtest.h>
+
+#include "disk/disk.hpp"
+#include "sim/event_queue.hpp"
+
+namespace raidx::disk {
+namespace {
+
+DiskParams tiny_params() {
+  DiskParams p;
+  p.block_bytes = 4096;
+  p.total_blocks = 100'000;
+  return p;
+}
+
+TEST(DiskModel, SequentialAccessSkipsSeekAndRotation) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  const sim::Time sequential = d.service_time(0, 1, /*sequential=*/true);
+  const sim::Time random = d.service_time(50'000, 1, /*sequential=*/false);
+  EXPECT_LT(sequential, random);
+  // Sequential = controller overhead + media transfer only.
+  const sim::Time expected =
+      tiny_params().controller_overhead +
+      sim::transfer_time(4096, tiny_params().media_rate_mbs);
+  EXPECT_EQ(sequential, expected);
+}
+
+TEST(DiskModel, SeekTimeGrowsWithDistance) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  const sim::Time near = d.service_time(1'000, 1, false);
+  const sim::Time mid = d.service_time(25'000, 1, false);
+  const sim::Time far = d.service_time(99'000, 1, false);
+  EXPECT_LT(near, mid);
+  EXPECT_LT(mid, far);
+}
+
+TEST(DiskModel, LargerTransfersTakeLonger) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  const sim::Time one = d.service_time(0, 1, true);
+  const sim::Time eight = d.service_time(0, 8, true);
+  // 8 blocks move 8x the data but pay the fixed overhead once.
+  EXPECT_GT(eight, one);
+  EXPECT_LT(eight, 8 * one);
+}
+
+sim::Task<> do_io(Disk& d, IoKind kind, std::uint64_t block,
+                  std::uint32_t nblocks, IoPriority prio,
+                  std::vector<std::pair<int, sim::Time>>* done, int id,
+                  sim::Simulation& sim) {
+  co_await d.io(kind, block, nblocks, prio);
+  if (done) done->emplace_back(id, sim.now());
+}
+
+TEST(DiskModel, BackToBackSequentialIsFasterThanScattered) {
+  sim::Simulation sim1;
+  Disk seq(sim1, tiny_params(), 0);
+  for (int i = 0; i < 8; ++i) {
+    sim1.spawn(do_io(seq, IoKind::kRead,
+                     static_cast<std::uint64_t>(i), 1,
+                     IoPriority::kForeground, nullptr, i, sim1));
+  }
+  sim1.run();
+
+  sim::Simulation sim2;
+  Disk scat(sim2, tiny_params(), 0);
+  for (int i = 0; i < 8; ++i) {
+    sim2.spawn(do_io(scat, IoKind::kRead,
+                     static_cast<std::uint64_t>(i) * 12'000, 1,
+                     IoPriority::kForeground, nullptr, i, sim2));
+  }
+  sim2.run();
+  EXPECT_LT(sim1.now(), sim2.now() / 2);
+}
+
+TEST(DiskModel, ForegroundOvertakesQueuedBackground) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  std::vector<std::pair<int, sim::Time>> done;
+  // One op occupies the arm; then one background and one foreground queue.
+  sim.spawn(do_io(d, IoKind::kRead, 0, 1, IoPriority::kForeground, &done, 0,
+                  sim));
+  sim.spawn(do_io(d, IoKind::kRead, 10'000, 1, IoPriority::kBackground,
+                  &done, 1, sim));
+  sim.spawn(do_io(d, IoKind::kRead, 20'000, 1, IoPriority::kForeground,
+                  &done, 2, sim));
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0].first, 0);
+  EXPECT_EQ(done[1].first, 2);  // foreground overtook
+  EXPECT_EQ(done[2].first, 1);
+}
+
+TEST(DiskModel, StoresAndReturnsBytes) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  std::vector<std::byte> data(4096 * 2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 37);
+  }
+  d.write_data(10, data);
+  EXPECT_EQ(d.read_data(10, 2), data);
+}
+
+TEST(DiskModel, UnwrittenBlocksReadZero) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  auto out = d.read_data(42, 1);
+  for (std::byte b : out) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(DiskModel, StoreDataOffDiscardsWrites) {
+  sim::Simulation sim;
+  auto p = tiny_params();
+  p.store_data = false;
+  Disk d(sim, p, 0);
+  std::vector<std::byte> data(4096, std::byte{0xff});
+  d.write_data(5, data);
+  for (std::byte b : d.read_data(5, 1)) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(DiskModel, FailedDiskThrows) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 7);
+  d.fail();
+  bool threw = false;
+  auto probe = [](Disk& disk, bool* out) -> sim::Task<> {
+    try {
+      co_await disk.io(IoKind::kRead, 0, 1);
+    } catch (const DiskFailedError& e) {
+      EXPECT_EQ(e.disk_id, 7);
+      *out = true;
+    }
+  };
+  sim.spawn(probe(d, &threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(DiskModel, ReplaceClearsContentsAndHeals) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  std::vector<std::byte> data(4096, std::byte{0xaa});
+  d.write_data(3, data);
+  d.fail();
+  EXPECT_TRUE(d.failed());
+  d.replace();
+  EXPECT_FALSE(d.failed());
+  for (std::byte b : d.read_data(3, 1)) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(DiskModel, CountsOpsAndBytes) {
+  sim::Simulation sim;
+  Disk d(sim, tiny_params(), 0);
+  sim.spawn(do_io(d, IoKind::kRead, 0, 4, IoPriority::kForeground, nullptr,
+                  0, sim));
+  sim.spawn(do_io(d, IoKind::kWrite, 100, 2, IoPriority::kForeground,
+                  nullptr, 1, sim));
+  sim.run();
+  EXPECT_EQ(d.reads(), 1u);
+  EXPECT_EQ(d.writes(), 1u);
+  EXPECT_EQ(d.bytes_read(), 4u * 4096);
+  EXPECT_EQ(d.bytes_written(), 2u * 4096);
+  EXPECT_GT(d.busy_time(), 0);
+}
+
+TEST(ScsiBusModel, SerializesTransfers) {
+  sim::Simulation sim;
+  BusParams bp;
+  ScsiBus bus(sim, bp);
+  auto xfer = [](ScsiBus& b, std::uint64_t bytes) -> sim::Task<> {
+    co_await b.transfer(bytes);
+  };
+  sim.spawn(xfer(bus, 1'000'000));
+  sim.spawn(xfer(bus, 1'000'000));
+  sim.run();
+  // Two 1 MB transfers at 40 MB/s serialized: >= 50 ms.
+  EXPECT_GE(sim.now(), sim::milliseconds(50));
+}
+
+TEST(ScsiBusModel, DisksOnSharedBusPipelineMechWithTransfer) {
+  // Two disks on one bus: disk B's media phase overlaps disk A's bus
+  // phase, so the pair finishes sooner than strict serialization.
+  sim::Simulation sim;
+  BusParams bp;
+  ScsiBus bus(sim, bp);
+  auto p = tiny_params();
+  Disk a(sim, p, 0, &bus);
+  Disk b(sim, p, 1, &bus);
+  sim.spawn(do_io(a, IoKind::kRead, 50'000, 64, IoPriority::kForeground,
+                  nullptr, 0, sim));
+  sim.spawn(do_io(b, IoKind::kRead, 50'000, 64, IoPriority::kForeground,
+                  nullptr, 1, sim));
+  sim.run();
+  const sim::Time together = sim.now();
+
+  sim::Simulation sim2;
+  ScsiBus bus2(sim2, bp);
+  Disk c(sim2, p, 0, &bus2);
+  const sim::Time one_mech = c.service_time(50'000, 64, false);
+  const sim::Time one_bus =
+      bp.arbitration + sim::transfer_time(64 * 4096, bp.rate_mbs);
+  // Strictly serialized would be 2 * (mech + bus); overlap must beat it.
+  EXPECT_LT(together, 2 * (one_mech + one_bus));
+}
+
+}  // namespace
+}  // namespace raidx::disk

@@ -1,0 +1,127 @@
+// Unit tests for the switched-Ethernet model: serialization, pipelining,
+// port contention, loopback.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace raidx::net {
+namespace {
+
+sim::Task<> send(Network& net, int from, int to, std::uint64_t bytes,
+                 sim::Simulation& sim, sim::Time* done_at = nullptr) {
+  co_await net.transmit(from, to, bytes);
+  if (done_at) *done_at = sim.now();
+}
+
+TEST(NetworkModel, SingleMessageLatency) {
+  sim::Simulation sim;
+  NetParams p;
+  Network net(sim, p, 4);
+  sim::Time done = 0;
+  sim.spawn(send(net, 0, 1, 32'768, sim, &done));
+  sim.run();
+  const sim::Time wire = sim::transfer_time(32'768, p.effective_mbs());
+  // TX serialization + switch latency + RX serialization.
+  EXPECT_EQ(done, p.per_message_overhead + wire + p.switch_latency + wire);
+}
+
+TEST(NetworkModel, LoopbackIsFree) {
+  sim::Simulation sim;
+  Network net(sim, NetParams{}, 4);
+  sim::Time done = -1;
+  sim.spawn(send(net, 2, 2, 1'000'000, sim, &done));
+  sim.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(NetworkModel, SerialStreamPaysBothSerializationPhases) {
+  // One synchronous request stream (each message awaited before the next)
+  // cannot overlap its TX and RX phases: it lands near half the link rate.
+  // This is why the array controllers keep a window of outstanding chunks.
+  sim::Simulation sim;
+  NetParams p;
+  Network net(sim, p, 2);
+  const int messages = 100;
+  const std::uint64_t bytes = 65'536;
+  auto stream = [](Network& n, int count, std::uint64_t sz) -> sim::Task<> {
+    for (int i = 0; i < count; ++i) co_await n.transmit(0, 1, sz);
+  };
+  sim.spawn(stream(net, messages, bytes));
+  sim.run();
+  const double achieved =
+      sim::bandwidth_mbs(static_cast<std::uint64_t>(messages) * bytes,
+                         sim.now());
+  EXPECT_GT(achieved, p.effective_mbs() * 0.40);
+  EXPECT_LT(achieved, p.effective_mbs() * 0.60);
+}
+
+TEST(NetworkModel, TwoOutstandingMessagesPipelineToLinkRate) {
+  // With >= 2 messages in flight, TX of one overlaps RX of the previous:
+  // sustained throughput approaches the effective link rate.
+  sim::Simulation sim;
+  NetParams p;
+  Network net(sim, p, 2);
+  const int messages = 100;
+  const std::uint64_t bytes = 65'536;
+  auto stream = [](Network& n, int count, std::uint64_t sz) -> sim::Task<> {
+    for (int i = 0; i < count; ++i) co_await n.transmit(0, 1, sz);
+  };
+  sim.spawn(stream(net, messages / 2, bytes));
+  sim.spawn(stream(net, messages / 2, bytes));
+  sim.run();
+  const double achieved =
+      sim::bandwidth_mbs(static_cast<std::uint64_t>(messages) * bytes,
+                         sim.now());
+  EXPECT_GT(achieved, p.effective_mbs() * 0.80);
+  EXPECT_LE(achieved, p.effective_mbs() * 1.01);
+}
+
+TEST(NetworkModel, FanInContendsOnReceiverPort) {
+  // N senders to one receiver share its RX port: aggregate caps at one
+  // link's rate -- the NFS-collapse mechanism.
+  sim::Simulation sim;
+  NetParams p;
+  Network net(sim, p, 9);
+  const std::uint64_t bytes = 262'144;
+  auto stream = [](Network& n, int from, std::uint64_t sz) -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) co_await n.transmit(from, 0, sz);
+  };
+  for (int s = 1; s <= 8; ++s) sim.spawn(stream(net, s, bytes));
+  sim.run();
+  const double aggregate =
+      sim::bandwidth_mbs(8ull * 10 * bytes, sim.now());
+  EXPECT_LE(aggregate, p.effective_mbs() * 1.05);
+}
+
+TEST(NetworkModel, DisjointPairsDoNotInterfere) {
+  sim::Simulation sim;
+  NetParams p;
+  Network net(sim, p, 4);
+  sim::Time done01 = 0, done23 = 0;
+  sim.spawn(send(net, 0, 1, 1'000'000, sim, &done01));
+  sim.spawn(send(net, 2, 3, 1'000'000, sim, &done23));
+  sim.run();
+  EXPECT_EQ(done01, done23);  // full bisection: no shared resource
+}
+
+TEST(NetworkModel, CountsTraffic) {
+  sim::Simulation sim;
+  Network net(sim, NetParams{}, 3);
+  sim.spawn(send(net, 0, 1, 1000, sim));
+  sim.spawn(send(net, 0, 2, 2000, sim));
+  sim.run();
+  EXPECT_EQ(net.bytes_sent(0), 3000u);
+  EXPECT_EQ(net.messages_sent(0), 2u);
+  EXPECT_EQ(net.bytes_sent(1), 0u);
+}
+
+TEST(NetworkModel, EffectiveRateBelowRawRate) {
+  NetParams p;
+  EXPECT_LT(p.effective_mbs(), p.link_mbs);
+  EXPECT_GT(p.effective_mbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace raidx::net

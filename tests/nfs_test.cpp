@@ -1,0 +1,99 @@
+// NFS-baseline tests: central-server structure and its bottlenecks.
+#include <gtest/gtest.h>
+
+#include "nfs/nfs.hpp"
+#include "test_util.hpp"
+#include "workload/parallel_io.hpp"
+
+namespace raidx::nfs {
+namespace {
+
+using test::Rig;
+
+TEST(Nfs, AllBlocksLiveOnTheServer) {
+  Rig rig(test::small_cluster(4, 2));
+  NfsEngine eng(rig.fabric);
+  const auto& geo = rig.cluster.geometry();
+  for (std::uint64_t b = 0; b < 256; ++b) {
+    const auto pb = eng.layout().data_location(b);
+    EXPECT_EQ(geo.node_of(pb.disk), eng.server_node());
+  }
+}
+
+TEST(Nfs, StripesOverTheServersLocalDisks) {
+  Rig rig(test::small_cluster(4, 2));
+  NfsEngine eng(rig.fabric);
+  std::set<int> disks;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    disks.insert(eng.layout().data_location(b).disk);
+  }
+  EXPECT_EQ(disks.size(), 2u);  // k = 2 local disks
+}
+
+TEST(Nfs, CapacityIsTheServersDisks) {
+  Rig rig(test::small_cluster(4, 2));
+  NfsEngine eng(rig.fabric);
+  EXPECT_EQ(eng.logical_blocks(),
+            2 * rig.cluster.geometry().blocks_per_disk);
+}
+
+TEST(Nfs, RemoteClientTrafficFlowsThroughServerPort) {
+  Rig rig(test::small_cluster());
+  NfsEngine eng(rig.fabric);
+  auto scenario = [](NfsEngine* e) -> sim::Task<> {
+    std::vector<std::byte> buf(e->block_bytes() * 4);
+    co_await e->read(2, 0, 4, buf);
+  };
+  rig.run(scenario(&eng));
+  EXPECT_GT(rig.cluster.network().bytes_sent(eng.server_node()), 0u);
+  EXPECT_GT(rig.cluster.network().bytes_sent(2), 0u);
+}
+
+TEST(Nfs, AggregateBandwidthCapsNearOneLink) {
+  auto p = test::small_cluster(8, 1, 8192, 8192);
+  p.disk.store_data = false;
+  // A fast server disk so the network port is the binding constraint.
+  p.disk.media_rate_mbs = 1000.0;
+  p.disk.track_to_track_seek = 0;
+  p.disk.full_stroke_seek = 0;
+  p.node.cpu_ns_per_byte = 1.0;
+  Rig rig(p);
+  NfsEngine eng(rig.fabric, raid::EngineParams{},
+                NfsParams{.server_extra_ns_per_byte = 1.0});
+  workload::ParallelIoConfig cfg;
+  cfg.clients = 7;
+  cfg.op = workload::IoOp::kRead;
+  cfg.bytes_per_op = 256 * 8192;
+  cfg.exclude_node = eng.server_node();
+  const auto r = workload::run_parallel_io(eng, cfg);
+  EXPECT_LE(r.aggregate_mbs, rig.cluster.params().net.effective_mbs() * 1.1);
+}
+
+TEST(Nfs, ServerReadaheadWidensReadChunks) {
+  Rig rig(test::small_cluster());
+  NfsParams np;
+  np.server_readahead_blocks = 8;
+  NfsEngine eng(rig.fabric, raid::EngineParams{}, np);
+  auto scenario = [](NfsEngine* e) -> sim::Task<> {
+    std::vector<std::byte> buf(e->block_bytes() * 16);
+    co_await e->read(1, 0, 16, buf);
+  };
+  rig.run(scenario(&eng));
+  // 16 blocks at readahead 8 -> at most 2 disk reads + maybe boundary.
+  EXPECT_LE(rig.cluster.disk(0).reads(), 3u);
+}
+
+TEST(Nfs, FailedServerDiskFailsRequests) {
+  Rig rig(test::small_cluster());
+  NfsEngine eng(rig.fabric);
+  rig.cluster.disk(eng.server_node()).fail();
+  auto scenario = [](NfsEngine* e) -> sim::Task<> {
+    std::vector<std::byte> buf(e->block_bytes());
+    co_await e->read(1, 0, 1, buf);
+  };
+  rig.sim.spawn(scenario(&eng));
+  EXPECT_THROW(rig.sim.run(), raid::IoError);
+}
+
+}  // namespace
+}  // namespace raidx::nfs

@@ -1,0 +1,377 @@
+// Unit tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/join.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(milliseconds(1.5), 1'500'000);
+  EXPECT_EQ(microseconds(2.0), 2'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3.25)), 3.25);
+}
+
+TEST(Time, TransferTime) {
+  // 1 MB at 10 MB/s = 0.1 s.
+  EXPECT_EQ(transfer_time(1'000'000, 10.0), seconds(0.1));
+  EXPECT_DOUBLE_EQ(bandwidth_mbs(1'000'000, seconds(0.1)), 10.0);
+  EXPECT_DOUBLE_EQ(bandwidth_mbs(123, 0), 0.0);
+}
+
+Task<> simple_delayer(Simulation& sim, Time d, int* out) {
+  co_await sim.delay(d);
+  *out = 42;
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  int result = 0;
+  sim.spawn(simple_delayer(sim, milliseconds(5), &result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+}
+
+TEST(Simulation, CallbacksFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimestampsFireInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.schedule(milliseconds(10), [&] { ++fired; });
+  EXPECT_FALSE(sim.run_until(milliseconds(5)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(5));
+  EXPECT_TRUE(sim.run_until(milliseconds(100)));
+  EXPECT_EQ(fired, 2);
+}
+
+Task<int> answer() { co_return 7; }
+
+Task<> chain(int* out) {
+  int v = co_await answer();
+  *out = v * 6;
+}
+
+TEST(Task, ValueTasksCompose) {
+  Simulation sim;
+  int result = 0;
+  sim.spawn(chain(&result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+Task<> thrower() {
+  throw std::runtime_error("boom");
+  co_return;
+}
+
+Task<> catcher(bool* caught) {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Task, ExceptionsPropagateAcrossAwait) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(catcher(&caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, TopLevelExceptionSurfacesFromRun) {
+  Simulation sim;
+  sim.spawn(thrower());
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task<> hold_resource(Simulation& sim, Resource& r, Time hold,
+                     std::vector<int>* order, int id) {
+  auto guard = co_await r.acquire();
+  order->push_back(id);
+  co_await sim.delay(hold);
+}
+
+TEST(Resource, SerializesAtCapacityOne) {
+  Simulation sim;
+  Resource r(sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(hold_resource(sim, r, milliseconds(2), &order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  // 4 holders x 2 ms, serialized.
+  EXPECT_EQ(sim.now(), milliseconds(8));
+}
+
+TEST(Resource, CapacityTwoOverlaps) {
+  Simulation sim;
+  Resource r(sim, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn(hold_resource(sim, r, milliseconds(2), &order, i));
+  }
+  sim.run();
+  EXPECT_EQ(sim.now(), milliseconds(4));
+}
+
+Task<> hold_with_priority(Simulation& sim, Resource& r, int prio,
+                          std::vector<int>* order, int id) {
+  auto guard = co_await r.acquire(prio);
+  order->push_back(id);
+  co_await sim.delay(milliseconds(1));
+}
+
+Task<> priority_scenario(Simulation& sim, Resource& r,
+                         std::vector<int>* order) {
+  // Occupy the resource, then queue a background and a foreground waiter;
+  // the foreground waiter must be served first despite arriving second.
+  auto guard = co_await r.acquire();
+  sim.spawn(hold_with_priority(sim, r, 1, order, 100));  // background
+  co_await sim.delay(milliseconds(1));
+  sim.spawn(hold_with_priority(sim, r, 0, order, 200));  // foreground
+  co_await sim.delay(milliseconds(1));
+}
+
+TEST(Resource, ForegroundOvertakesBackground) {
+  Simulation sim;
+  Resource r(sim, 1, /*priority_levels=*/2);
+  std::vector<int> order;
+  sim.spawn(priority_scenario(sim, r, &order));
+  sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 200);
+  EXPECT_EQ(order[1], 100);
+}
+
+TEST(Resource, BusyTimeTracksUtilization) {
+  Simulation sim;
+  Resource r(sim, 1);
+  std::vector<int> order;
+  sim.spawn(hold_resource(sim, r, milliseconds(3), &order, 0));
+  sim.run();
+  EXPECT_EQ(r.busy_time(), milliseconds(3));
+}
+
+Task<> producer(Simulation& sim, Channel<int>& ch, int count) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.delay(milliseconds(1));
+    ch.send(i);
+  }
+}
+
+Task<> consumer(Channel<int>& ch, int count, std::vector<int>* got) {
+  for (int i = 0; i < count; ++i) {
+    got->push_back(co_await ch.recv());
+  }
+}
+
+TEST(Channel, DeliversInOrder) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn(consumer(ch, 5, &got));
+  sim.spawn(producer(sim, ch, 5));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BuffersWhenNoReceiver) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(ch.pending(), 2u);
+  std::vector<int> got;
+  sim.spawn(consumer(ch, 2, &got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+Task<> oneshot_waiter(Oneshot<int>& os, int* got) { *got = co_await os.wait(); }
+
+Task<> oneshot_setter(Simulation& sim, Oneshot<int>& os) {
+  co_await sim.delay(milliseconds(2));
+  os.set(99);
+}
+
+TEST(Oneshot, DeliversValue) {
+  Simulation sim;
+  Oneshot<int> os(sim);
+  int got = 0;
+  sim.spawn(oneshot_waiter(os, &got));
+  sim.spawn(oneshot_setter(sim, os));
+  sim.run();
+  EXPECT_EQ(got, 99);
+  EXPECT_EQ(sim.now(), milliseconds(2));
+}
+
+Task<> barrier_party(Simulation& sim, Barrier& b, Time arrive_at,
+                     std::vector<Time>* release_times) {
+  co_await sim.delay(arrive_at);
+  co_await b.arrive_and_wait();
+  release_times->push_back(sim.now());
+}
+
+TEST(Barrier, ReleasesAllAtLastArrival) {
+  Simulation sim;
+  Barrier b(sim, 3);
+  std::vector<Time> releases;
+  sim.spawn(barrier_party(sim, b, milliseconds(1), &releases));
+  sim.spawn(barrier_party(sim, b, milliseconds(5), &releases));
+  sim.spawn(barrier_party(sim, b, milliseconds(3), &releases));
+  sim.run();
+  ASSERT_EQ(releases.size(), 3u);
+  for (Time t : releases) EXPECT_EQ(t, milliseconds(5));
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Simulation sim;
+  Barrier b(sim, 2);
+  std::vector<Time> releases;
+  // Generation 1.
+  sim.spawn(barrier_party(sim, b, milliseconds(1), &releases));
+  sim.spawn(barrier_party(sim, b, milliseconds(2), &releases));
+  sim.run();
+  // Generation 2.
+  sim.spawn(barrier_party(sim, b, milliseconds(1), &releases));
+  sim.spawn(barrier_party(sim, b, milliseconds(4), &releases));
+  sim.run();
+  ASSERT_EQ(releases.size(), 4u);
+  EXPECT_EQ(releases[2], milliseconds(2) + milliseconds(4));
+}
+
+Task<> joiner_child(Simulation& sim, Time d, int* count) {
+  co_await sim.delay(d);
+  ++*count;
+}
+
+Task<> joiner_parent(Simulation& sim, int* count, Time* done_at) {
+  Joiner join(sim);
+  join.spawn(joiner_child(sim, milliseconds(1), count));
+  join.spawn(joiner_child(sim, milliseconds(7), count));
+  join.spawn(joiner_child(sim, milliseconds(3), count));
+  co_await join.wait();
+  *done_at = sim.now();
+}
+
+TEST(Joiner, WaitsForSlowestChild) {
+  Simulation sim;
+  int count = 0;
+  Time done_at = 0;
+  sim.spawn(joiner_parent(sim, &count, &done_at));
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(done_at, milliseconds(7));
+}
+
+Task<> failing_child() {
+  throw std::logic_error("child failed");
+  co_return;
+}
+
+Task<> joiner_child_noop(Simulation& sim, Time d) { co_await sim.delay(d); }
+
+Task<> joiner_failure_parent(Simulation& sim, bool* caught) {
+  Joiner join(sim);
+  join.spawn(failing_child());
+  join.spawn(joiner_child_noop(sim, milliseconds(2)));
+  try {
+    co_await join.wait();
+  } catch (const std::logic_error&) {
+    *caught = true;
+  }
+}
+
+TEST(Joiner, PropagatesChildException) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(joiner_failure_parent(sim, &caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(LatencyRecorder, SummarizesSamples) {
+  LatencyRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.add(milliseconds(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_EQ(rec.min(), milliseconds(1));
+  EXPECT_EQ(rec.max(), milliseconds(100));
+  EXPECT_DOUBLE_EQ(rec.mean(), static_cast<double>(milliseconds(50.5)));
+  // Nearest-rank: index round(0.5 * 99) = 50 -> the 51 ms sample.
+  EXPECT_EQ(rec.percentile(0.5), milliseconds(51));
+  EXPECT_EQ(rec.percentile(1.0), milliseconds(100));
+}
+
+TEST(Throughput, AggregatesOverSpan) {
+  Throughput t;
+  t.record(seconds(0.0), seconds(1.0), 5'000'000);
+  t.record(seconds(0.5), seconds(2.0), 5'000'000);
+  EXPECT_EQ(t.bytes(), 10'000'000u);
+  EXPECT_EQ(t.operations(), 2u);
+  // 10 MB over [0, 2] s = 5 MB/s.
+  EXPECT_DOUBLE_EQ(t.mb_per_s(), 5.0);
+}
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+  }
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng a(1);
+  Rng c = a.fork();
+  bool any_diff = false;
+  Rng b(1);
+  Rng d = b.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c.uniform(0, 1000), d.uniform(0, 1000));  // forks deterministic
+  }
+  Rng e(2);
+  Rng f = e.fork();
+  Rng g(1);
+  Rng h = g.fork();
+  for (int i = 0; i < 10; ++i) {
+    if (f.uniform(0, 1'000'000) != h.uniform(0, 1'000'000)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace raidx::sim

@@ -1,0 +1,122 @@
+// Trace record/replay tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+#include "workload/trace.hpp"
+
+namespace raidx::workload {
+namespace {
+
+using test::Rig;
+
+TEST(TraceFormat, ParsesWellFormedLines) {
+  const std::string text =
+      "# a comment\n"
+      "0 0 R 10 4\n"
+      "1500 1 W 200 1\n"
+      "\n"
+      "2000 0 R 14 2  # trailing comment\n";
+  const auto recs = parse_trace_string(text);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0], (TraceRecord{0, 0, false, 10, 4}));
+  EXPECT_EQ(recs[1],
+            (TraceRecord{sim::microseconds(1500), 1, true, 200, 1}));
+  EXPECT_EQ(recs[2],
+            (TraceRecord{sim::microseconds(2000), 0, false, 14, 2}));
+}
+
+TEST(TraceFormat, RejectsMalformedLines) {
+  EXPECT_THROW(parse_trace_string("0 0 X 10 4\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_string("0 0 R 10 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_trace_string("0 0 R\n"), std::invalid_argument);
+}
+
+TEST(TraceFormat, RoundTripsThroughFormat) {
+  TraceGenConfig cfg;
+  cfg.clients = 3;
+  cfg.ops_per_client = 10;
+  const auto recs = generate_trace(cfg);
+  const auto again = parse_trace_string(format_trace(recs));
+  ASSERT_EQ(again.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(again[i].client, recs[i].client);
+    EXPECT_EQ(again[i].is_write, recs[i].is_write);
+    EXPECT_EQ(again[i].lba, recs[i].lba);
+    EXPECT_EQ(again[i].nblocks, recs[i].nblocks);
+    // issue times round to whole microseconds in the text format
+    EXPECT_NEAR(static_cast<double>(again[i].issue_at),
+                static_cast<double>(recs[i].issue_at), 1e3);
+  }
+}
+
+TEST(TraceGen, RespectsConfig) {
+  TraceGenConfig cfg;
+  cfg.clients = 4;
+  cfg.ops_per_client = 25;
+  cfg.region_blocks = 128;
+  cfg.max_run_blocks = 4;
+  const auto recs = generate_trace(cfg);
+  EXPECT_EQ(recs.size(), 100u);
+  for (const auto& r : recs) {
+    EXPECT_LT(r.client, 4);
+    EXPECT_LE(r.nblocks, 4u);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(r.client) * 128;
+    EXPECT_GE(r.lba, base);
+    EXPECT_LE(r.lba + r.nblocks, base + 128);
+  }
+  // Sorted by issue time.
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].issue_at, recs[i].issue_at);
+  }
+}
+
+TEST(TraceGen, DeterministicPerSeed) {
+  TraceGenConfig cfg;
+  EXPECT_EQ(generate_trace(cfg), generate_trace(cfg));
+  cfg.seed += 1;
+  EXPECT_NE(generate_trace(cfg), generate_trace(TraceGenConfig{}));
+}
+
+TEST(TraceReplay, RunsAgainstAnEngine) {
+  auto params = test::small_cluster(4, 1, 4096, 4096);
+  params.disk.store_data = false;
+  Rig rig(params);
+  raid::RaidxController eng(rig.fabric);
+  TraceGenConfig cfg;
+  cfg.clients = 4;
+  cfg.ops_per_client = 20;
+  cfg.region_blocks = 256;
+  const auto recs = generate_trace(cfg);
+  const auto result = replay_trace(eng, recs);
+  EXPECT_GT(result.elapsed, 0);
+  EXPECT_GT(result.bytes_read + result.bytes_written, 0u);
+  EXPECT_EQ(result.read_latency.count() + result.write_latency.count(),
+            recs.size());
+  EXPECT_GT(result.aggregate_mbs, 0.0);
+}
+
+TEST(TraceReplay, HonorsIssueTimes) {
+  auto params = test::small_cluster(4, 1, 4096, 4096);
+  params.disk.store_data = false;
+  Rig rig(params);
+  raid::RaidxController eng(rig.fabric);
+  // One tiny op issued 2 simulated seconds in: elapsed must cover it.
+  std::vector<TraceRecord> recs = {
+      TraceRecord{sim::seconds(2.0), 0, false, 0, 1}};
+  const auto result = replay_trace(eng, recs);
+  EXPECT_GE(result.elapsed, sim::seconds(2.0));
+}
+
+TEST(TraceReplay, RejectsOutOfRangeRecords) {
+  Rig rig(test::small_cluster());
+  raid::RaidxController eng(rig.fabric);
+  std::vector<TraceRecord> recs = {
+      TraceRecord{0, 0, true, eng.logical_blocks(), 1}};
+  EXPECT_THROW(replay_trace(eng, recs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace raidx::workload

@@ -1,0 +1,263 @@
+// raidxsim -- command-line experiment runner for the RAID-x simulator.
+//
+// Lets a user sweep any point of the design space without writing code:
+//
+//   raidxsim --arch raidx --nodes 16 --disks 1 --clients 8 \
+//            --op read --bytes 64M --ops 1
+//   raidxsim --arch raid5 --clients 16 --op write --bytes 32K --ops 40 \
+//            --scattered --fail 3
+//   raidxsim --arch nfs --clients 12 --op read --bytes 8M --verbose
+//
+// Prints aggregate and sustained bandwidth, per-op latency percentiles,
+// and per-resource utilization.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "cluster/cluster.hpp"
+#include "nfs/nfs.hpp"
+#include "sim/stats.hpp"
+#include "workload/engines.hpp"
+#include "workload/parallel_io.hpp"
+#include "workload/trace.hpp"
+
+using namespace raidx;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --arch raid0|raid5|raid10|raidx|nfs   architecture (default raidx)\n"
+      "  --nodes N          cluster nodes (default 16)\n"
+      "  --disks K          disks per node (default 1)\n"
+      "  --clients C        parallel clients (default 8)\n"
+      "  --op read|write    operation (default read)\n"
+      "  --bytes SZ         bytes per op, accepts K/M suffix (default 64M)\n"
+      "  --ops N            ops per client (default 1)\n"
+      "  --scattered        scatter ops over the client region\n"
+      "  --block SZ         stripe unit (default 32K)\n"
+      "  --fail D           fail disk D before the run (repeatable)\n"
+      "  --no-bg-mirrors    RAID-x: synchronous image writes\n"
+      "  --no-locks         disable lock-group traffic\n"
+      "  --window W         outstanding chunks per stream (default 2)\n"
+      "  --seed S           workload seed (default 42)\n"
+      "  --trace FILE       replay a block trace instead of the synthetic "
+      "workload\n"
+      "  --dump-trace FILE  write a generated trace (clients/ops/seed "
+      "apply) and exit\n"
+      "  --verbose          per-client and per-resource detail\n",
+      argv0);
+  std::exit(2);
+}
+
+std::uint64_t parse_size(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  std::uint64_t mult = 1;
+  if (end && *end) {
+    switch (*end) {
+      case 'k': case 'K': mult = 1024; break;
+      case 'm': case 'M': mult = 1024 * 1024; break;
+      case 'g': case 'G': mult = 1024ull * 1024 * 1024; break;
+      default:
+        std::fprintf(stderr, "bad size suffix: %s\n", s.c_str());
+        std::exit(2);
+    }
+  }
+  return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+workload::Arch parse_arch(const std::string& s) {
+  if (s == "raid0") return workload::Arch::kRaid0;
+  if (s == "raid5") return workload::Arch::kRaid5;
+  if (s == "raid10") return workload::Arch::kRaid10;
+  if (s == "raidx") return workload::Arch::kRaidX;
+  if (s == "nfs") return workload::Arch::kNfs;
+  std::fprintf(stderr, "unknown arch: %s\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::Arch arch = workload::Arch::kRaidX;
+  int nodes = 16, disks = 1, clients = 8, ops = 1, window = 2;
+  std::uint64_t bytes = 64ull << 20;
+  std::uint32_t block = 32'768;
+  bool is_write = false, scattered = false, verbose = false;
+  bool bg_mirrors = true, locks = true;
+  std::uint64_t seed = 42;
+  std::vector<int> fails;
+  std::string trace_file, dump_trace_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--arch") arch = parse_arch(next());
+    else if (a == "--nodes") nodes = std::atoi(next().c_str());
+    else if (a == "--disks") disks = std::atoi(next().c_str());
+    else if (a == "--clients") clients = std::atoi(next().c_str());
+    else if (a == "--op") is_write = (next() == "write");
+    else if (a == "--bytes") bytes = parse_size(next());
+    else if (a == "--ops") ops = std::atoi(next().c_str());
+    else if (a == "--scattered") scattered = true;
+    else if (a == "--block") block = static_cast<std::uint32_t>(parse_size(next()));
+    else if (a == "--fail") fails.push_back(std::atoi(next().c_str()));
+    else if (a == "--no-bg-mirrors") bg_mirrors = false;
+    else if (a == "--no-locks") locks = false;
+    else if (a == "--window") window = std::atoi(next().c_str());
+    else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    else if (a == "--trace") trace_file = next();
+    else if (a == "--dump-trace") dump_trace_file = next();
+    else if (a == "--verbose") verbose = true;
+    else usage(argv[0]);
+  }
+  if (nodes < 2 || disks < 1 || clients < 1 || ops < 1) usage(argv[0]);
+
+  if (!dump_trace_file.empty()) {
+    workload::TraceGenConfig tg;
+    tg.clients = clients;
+    tg.ops_per_client = ops;
+    tg.write_fraction = is_write ? 0.7 : 0.3;
+    tg.seed = seed;
+    std::ofstream out(dump_trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dump_trace_file.c_str());
+      return 1;
+    }
+    out << workload::format_trace(workload::generate_trace(tg));
+    std::printf("wrote %d x %d trace records to %s\n", clients, ops,
+                dump_trace_file.c_str());
+    return 0;
+  }
+
+  auto params = cluster::ClusterParams::trojans();
+  params.geometry.nodes = nodes;
+  params.geometry.disks_per_node = disks;
+  params.geometry.block_bytes = block;
+  params.geometry.blocks_per_disk = (10ull << 30) / block;
+  params.disk.store_data = false;
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim, params);
+  cdd::CddFabric fabric(cluster);
+
+  raid::EngineParams ep;
+  ep.background_mirrors = bg_mirrors;
+  ep.use_locks = locks;
+  ep.read_window = window;
+  ep.write_window = window;
+  auto engine = workload::make_engine(arch, fabric, ep);
+
+  for (int f : fails) {
+    if (f < 0 || f >= cluster.total_disks()) {
+      std::fprintf(stderr, "no such disk: %d\n", f);
+      return 2;
+    }
+    cluster.disk(f).fail();
+  }
+
+  if (!trace_file.empty()) {
+    std::ifstream in(trace_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", trace_file.c_str());
+      return 1;
+    }
+    std::vector<workload::TraceRecord> recs;
+    try {
+      recs = workload::parse_trace(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("raidxsim: replaying %zu trace records from %s on %s\n",
+                recs.size(), trace_file.c_str(), engine->name().c_str());
+    const auto tr = workload::replay_trace(*engine, recs);
+    std::printf("\nelapsed             : %8.3f s\n",
+                sim::to_seconds(tr.elapsed));
+    std::printf("moved               : %8.2f MB read, %8.2f MB written\n",
+                static_cast<double>(tr.bytes_read) / 1e6,
+                static_cast<double>(tr.bytes_written) / 1e6);
+    std::printf("aggregate bandwidth : %8.2f MB/s\n", tr.aggregate_mbs);
+    std::printf("read latency        : mean %.2f ms, p95 %.2f ms\n",
+                tr.read_latency.mean() / 1e6,
+                sim::to_milliseconds(tr.read_latency.percentile(0.95)));
+    std::printf("write latency       : mean %.2f ms, p95 %.2f ms\n",
+                tr.write_latency.mean() / 1e6,
+                sim::to_milliseconds(tr.write_latency.percentile(0.95)));
+    return 0;
+  }
+
+  workload::ParallelIoConfig cfg;
+  cfg.clients = clients;
+  cfg.op = is_write ? workload::IoOp::kWrite : workload::IoOp::kRead;
+  cfg.bytes_per_op = bytes;
+  cfg.ops_per_client = ops;
+  cfg.scattered = scattered;
+  cfg.seed = seed;
+  if (auto* srv = dynamic_cast<nfs::NfsEngine*>(engine.get())) {
+    cfg.exclude_node = srv->server_node();
+  }
+
+  std::printf("raidxsim: %s on %dx%d (%s), %d clients x %d x %.2f MB %s%s\n",
+              engine->name().c_str(), nodes, disks,
+              params.geometry.describe().c_str(), clients, ops,
+              static_cast<double>(bytes) / 1e6,
+              is_write ? "write" : "read", scattered ? " (scattered)" : "");
+  if (!fails.empty()) {
+    std::printf("failed disks:");
+    for (int f : fails) std::printf(" D%d", f);
+    std::printf("\n");
+  }
+
+  workload::ParallelIoResult r;
+  try {
+    r = workload::run_parallel_io(*engine, cfg);
+  } catch (const std::exception& e) {
+    std::printf("run failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("\naggregate bandwidth : %8.2f MB/s (foreground)\n",
+              r.aggregate_mbs);
+  std::printf("sustained bandwidth : %8.2f MB/s (incl. background drain)\n",
+              r.sustained_mbs);
+  std::printf("elapsed             : %8.3f s\n", sim::to_seconds(r.elapsed));
+  std::printf("op latency          : mean %.2f ms, p50 %.2f, p95 %.2f, "
+              "max %.2f\n",
+              r.op_latency.mean() / 1e6,
+              sim::to_milliseconds(r.op_latency.percentile(0.5)),
+              sim::to_milliseconds(r.op_latency.percentile(0.95)),
+              sim::to_milliseconds(r.op_latency.max()));
+
+  if (verbose) {
+    std::printf("\nper-client completion:\n");
+    for (std::size_t c = 0; c < r.clients.size(); ++c) {
+      std::printf("  client %2zu: %8.3f s, %6.2f MB\n", c,
+                  sim::to_seconds(r.clients[c].end - r.clients[c].start),
+                  static_cast<double>(r.clients[c].bytes) / 1e6);
+    }
+    std::printf("\nper-disk utilization (busy fraction):\n");
+    for (int d = 0; d < cluster.total_disks(); ++d) {
+      const auto& disk = cluster.disk(d);
+      std::printf("  D%-2d: %5.1f%%  (%llu reads, %llu writes)\n", d,
+                  100.0 * static_cast<double>(disk.busy_time()) /
+                      static_cast<double>(sim.now()),
+                  static_cast<unsigned long long>(disk.reads()),
+                  static_cast<unsigned long long>(disk.writes()));
+    }
+    std::printf("\nCDD requests: %llu local, %llu remote\n",
+                static_cast<unsigned long long>(fabric.local_requests()),
+                static_cast<unsigned long long>(fabric.remote_requests()));
+  }
+  return 0;
+}
