@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_osm.dir/ablation_osm.cpp.o"
+  "CMakeFiles/ablation_osm.dir/ablation_osm.cpp.o.d"
+  "ablation_osm"
+  "ablation_osm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_osm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

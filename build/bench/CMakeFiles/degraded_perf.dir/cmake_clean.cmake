@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_perf.dir/degraded_perf.cpp.o"
+  "CMakeFiles/degraded_perf.dir/degraded_perf.cpp.o.d"
+  "degraded_perf"
+  "degraded_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

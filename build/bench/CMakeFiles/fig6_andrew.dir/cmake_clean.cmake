@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_andrew.dir/fig6_andrew.cpp.o"
+  "CMakeFiles/fig6_andrew.dir/fig6_andrew.cpp.o.d"
+  "fig6_andrew"
+  "fig6_andrew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_andrew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_checkpoint.dir/fig7_checkpoint.cpp.o"
+  "CMakeFiles/fig7_checkpoint.dir/fig7_checkpoint.cpp.o.d"
+  "fig7_checkpoint"
+  "fig7_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_analytic.dir/table2_analytic.cpp.o"
+  "CMakeFiles/table2_analytic.dir/table2_analytic.cpp.o.d"
+  "table2_analytic"
+  "table2_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

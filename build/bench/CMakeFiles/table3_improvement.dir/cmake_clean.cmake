@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_improvement.dir/table3_improvement.cpp.o"
+  "CMakeFiles/table3_improvement.dir/table3_improvement.cpp.o.d"
+  "table3_improvement"
+  "table3_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engineering_fileserver.dir/engineering_fileserver.cpp.o"
+  "CMakeFiles/engineering_fileserver.dir/engineering_fileserver.cpp.o.d"
+  "engineering_fileserver"
+  "engineering_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engineering_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/model.cpp" "src/CMakeFiles/raidx.dir/analytic/model.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/analytic/model.cpp.o.d"
+  "/root/repo/src/block/sios.cpp" "src/CMakeFiles/raidx.dir/block/sios.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/block/sios.cpp.o.d"
+  "/root/repo/src/cdd/cdd.cpp" "src/CMakeFiles/raidx.dir/cdd/cdd.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/cdd/cdd.cpp.o.d"
+  "/root/repo/src/cdd/lock_table.cpp" "src/CMakeFiles/raidx.dir/cdd/lock_table.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/cdd/lock_table.cpp.o.d"
+  "/root/repo/src/ckpt/checkpoint.cpp" "src/CMakeFiles/raidx.dir/ckpt/checkpoint.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/ckpt/checkpoint.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/raidx.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/raidx.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/disk/disk.cpp" "src/CMakeFiles/raidx.dir/disk/disk.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/disk/disk.cpp.o.d"
+  "/root/repo/src/disk/scsi_bus.cpp" "src/CMakeFiles/raidx.dir/disk/scsi_bus.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/disk/scsi_bus.cpp.o.d"
+  "/root/repo/src/fs/filesystem.cpp" "src/CMakeFiles/raidx.dir/fs/filesystem.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/fs/filesystem.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/raidx.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/net/network.cpp.o.d"
+  "/root/repo/src/nfs/nfs.cpp" "src/CMakeFiles/raidx.dir/nfs/nfs.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/nfs/nfs.cpp.o.d"
+  "/root/repo/src/raid/controller.cpp" "src/CMakeFiles/raidx.dir/raid/controller.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/controller.cpp.o.d"
+  "/root/repo/src/raid/layout.cpp" "src/CMakeFiles/raidx.dir/raid/layout.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/layout.cpp.o.d"
+  "/root/repo/src/raid/raid0.cpp" "src/CMakeFiles/raidx.dir/raid/raid0.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/raid0.cpp.o.d"
+  "/root/repo/src/raid/raid1.cpp" "src/CMakeFiles/raidx.dir/raid/raid1.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/raid1.cpp.o.d"
+  "/root/repo/src/raid/raid10.cpp" "src/CMakeFiles/raidx.dir/raid/raid10.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/raid10.cpp.o.d"
+  "/root/repo/src/raid/raid5.cpp" "src/CMakeFiles/raidx.dir/raid/raid5.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/raid5.cpp.o.d"
+  "/root/repo/src/raid/raidx.cpp" "src/CMakeFiles/raidx.dir/raid/raidx.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/raidx.cpp.o.d"
+  "/root/repo/src/raid/rebuild.cpp" "src/CMakeFiles/raidx.dir/raid/rebuild.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/raid/rebuild.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/raidx.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/raidx.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/raidx.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/sync.cpp" "src/CMakeFiles/raidx.dir/sim/sync.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/sim/sync.cpp.o.d"
+  "/root/repo/src/workload/andrew.cpp" "src/CMakeFiles/raidx.dir/workload/andrew.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/workload/andrew.cpp.o.d"
+  "/root/repo/src/workload/engines.cpp" "src/CMakeFiles/raidx.dir/workload/engines.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/workload/engines.cpp.o.d"
+  "/root/repo/src/workload/parallel_io.cpp" "src/CMakeFiles/raidx.dir/workload/parallel_io.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/workload/parallel_io.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/raidx.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/raidx.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

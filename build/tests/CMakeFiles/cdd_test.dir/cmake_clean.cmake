@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdd_test.dir/cdd_test.cpp.o"
+  "CMakeFiles/cdd_test.dir/cdd_test.cpp.o.d"
+  "cdd_test"
+  "cdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

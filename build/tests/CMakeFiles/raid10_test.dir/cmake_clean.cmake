@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid10_test.dir/raid10_test.cpp.o"
+  "CMakeFiles/raid10_test.dir/raid10_test.cpp.o.d"
+  "raid10_test"
+  "raid10_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid10_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

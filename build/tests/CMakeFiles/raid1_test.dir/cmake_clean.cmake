@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid1_test.dir/raid1_test.cpp.o"
+  "CMakeFiles/raid1_test.dir/raid1_test.cpp.o.d"
+  "raid1_test"
+  "raid1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

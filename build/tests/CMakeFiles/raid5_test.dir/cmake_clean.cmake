@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid5_test.dir/raid5_test.cpp.o"
+  "CMakeFiles/raid5_test.dir/raid5_test.cpp.o.d"
+  "raid5_test"
+  "raid5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidx_test.dir/raidx_test.cpp.o"
+  "CMakeFiles/raidx_test.dir/raidx_test.cpp.o.d"
+  "raidx_test"
+  "raidx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

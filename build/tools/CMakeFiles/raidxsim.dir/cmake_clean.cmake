@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidxsim.dir/raidxsim.cpp.o"
+  "CMakeFiles/raidxsim.dir/raidxsim.cpp.o.d"
+  "raidxsim"
+  "raidxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
