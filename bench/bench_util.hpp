@@ -1,30 +1,81 @@
 // Shared scaffolding for the table/figure reproduction harnesses.
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
+#include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "cluster/cluster.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
 #include "workload/engines.hpp"
 
 namespace raidx::bench {
 
 /// One self-contained simulated cluster + CDD fabric + engine.  Every data
-/// point gets a fresh world so runs are independent and reproducible.
+/// point gets a fresh world so runs are independent and reproducible.  The
+/// default cache (capacity 0) leaves the engine bit-identical to a
+/// cacheless build; pass CacheParams to put a block cache in front.
 struct World {
   explicit World(cluster::ClusterParams params, workload::Arch arch,
-                 raid::EngineParams engine_params = {})
+                 raid::EngineParams engine_params = {},
+                 cache::CacheParams cache_params = {})
       : cluster(sim, params),
         fabric(cluster),
-        engine(workload::make_engine(arch, fabric, engine_params)) {}
+        cache(cluster, cache_params),
+        engine(workload::make_engine(arch, fabric, engine_params)) {
+    engine->attach_cache(&cache);
+  }
 
   sim::Simulation sim;
   cluster::Cluster cluster;
   cdd::CddFabric fabric;
+  cache::CacheFabric cache;
   std::unique_ptr<raid::ArrayController> engine;
 };
+
+/// Version of the BENCH_*.json layout.  Bump when keys change meaning so
+/// cross-PR trajectory tooling can tell schema drift from regressions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Start a machine-readable report: every BENCH_*.json leads with the
+/// schema version and bench name.
+inline sim::JsonWriter bench_json(const std::string& bench) {
+  sim::JsonWriter w;
+  w.add("schema_version", kBenchSchemaVersion);
+  w.add("bench", bench);
+  return w;
+}
+
+/// Append the block-cache counters (zeros when no cache was attached, so
+/// the key set is stable across configurations).
+inline void add_cache_counters(sim::JsonWriter& w,
+                               const cache::CacheStats& s) {
+  w.add("cache_hits", s.hits);
+  w.add("cache_peer_hits", s.peer_hits);
+  w.add("cache_misses", s.misses);
+  w.add("cache_fills", s.fills);
+  w.add("cache_writes_absorbed", s.writes_absorbed);
+  w.add("cache_invalidations", s.invalidations);
+  w.add("cache_flushes", s.flushes);
+  w.add("cache_evictions", s.evictions);
+  w.add("cache_hit_ratio", s.hit_ratio());
+}
+
+/// Write the report to BENCH_<bench>.json in the working directory.
+inline void write_bench_json(const std::string& bench,
+                             const sim::JsonWriter& w) {
+  const std::string path = "BENCH_" + bench + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << w.str() << "\n";
+}
 
 /// The Trojans cluster with byte storage disabled (pure timing): the
 /// perf sweeps move gigabytes and must not allocate them.

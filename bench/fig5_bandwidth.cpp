@@ -72,7 +72,11 @@ int main() {
       "Simulated Trojans cluster: 16 nodes, 1x10GB disk each, 100 Mbps "
       "switched Fast Ethernet\n\n");
 
-  for (const Panel& panel : panels) {
+  sim::JsonWriter json = bench::bench_json("fig5_bandwidth");
+  const char* panel_keys[] = {"large_read", "small_read", "large_write",
+                              "small_write"};
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    const Panel& panel = panels[p];
     std::printf("%s\n", panel.title);
     std::vector<std::string> headers = {"clients"};
     for (Arch a : archs) headers.emplace_back(workload::arch_name(a));
@@ -80,12 +84,21 @@ int main() {
     for (int clients : client_counts) {
       std::vector<std::string> row = {std::to_string(clients)};
       for (Arch a : archs) {
-        row.push_back(bench::mbs(measure(a, panel, clients)));
+        const double mbs = measure(a, panel, clients);
+        row.push_back(bench::mbs(mbs));
+        // The 16-client endpoints are the figures the paper quotes; they
+        // are the trajectory points worth tracking across PRs.
+        if (clients == 16) {
+          json.add(std::string(panel_keys[p]) + "_mbs_" +
+                       workload::arch_name(a),
+                   mbs);
+        }
       }
       table.add_row(std::move(row));
     }
     table.print();
     std::printf("\n");
   }
+  bench::write_bench_json("fig5_bandwidth", json);
   return 0;
 }

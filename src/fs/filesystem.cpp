@@ -36,6 +36,9 @@ FileSystem::FileSystem(raid::IoEngine& engine, Params params)
   }
   next_free_ = data_start_;
   inodes_.resize(params_.max_inodes);
+  // Superblock + inode table are the hottest reuse in every FS workload:
+  // tell an attached block cache to evict them last.
+  engine_.set_cache_pinned_range(0, data_start_);
 }
 
 std::uint64_t FileSystem::data_blocks_total() const {

@@ -45,17 +45,23 @@ sim::Task<> NfsEngine::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
-                                   std::span<const std::byte> data) {
-  co_await control_rpc(client);
-  co_await server_overhead(data.size());
+                                   std::span<const std::byte> data,
+                                   disk::IoPriority prio) {
+  // Background cache flushes originate in the server's own buffer cache:
+  // no client RPC or daemon copy to pay, just the disk writes.
+  if (prio == disk::IoPriority::kForeground) {
+    co_await control_rpc(client);
+    co_await server_overhead(data.size());
+  }
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](NfsEngine* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p) -> sim::Task<> {
+                         std::vector<std::byte> p,
+                         disk::IoPriority prio) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
-                                                std::move(p));
+                                                std::move(p), prio);
     if (!r.ok) {
       throw raid::IoError("NFS: server disk " + std::to_string(e.disk) +
                           " failed");
@@ -70,7 +76,8 @@ sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
       std::copy(src.begin(), src.end(),
                 payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
     }
-    join.spawn(write_extent(this, client, me.extent, std::move(payload)));
+    join.spawn(
+        write_extent(this, client, me.extent, std::move(payload), prio));
   }
   co_await join.wait();
 }

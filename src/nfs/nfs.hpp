@@ -65,7 +65,15 @@ class NfsEngine : public raid::ArrayController {
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
                          std::span<std::byte> out) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
+
+  /// The NFS counterpart of the cooperative cache is the server's buffer
+  /// cache: one cache, on the server node, fronting every client.
+  int cache_node(int client) const override {
+    (void)client;
+    return nfs_.server_node;
+  }
 
  private:
   /// The daemon-side surcharge for one request over `bytes` of payload.

@@ -84,9 +84,10 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
     auto sub = out.subspan(static_cast<std::size_t>(off) * bs,
                            static_cast<std::size_t>(n) * bs);
     done.add(1);
-    sim().spawn(
-        windowed_op(read_chunk(client, lba + off, n, sub), window, done,
-                    error));
+    sim().spawn(windowed_op(
+        cache_ ? cached_read_chunk(client, lba + off, n, sub)
+               : read_chunk(client, lba + off, n, sub),
+        window, done, error));
   }
   co_await done.wait();
   if (error) std::rethrow_exception(error);
@@ -126,8 +127,11 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
       auto sub = data.subspan(static_cast<std::size_t>(pos - lba) * bs,
                               static_cast<std::size_t>(chunk_end - pos) * bs);
       done.add(1);
-      sim().spawn(
-          windowed_op(write_chunk(client, pos, sub), window, done, error));
+      sim().spawn(windowed_op(
+          cache_ ? cached_write_chunk(client, pos, sub)
+                 : write_chunk(client, pos, sub,
+                               disk::IoPriority::kForeground),
+          window, done, error));
       pos = chunk_end;
     }
     co_await done.wait();
@@ -196,21 +200,201 @@ sim::Task<std::vector<std::byte>> ArrayController::degraded_read_block(
   co_return std::vector<std::byte>{};  // unreachable
 }
 
+// ------------------------------------------------------------ block cache --
+
+void ArrayController::attach_cache(cache::CacheFabric* cache) {
+  // A capacity-0 fabric stays detached so the read/write spawn sites take
+  // the exact seed code path (bit-identical event sequence).
+  cache_ = (cache && cache->enabled()) ? cache : nullptr;
+  if (cache_) {
+    flusher_active_.assign(
+        static_cast<std::size_t>(fabric_.cluster().num_nodes()), 0);
+  }
+}
+
+void ArrayController::set_cache_pinned_range(std::uint64_t lo,
+                                             std::uint64_t hi) {
+  if (cache_) cache_->set_pinned_range(lo, hi);
+}
+
+sim::Task<> ArrayController::background(sim::Task<> op) {
+  ++background_in_flight_;
+  try {
+    co_await std::move(op);
+  } catch (...) {
+    // Background work tolerates failed disks; the rebuild engine (or a
+    // retried flush) re-establishes redundancy.
+  }
+  --background_in_flight_;
+}
+
+sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
+                                               std::uint32_t nblocks,
+                                               std::span<std::byte> out) {
+  const std::uint32_t bs = block_bytes();
+  const int node = cache_node(client);
+  std::vector<char> hit(nblocks, 0);
+  std::vector<std::uint64_t> epoch(nblocks, 0);
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    hit[i] = (co_await cache_->read_block(
+                 client, node, lba + i,
+                 out.subspan(static_cast<std::size_t>(i) * bs, bs)))
+                 ? 1
+                 : 0;
+    if (!hit[i]) epoch[i] = cache_->write_epoch(lba + i);
+  }
+
+  // Read the missing runs through the layout's own chunk path, in parallel.
+  sim::Joiner join(sim());
+  std::uint32_t i = 0;
+  while (i < nblocks) {
+    if (hit[i]) {
+      ++i;
+      continue;
+    }
+    std::uint32_t j = i;
+    while (j < nblocks && !hit[j]) ++j;
+    join.spawn(read_chunk(client, lba + i, j - i,
+                          out.subspan(static_cast<std::size_t>(i) * bs,
+                                      static_cast<std::size_t>(j - i) * bs)));
+    i = j;
+  }
+  co_await join.wait();
+
+  for (std::uint32_t k = 0; k < nblocks; ++k) {
+    if (!hit[k]) {
+      cache_->fill(node, lba + k,
+                   out.subspan(static_cast<std::size_t>(k) * bs, bs),
+                   epoch[k]);
+    }
+  }
+  if (cache_->needs_flush(node)) ensure_flusher(node);
+}
+
+sim::Task<> ArrayController::cached_write_chunk(
+    int client, std::uint64_t lba, std::span<const std::byte> data) {
+  const std::uint32_t bs = block_bytes();
+  const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
+  const int node = cache_node(client);
+  const bool write_back =
+      cache_->params().write_policy == cache::WritePolicy::kWriteBack;
+  // Invalidation notices ride the lock grant/release broadcasts only when
+  // that traffic exists (locks on + lock table replicated to every peer).
+  const bool piggybacked =
+      params_.use_locks && fabric_.params().replicate_lock_table;
+  // Both policies install dirty: write-back stays dirty until the flusher
+  // drains it; write-through is transiently dirty until its own disk write
+  // below lands and end_write_through() settles the block (see
+  // cache_fabric.hpp on why the disk write landing is not enough).
+  std::vector<std::uint64_t> epochs(nblocks);
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    epochs[i] = co_await cache_->write_block(
+        node, lba + i, data.subspan(static_cast<std::size_t>(i) * bs, bs),
+        /*dirty=*/true, piggybacked, /*through=*/!write_back);
+  }
+  if (write_back) {
+    if (cache_->needs_flush(node)) ensure_flusher(node);
+    co_return;
+  }
+  bool ok = true;
+  std::exception_ptr err;
+  try {
+    co_await write_chunk(client, lba, data, disk::IoPriority::kForeground);
+  } catch (...) {
+    ok = false;
+    err = std::current_exception();
+  }
+  bool settled = true;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    if (!cache_->end_write_through(node, lba + i, epochs[i], ok)) {
+      settled = false;
+    }
+  }
+  // Rare racing-writer (or failed-disk) leftovers stay dirty; the flusher
+  // and the end-of-run flush_cache() converge disk to the cache bytes.
+  if (!settled) ensure_flusher(node);
+  if (err) std::rethrow_exception(err);
+}
+
+void ArrayController::ensure_flusher(int node) {
+  if (flusher_active_[static_cast<std::size_t>(node)]) return;
+  flusher_active_[static_cast<std::size_t>(node)] = 1;
+  sim().spawn(background(flusher_loop(node)));
+}
+
+sim::Task<> ArrayController::flusher_loop(int node) {
+  while (!cache_->flushed_enough(node)) {
+    auto snap = cache_->begin_flush(node);
+    if (!snap) break;  // nothing flushable (all busy)
+    const bool ok = co_await flush_block(node, snap->lba);
+    cache_->shed_overflow(node);
+    // A failed flush (disk down) would spin forever; stop and let the next
+    // write or an explicit flush_cache() retry after the heal.
+    if (!ok) break;
+  }
+  // No suspension between the loop's last check and this reset, so a write
+  // racing in either saw the flag set (and the loop caught its dirty block)
+  // or re-arms the flusher after this.
+  flusher_active_[static_cast<std::size_t>(node)] = 0;
+}
+
+sim::Task<bool> ArrayController::flush_block(int node, std::uint64_t lba) {
+  std::vector<std::uint64_t> groups{lock_group_of(lba)};
+  const std::uint64_t owner =
+      params_.use_locks ? fabric_.next_lock_owner() : 0;
+  if (params_.use_locks) {
+    co_await fabric_.lock_groups(node, groups, owner);
+  }
+  bool ok = true;
+  std::uint64_t version = 0;
+  // Re-snapshot under the lock: the block may have been rewritten (or
+  // cleaned) while this flush waited for the group.
+  if (auto snap = cache_->resnapshot(node, lba)) {
+    version = snap->version;
+    try {
+      co_await write_chunk(node, lba, snap->data,
+                           disk::IoPriority::kBackground);
+    } catch (...) {
+      ok = false;  // stays dirty; the cache holds the only current copy
+    }
+  }
+  cache_->end_flush(node, lba, version, ok);
+  if (params_.use_locks) {
+    co_await fabric_.unlock_groups(node, std::move(groups), owner);
+  }
+  co_return ok;
+}
+
+sim::Task<> ArrayController::flush_cache() {
+  if (!cache_) co_return;
+  for (int n = 0; n < fabric_.cluster().num_nodes(); ++n) {
+    for (;;) {
+      auto snap = cache_->begin_flush(n);
+      if (!snap) break;
+      const bool ok = co_await flush_block(n, snap->lba);
+      cache_->shed_overflow(n);
+      if (!ok) break;  // failed disk: leave the rest dirty
+    }
+  }
+}
+
 // ---------------------------------------------------------------- RAID-0 --
 
 Raid0Controller::Raid0Controller(cdd::CddFabric& fabric, EngineParams params)
     : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
 
 sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data) {
+                                         std::span<const std::byte> data,
+                                         disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](Raid0Controller* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p) -> sim::Task<> {
+                         std::vector<std::byte> p,
+                         disk::IoPriority prio) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
-                                                std::move(p));
+                                                std::move(p), prio);
     if (!r.ok) {
       throw IoError("RAID-0: write hit failed disk " +
                     std::to_string(e.disk));
@@ -225,7 +409,8 @@ sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
       std::copy(src.begin(), src.end(),
                 payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
     }
-    join.spawn(write_extent(this, client, me.extent, std::move(payload)));
+    join.spawn(
+        write_extent(this, client, me.extent, std::move(payload), prio));
   }
   co_await join.wait();
 }
@@ -260,15 +445,16 @@ sim::Task<> Raid5Controller::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data) {
+                                         std::span<const std::byte> data,
+                                         disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint32_t width = layout_.stripe_width();
   if (params_.raid5_full_stripe_writes && lba % width == 0 &&
       nblocks == width) {
-    co_await full_stripe_write(client, layout_.stripe_of(lba), data);
+    co_await full_stripe_write(client, layout_.stripe_of(lba), data, prio);
   } else if (params_.raid5_full_stripe_writes) {
-    co_await rmw_write(client, lba, data);
+    co_await rmw_write(client, lba, data, prio);
   } else {
     // Per-block read-modify-write: the request stream a 1999 block layer
     // hands the driver.  Blocks go one at a time; each pays the 4-op RMW
@@ -278,13 +464,15 @@ sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
       co_await rmw_write(client, lba + i,
                          data.subspan(static_cast<std::size_t>(i) *
                                           block_bytes(),
-                                      block_bytes()));
+                                      block_bytes()),
+                         prio);
     }
   }
 }
 
 sim::Task<> Raid5Controller::full_stripe_write(
-    int client, std::uint64_t stripe, std::span<const std::byte> data) {
+    int client, std::uint64_t stripe, std::span<const std::byte> data,
+    disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const std::uint32_t width = layout_.stripe_width();
   const std::uint64_t first = layout_.stripe_first_lba(stripe);
@@ -297,23 +485,26 @@ sim::Task<> Raid5Controller::full_stripe_write(
 
   sim::Joiner join(sim());
   auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload) -> sim::Task<> {
+                      std::vector<std::byte> payload,
+                      disk::IoPriority prio) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload));
+                                                std::move(payload), prio);
     (void)r;  // a failed disk is tolerated; parity or data covers it
   };
   for (std::uint32_t j = 0; j < width; ++j) {
     join.spawn(write_one(this, client, layout_.data_location(first + j),
                          to_vector(data.subspan(
-                             static_cast<std::size_t>(j) * bs, bs))));
+                             static_cast<std::size_t>(j) * bs, bs)),
+                         prio));
   }
   join.spawn(write_one(this, client, layout_.parity_location(stripe),
-                       std::move(parity)));
+                       std::move(parity), prio));
   co_await join.wait();
 }
 
 sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
-                                       std::span<const std::byte> data) {
+                                       std::span<const std::byte> data,
+                                       disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint64_t stripe = layout_.stripe_of(lba);
@@ -326,15 +517,15 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto read_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                       cdd::Reply* out) -> sim::Task<> {
-      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+                       cdd::Reply* out, disk::IoPriority prio) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio);
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(read_one(this, client, layout_.data_location(lba + i),
-                          &old_data[i]));
+                          &old_data[i], prio));
     }
     join.spawn(read_one(this, client, layout_.parity_location(stripe),
-                        &old_parity));
+                        &old_parity, prio));
     co_await join.wait();
   }
 
@@ -361,15 +552,16 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
     std::vector<cdd::Reply> others(width);
     std::vector<char> was_read(width, 0);
     auto read_other = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                         cdd::Reply* out) -> sim::Task<> {
-      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+                         cdd::Reply* out,
+                         disk::IoPriority prio) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio);
     };
     for (std::uint32_t j = 0; j < width; ++j) {
       const std::uint64_t b = first + j;
       if (b >= lba && b < lba + nblocks) continue;  // being overwritten
       was_read[j] = 1;
       join.spawn(read_other(this, client, layout_.data_location(b),
-                            &others[j]));
+                            &others[j], prio));
     }
     co_await join.wait();
     for (std::uint32_t j = 0; j < width; ++j) {
@@ -393,17 +585,19 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                        std::vector<std::byte> payload) -> sim::Task<> {
+                        std::vector<std::byte> payload,
+                        disk::IoPriority prio) -> sim::Task<> {
       co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                   std::move(payload));
+                                   std::move(payload), prio);
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs))));
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
+          prio));
     }
     join.spawn(write_one(this, client, layout_.parity_location(stripe),
-                         std::move(parity)));
+                         std::move(parity), prio));
     co_await join.wait();
   }
 }
@@ -527,7 +721,8 @@ sim::Task<> Raid10Controller::balanced_read_extent(
 }
 
 sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
-                                          std::span<const std::byte> data) {
+                                          std::span<const std::byte> data,
+                                          disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
 
@@ -536,20 +731,20 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
   // disk one data write plus one scattered mirror write (Table 2: nB/2).
   sim::Joiner join(sim());
   auto write_one = [](Raid10Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload,
-                      char* ok) -> sim::Task<> {
+                      std::vector<std::byte> payload, char* ok,
+                      disk::IoPriority prio) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload));
+                                                std::move(payload), prio);
     *ok = r.ok ? 1 : 0;
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i]));
+                         to_vector(blockspan), &pok[i], prio));
     join.spawn(write_one(this, client,
                          layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i]));
+                         to_vector(blockspan), &mok[i], prio));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -602,24 +797,25 @@ sim::Task<> Raid1Controller::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data) {
+                                         std::span<const std::byte> data,
+                                         disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   sim::Joiner join(sim());
   auto write_one = [](Raid1Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload,
-                      char* ok) -> sim::Task<> {
+                      std::vector<std::byte> payload, char* ok,
+                      disk::IoPriority prio) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload));
+                                                std::move(payload), prio);
     *ok = r.ok ? 1 : 0;
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i]));
+                         to_vector(blockspan), &pok[i], prio));
     join.spawn(write_one(this, client, layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i]));
+                         to_vector(blockspan), &mok[i], prio));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -671,17 +867,6 @@ sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
                   " both unavailable");
   }
   std::copy(r.data.begin(), r.data.end(), out.begin());
-}
-
-sim::Task<> RaidxController::background(sim::Task<> op) {
-  ++background_in_flight_;
-  try {
-    co_await std::move(op);
-  } catch (...) {
-    // Background image flushes tolerate failed disks; the rebuild engine
-    // re-establishes redundancy.
-  }
-  --background_in_flight_;
 }
 
 sim::Task<> RaidxController::flush_stripe_images(
@@ -746,7 +931,8 @@ sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
 }
 
 sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data) {
+                                         std::span<const std::byte> data,
+                                         disk::IoPriority prio) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint32_t width = layout_.stripe_width();
@@ -757,17 +943,17 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto write_one = [](RaidxController* self, int c, block::PhysBlock pb,
-                        std::vector<std::byte> payload,
-                        char* ok_out) -> sim::Task<> {
+                        std::vector<std::byte> payload, char* ok_out,
+                        disk::IoPriority prio) -> sim::Task<> {
       cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                  std::move(payload));
+                                                  std::move(payload), prio);
       *ok_out = r.ok ? 1 : 0;
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
           to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          &ok[i]));
+          &ok[i], prio));
     }
     co_await join.wait();
   }
@@ -780,7 +966,8 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       const block::PhysBlock img = layout_.mirror_locations(lba + i)[0];
       r = co_await fabric_.write(
           client, img.disk, img.offset,
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)));
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
+          prio);
       if (!r.ok) {
         throw IoError("RAID-x: block " + std::to_string(lba + i) +
                       " lost data disk and image disk");

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "raid/layout.hpp"
 #include "raid/raid0.hpp"
@@ -90,6 +91,22 @@ class IoEngine {
   /// Write `data` (whole blocks) at `lba` on behalf of node `client`.
   virtual sim::Task<> write(int client, std::uint64_t lba,
                             std::span<const std::byte> data) = 0;
+
+  /// Attach a cooperative block-cache fabric in front of this engine.
+  /// Engines without a cache path ignore the call; an attached fabric with
+  /// capacity 0 is treated as absent, which keeps the event sequence
+  /// bit-identical to a cacheless build.
+  virtual void attach_cache(cache::CacheFabric*) {}
+  virtual cache::CacheFabric* cache() { return nullptr; }
+
+  /// Hint from the file-system layer: blocks [lo, hi) are metadata and
+  /// should be evicted last.  No-op without an attached cache.
+  virtual void set_cache_pinned_range(std::uint64_t /*lo*/,
+                                      std::uint64_t /*hi*/) {}
+
+  /// Write every dirty cached block back through the redundancy path
+  /// (write-back caches; no-op otherwise).
+  virtual sim::Task<> flush_cache() { co_return; }
 };
 
 /// Common machinery for the four layout-backed controllers.
@@ -116,6 +133,11 @@ class ArrayController : public IoEngine {
   cdd::CddFabric& fabric() { return fabric_; }
   const EngineParams& params() const { return params_; }
 
+  void attach_cache(cache::CacheFabric* cache) override;
+  cache::CacheFabric* cache() override { return cache_; }
+  void set_cache_pinned_range(std::uint64_t lo, std::uint64_t hi) override;
+  sim::Task<> flush_cache() override;
+
   /// Background (deferred) operations currently in flight -- nonzero only
   /// for RAID-x with background mirroring.
   int background_in_flight() const { return background_in_flight_; }
@@ -130,8 +152,36 @@ class ArrayController : public IoEngine {
                                  std::uint32_t nblocks,
                                  std::span<std::byte> out);
   /// One write chunk: at most one stripe, stripe-aligned when full.
+  /// `prio` is kForeground on the client write path and kBackground when
+  /// the cache flusher drains dirty blocks behind foreground traffic.
   virtual sim::Task<> write_chunk(int client, std::uint64_t lba,
-                                  std::span<const std::byte> data) = 0;
+                                  std::span<const std::byte> data,
+                                  disk::IoPriority prio) = 0;
+
+  /// Node whose cache fronts requests from `client`.  Per-client caches by
+  /// default; NFS overrides with the server node (server-side cache).
+  virtual int cache_node(int client) const { return client; }
+
+  /// read_chunk with the cache in front: serve hits from local or peer
+  /// memory, read the missing runs through the layout's chunk path, then
+  /// install them.
+  sim::Task<> cached_read_chunk(int client, std::uint64_t lba,
+                                std::uint32_t nblocks,
+                                std::span<std::byte> out);
+  /// write_chunk with the cache in front: update/invalidate copies, then
+  /// either write through or absorb (write-back).
+  sim::Task<> cached_write_chunk(int client, std::uint64_t lba,
+                                 std::span<const std::byte> data);
+
+  /// Flush one dirty block under its lock group; false if the disk write
+  /// failed (the block stays dirty, the cache holds the only copy).
+  sim::Task<bool> flush_block(int node, std::uint64_t lba);
+  sim::Task<> flusher_loop(int node);
+  void ensure_flusher(int node);
+
+  /// Wrapper that tracks background_in_flight_ (RAID-x image flushes and
+  /// cache write-back both run under it).
+  sim::Task<> background(sim::Task<> op);
 
   /// Recover one block whose data disk failed; default throws IoError.
   virtual sim::Task<std::vector<std::byte>> degraded_read_block(
@@ -161,6 +211,9 @@ class ArrayController : public IoEngine {
   cdd::CddFabric& fabric_;
   EngineParams params_;
   int background_in_flight_ = 0;
+  cache::CacheFabric* cache_ = nullptr;
+  /// Per-node "a flusher task is running" flags (write-back draining).
+  std::vector<char> flusher_active_;
 
   struct MappedExtent {
     block::PhysExtent extent;
@@ -183,7 +236,8 @@ class Raid0Controller : public ArrayController {
 
  protected:
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
 
  private:
   Raid0Layout layout_;
@@ -208,7 +262,8 @@ class Raid5Controller : public ArrayController {
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
                          std::span<std::byte> out) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
       int client, std::uint64_t lba) override;
   std::uint64_t lock_group_of(std::uint64_t lba) const override {
@@ -220,10 +275,12 @@ class Raid5Controller : public ArrayController {
  private:
   /// Full-stripe write: XOR parity client-side, one write per disk.
   sim::Task<> full_stripe_write(int client, std::uint64_t stripe,
-                                std::span<const std::byte> data);
+                                std::span<const std::byte> data,
+                                disk::IoPriority prio);
   /// Partial write inside one stripe: read-modify-write.
   sim::Task<> rmw_write(int client, std::uint64_t lba,
-                        std::span<const std::byte> data);
+                        std::span<const std::byte> data,
+                        disk::IoPriority prio);
 
   Raid5Layout layout_;
 };
@@ -244,7 +301,8 @@ class Raid10Controller : public ArrayController {
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
                          std::span<std::byte> out) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
       int client, std::uint64_t lba) override;
 
@@ -276,7 +334,8 @@ class Raid1Controller : public ArrayController {
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
                          std::span<std::byte> out) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
       int client, std::uint64_t lba) override;
 
@@ -305,7 +364,8 @@ class RaidxController : public ArrayController {
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
                          std::span<std::byte> out) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data) override;
+                          std::span<const std::byte> data,
+                          disk::IoPriority prio) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
       int client, std::uint64_t lba) override;
 
@@ -316,8 +376,6 @@ class RaidxController : public ArrayController {
   /// Flush a single block's image.
   sim::Task<> flush_block_image(int client, std::uint64_t lba,
                                 std::vector<std::byte> data);
-  /// Wrapper that tracks background_in_flight_.
-  sim::Task<> background(sim::Task<> op);
 
   RaidxLayout layout_;
 };

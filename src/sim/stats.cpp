@@ -66,6 +66,57 @@ void Throughput::clear() {
   last_end_ = -1;
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::add(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+}
+
+void JsonWriter::add(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, std::to_string(v));
+}
+
+void JsonWriter::add(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  fields_.emplace_back(key, buf);
+}
+
+void JsonWriter::add(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, "\"" + json_escape(v) + "\"");
+}
+
+void JsonWriter::add(const std::string& key, bool v) {
+  fields_.emplace_back(key, v ? "true" : "false");
+}
+
+std::string JsonWriter::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 

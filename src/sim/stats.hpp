@@ -51,6 +51,30 @@ class Throughput {
   Time last_end_ = -1;
 };
 
+/// Minimal insertion-ordered JSON object builder for the machine-readable
+/// bench artifacts (BENCH_*.json).  Flat objects only -- keys to scalars --
+/// which is all a trajectory diff needs.
+class JsonWriter {
+ public:
+  void add(const std::string& key, std::uint64_t v);
+  void add(const std::string& key, std::int64_t v);
+  void add(const std::string& key, int v) {
+    add(key, static_cast<std::int64_t>(v));
+  }
+  void add(const std::string& key, double v);
+  void add(const std::string& key, const std::string& v);
+  void add(const std::string& key, const char* v) {
+    add(key, std::string(v));
+  }
+  void add(const std::string& key, bool v);
+
+  /// Render as a JSON object, keys in insertion order.
+  std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
 /// Fixed-width table printer used by the benchmark harnesses so every
 /// figure/table reproduction prints in a uniform, diff-friendly format.
 class TablePrinter {

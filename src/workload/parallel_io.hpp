@@ -37,6 +37,10 @@ struct ParallelIoConfig {
   /// Node that hosts no client (the NFS server: the paper's clients are
   /// distinct from the file server).  -1 = clients on every node.
   int exclude_node = -1;
+  /// Unmeasured passes over the same access sequence before the measured
+  /// one, barrier-synced, to warm an attached block cache.  0 keeps the
+  /// seed's single-pass behavior (and its exact event sequence).
+  int warm_passes = 0;
   std::uint64_t seed = 42;
 };
 

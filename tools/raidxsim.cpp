@@ -18,6 +18,7 @@
 
 #include <fstream>
 
+#include "cache/cache_fabric.hpp"
 #include "cluster/cluster.hpp"
 #include "nfs/nfs.hpp"
 #include "sim/stats.hpp"
@@ -46,6 +47,13 @@ namespace {
       "  --no-bg-mirrors    RAID-x: synchronous image writes\n"
       "  --no-locks         disable lock-group traffic\n"
       "  --window W         outstanding chunks per stream (default 2)\n"
+      "  --cache-mb MB      per-node block cache capacity (default 0 = "
+      "off)\n"
+      "  --cache-policy P   none|wt|wb: write-through or write-back "
+      "(default wt)\n"
+      "  --cache-evict E    lru|2q eviction (default lru)\n"
+      "  --coop-cache       serve misses from peer memory (cooperative)\n"
+      "  --warm N           unmeasured warm passes before the measured run\n"
       "  --seed S           workload seed (default 42)\n"
       "  --trace FILE       replay a block trace instead of the synthetic "
       "workload\n"
@@ -95,6 +103,11 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::vector<int> fails;
   std::string trace_file, dump_trace_file;
+  double cache_mb = 0.0;
+  std::string cache_policy = "wt";
+  std::string cache_evict = "lru";
+  bool coop_cache = false;
+  int warm = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -115,6 +128,17 @@ int main(int argc, char** argv) {
     else if (a == "--no-bg-mirrors") bg_mirrors = false;
     else if (a == "--no-locks") locks = false;
     else if (a == "--window") window = std::atoi(next().c_str());
+    else if (a == "--cache-mb") {
+      cache_mb = std::atof(next().c_str());
+      if (cache_mb < 0.0) {
+        std::fprintf(stderr, "--cache-mb must be >= 0\n");
+        return 2;
+      }
+    }
+    else if (a == "--cache-policy") cache_policy = next();
+    else if (a == "--cache-evict") cache_evict = next();
+    else if (a == "--coop-cache") coop_cache = true;
+    else if (a == "--warm") warm = std::atoi(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--trace") trace_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
@@ -157,6 +181,28 @@ int main(int argc, char** argv) {
   ep.read_window = window;
   ep.write_window = window;
   auto engine = workload::make_engine(arch, fabric, ep);
+
+  cache::CacheParams cp;
+  if (cache_policy == "none") {
+    cp.capacity_blocks = 0;
+  } else if (cache_policy == "wt" || cache_policy == "wb") {
+    cp.capacity_blocks = static_cast<std::uint64_t>(
+        cache_mb * 1024.0 * 1024.0 / static_cast<double>(block));
+    cp.write_policy = cache_policy == "wb"
+                          ? cache::WritePolicy::kWriteBack
+                          : cache::WritePolicy::kWriteThrough;
+  } else {
+    std::fprintf(stderr, "unknown cache policy: %s\n", cache_policy.c_str());
+    return 2;
+  }
+  if (cache_evict == "2q") cp.eviction = cache::EvictionPolicy::k2Q;
+  else if (cache_evict != "lru") {
+    std::fprintf(stderr, "unknown eviction policy: %s\n", cache_evict.c_str());
+    return 2;
+  }
+  cp.cooperative = coop_cache;
+  cache::CacheFabric block_cache(cluster, cp);
+  engine->attach_cache(&block_cache);
 
   for (int f : fails) {
     if (f < 0 || f >= cluster.total_disks()) {
@@ -203,6 +249,7 @@ int main(int argc, char** argv) {
   cfg.bytes_per_op = bytes;
   cfg.ops_per_client = ops;
   cfg.scattered = scattered;
+  cfg.warm_passes = warm;
   cfg.seed = seed;
   if (auto* srv = dynamic_cast<nfs::NfsEngine*>(engine.get())) {
     cfg.exclude_node = srv->server_node();
@@ -238,6 +285,25 @@ int main(int argc, char** argv) {
               sim::to_milliseconds(r.op_latency.percentile(0.5)),
               sim::to_milliseconds(r.op_latency.percentile(0.95)),
               sim::to_milliseconds(r.op_latency.max()));
+  if (block_cache.enabled()) {
+    const auto& cs = block_cache.stats();
+    std::printf("cache               : %.1f MB/node %s%s, %s\n", cache_mb,
+                cache_policy.c_str(), coop_cache ? " cooperative" : "",
+                cache_evict.c_str());
+    std::printf("cache hits          : %llu local, %llu peer, %llu misses "
+                "(%.1f%% hit)\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.peer_hits),
+                static_cast<unsigned long long>(cs.misses),
+                100.0 * cs.hit_ratio());
+    std::printf("cache traffic       : %llu fills, %llu absorbed writes, "
+                "%llu invalidations, %llu flushes, %llu evictions\n",
+                static_cast<unsigned long long>(cs.fills),
+                static_cast<unsigned long long>(cs.writes_absorbed),
+                static_cast<unsigned long long>(cs.invalidations),
+                static_cast<unsigned long long>(cs.flushes),
+                static_cast<unsigned long long>(cs.evictions));
+  }
 
   if (verbose) {
     std::printf("\nper-client completion:\n");
