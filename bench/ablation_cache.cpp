@@ -68,7 +68,8 @@ ReadPoint small_read(const Cfg& c) {
   cfg.clients = kClients;
   cfg.op = workload::IoOp::kRead;
   cfg.bytes_per_op = 32ull << 10;
-  cfg.ops_per_client = 400;  // ~12 MB touched per client: thrashes 8 MB
+  cfg.ops_per_client =
+      bench::smoke_pick(400, 50);  // ~12 MB touched per client: thrashes 8 MB
   cfg.scattered = true;
   // One unmeasured pass over the same access sequence warms the cache;
   // the control keeps the seed's single-pass behavior.

@@ -70,9 +70,9 @@ int main() {
     bool scattered;
   };
   const OpSpec large{"large write (64 MB/client)", IoOp::kWrite,
-                     64ull << 20, 1, false};
+                     bench::smoke_pick(64ull << 20, 4ull << 20), 1, false};
   const OpSpec small{"small write (32 KB scattered)", IoOp::kWrite,
-                     32ull << 10, 40, true};
+                     32ull << 10, bench::smoke_pick(40, 8), true};
 
   for (const OpSpec& spec : {large, small}) {
     std::printf("%s\n", spec.name);

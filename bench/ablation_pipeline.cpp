@@ -26,7 +26,7 @@ double measure(cluster::ClusterParams params, IoOp op, int clients) {
   ParallelIoConfig cfg;
   cfg.clients = clients;
   cfg.op = op;
-  cfg.bytes_per_op = 32ull << 20;
+  cfg.bytes_per_op = bench::smoke_pick(32ull << 20, 4ull << 20);
   const auto r = workload::run_parallel_io(*world.engine, cfg);
   return r.aggregate_mbs;
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -9,6 +10,8 @@
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/collect.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 #include "workload/engines.hpp"
@@ -28,18 +31,37 @@ struct World {
         cache(cluster, cache_params),
         engine(workload::make_engine(arch, fabric, engine_params)) {
     engine->attach_cache(&cache);
+    // Metrics and timelines on, span tracing off: recording busy windows
+    // never adds or reorders simulation events, so bench numbers are
+    // identical to a hub-less run (only span tracing would grow memory
+    // with run length, and benches do not need spans).
+    sim.set_hub(&hub);
   }
 
   sim::Simulation sim;
+  obs::Hub hub;
   cluster::Cluster cluster;
   cdd::CddFabric fabric;
   cache::CacheFabric cache;
   std::unique_ptr<raid::ArrayController> engine;
 };
 
+/// True when RAIDX_BENCH_SMOKE is set: benches shrink to a scale that
+/// finishes in CI seconds while exercising every code path.  BENCH_*.json
+/// records which mode produced it.
+inline bool smoke() { return std::getenv("RAIDX_BENCH_SMOKE") != nullptr; }
+
+/// Pick the full-scale value normally, the reduced one under smoke.
+template <typename T>
+inline T smoke_pick(T full, T reduced) {
+  return smoke() ? reduced : full;
+}
+
 /// Version of the BENCH_*.json layout.  Bump when keys change meaning so
 /// cross-PR trajectory tooling can tell schema drift from regressions.
-inline constexpr int kBenchSchemaVersion = 1;
+/// v2: adds "smoke", and nested registry/timeline snapshots from the obs
+/// layer ("obs_*" keys); every v1 key is unchanged.
+inline constexpr int kBenchSchemaVersion = 2;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.
@@ -47,7 +69,20 @@ inline sim::JsonWriter bench_json(const std::string& bench) {
   sim::JsonWriter w;
   w.add("schema_version", kBenchSchemaVersion);
   w.add("bench", bench);
+  w.add("smoke", smoke());
   return w;
+}
+
+/// Embed one world's metrics-registry snapshot and utilization/queue-depth
+/// timelines under "<key>" -- per-disk and per-link counters, histogram
+/// percentiles, and windowed busy fractions, all from the shared registry.
+inline void add_obs(sim::JsonWriter& w, const std::string& key,
+                    World& world) {
+  obs::collect_cluster(world.hub.registry(), world.cluster, &world.fabric,
+                       &world.cache);
+  w.add_raw(key, "{\"registry\":" + world.hub.registry().snapshot_json() +
+                     ",\"timelines\":" + world.hub.timelines().json() +
+                     "}");
 }
 
 /// Append the block-cache counters (zeros when no cache was attached, so

@@ -35,7 +35,9 @@ struct Panel {
   bool scattered;
 };
 
-double measure(Arch arch, const Panel& panel, int clients) {
+double measure(Arch arch, const Panel& panel, int clients,
+               sim::JsonWriter* json = nullptr,
+               const std::string& obs_key = {}) {
   World world(bench::perf_trojans(), arch, bench::paper_engine());
   ParallelIoConfig cfg;
   cfg.clients = clients;
@@ -48,22 +50,29 @@ double measure(Arch arch, const Panel& panel, int clients) {
     cfg.exclude_node = srv->server_node();
   }
   const auto result = workload::run_parallel_io(*world.engine, cfg);
+  // Endpoint configurations also ship their per-disk/per-link utilization
+  // timelines and latency-histogram percentiles, via the shared registry.
+  if (json != nullptr) bench::add_obs(*json, obs_key, world);
   return result.aggregate_mbs;
 }
 
 }  // namespace
 
 int main() {
-  const std::vector<int> client_counts = {1, 2, 4, 8, 12, 16};
+  const std::vector<int> client_counts =
+      bench::smoke() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8,
+                                                                 12, 16};
+  const std::uint64_t large = bench::smoke_pick(64ull << 20, 4ull << 20);
+  const int small_ops = bench::smoke_pick(40, 8);
   const std::vector<Panel> panels = {
-      {"Fig 5(a): Large read (64 MB per client)", IoOp::kRead, 64ull << 20,
-       1, false},
-      {"Fig 5(b): Small read (32 KB per op)", IoOp::kRead, 32ull << 10, 40,
-       true},
-      {"Fig 5(c): Large write (64 MB per client)", IoOp::kWrite,
-       64ull << 20, 1, false},
+      {"Fig 5(a): Large read (64 MB per client)", IoOp::kRead, large, 1,
+       false},
+      {"Fig 5(b): Small read (32 KB per op)", IoOp::kRead, 32ull << 10,
+       small_ops, true},
+      {"Fig 5(c): Large write (64 MB per client)", IoOp::kWrite, large, 1,
+       false},
       {"Fig 5(d): Small write (32 KB per op)", IoOp::kWrite, 32ull << 10,
-       40, true},
+       small_ops, true},
   };
   const auto archs = workload::paper_architectures();
 
@@ -81,14 +90,20 @@ int main() {
     std::vector<std::string> headers = {"clients"};
     for (Arch a : archs) headers.emplace_back(workload::arch_name(a));
     sim::TablePrinter table(headers);
+    const int endpoint = client_counts.back();
     for (int clients : client_counts) {
       std::vector<std::string> row = {std::to_string(clients)};
       for (Arch a : archs) {
-        const double mbs = measure(a, panel, clients);
+        // The endpoint configurations (16 clients at full scale) are the
+        // figures the paper quotes; they are the trajectory points worth
+        // tracking across PRs, and the ones that carry obs snapshots.
+        const bool at_endpoint = clients == endpoint;
+        const bool with_obs = at_endpoint && a == Arch::kRaidX;
+        const double mbs = measure(
+            a, panel, clients, with_obs ? &json : nullptr,
+            std::string("obs_") + panel_keys[p]);
         row.push_back(bench::mbs(mbs));
-        // The 16-client endpoints are the figures the paper quotes; they
-        // are the trajectory points worth tracking across PRs.
-        if (clients == 16) {
+        if (at_endpoint) {
           json.add(std::string(panel_keys[p]) + "_mbs_" +
                        workload::arch_name(a),
                    mbs);

@@ -20,14 +20,20 @@ using workload::AndrewConfig;
 using workload::AndrewResult;
 using workload::Arch;
 
-AndrewResult measure(Arch arch, int clients) {
+AndrewResult measure(Arch arch, int clients,
+                     sim::JsonWriter* json = nullptr,
+                     const std::string& obs_key = {}) {
   World world(bench::perf_trojans(), arch, bench::paper_engine());
   AndrewConfig cfg;
   cfg.clients = clients;
   if (auto* srv = dynamic_cast<nfs::NfsEngine*>(world.engine.get())) {
     cfg.exclude_node = srv->server_node();
   }
-  return workload::run_andrew(*world.engine, cfg);
+  AndrewResult r = workload::run_andrew(*world.engine, cfg);
+  // Endpoint runs ship their per-disk utilization timelines and latency
+  // histograms alongside the headline seconds.
+  if (json != nullptr) bench::add_obs(*json, obs_key, world);
+  return r;
 }
 
 std::string secs(sim::Time t) {
@@ -39,7 +45,9 @@ std::string secs(sim::Time t) {
 }  // namespace
 
 int main() {
-  const std::vector<int> client_counts = {1, 2, 4, 8, 16, 32};
+  const std::vector<int> client_counts =
+      bench::smoke() ? std::vector<int>{1, 4}
+                     : std::vector<int>{1, 2, 4, 8, 16, 32};
 
   std::printf(
       "Figure 6: Andrew benchmark elapsed times (seconds) per phase\n"
@@ -50,13 +58,19 @@ int main() {
     std::printf("Fig 6: %s\n", workload::arch_name(arch));
     sim::TablePrinter table({"clients", "MakeDir", "Copy", "ScanDir",
                              "ReadAll", "Compile", "Total"});
+    const int endpoint = client_counts.back();
     for (int clients : client_counts) {
-      const AndrewResult r = measure(arch, clients);
+      // The 32-client totals (at full scale) are the figures
+      // EXPERIMENTS.md quotes; the endpoint also carries an obs snapshot
+      // for RAID-x.
+      const bool at_endpoint = clients == endpoint;
+      const bool with_obs = at_endpoint && arch == Arch::kRaidX;
+      const AndrewResult r =
+          measure(arch, clients, with_obs ? &json : nullptr, "obs_andrew");
       table.add_row({std::to_string(clients), secs(r.make_dir),
                      secs(r.copy_files), secs(r.scan_dir), secs(r.read_all),
                      secs(r.compile), secs(r.total())});
-      // The 32-client totals are the figures EXPERIMENTS.md quotes.
-      if (clients == 32) {
+      if (at_endpoint) {
         json.add(std::string("total_s_32c_") + workload::arch_name(arch),
                  sim::to_seconds(r.total()));
       }

@@ -47,10 +47,10 @@ CheckpointResult run(Arch arch, cluster::ClusterParams params,
   World world(params, arch);
   CheckpointConfig cfg;
   cfg.processes = 12;
-  cfg.bytes_per_process = 4ull << 20;
+  cfg.bytes_per_process = bench::smoke_pick(4ull << 20, 1ull << 20);
   cfg.strategy = strategy;
   cfg.waves = waves;
-  cfg.rounds = 3;
+  cfg.rounds = bench::smoke_pick(3, 1);
   return ckpt::run_checkpoint(*world.engine, cfg);
 }
 
@@ -61,6 +61,8 @@ int main() {
       "Figure 7: striped checkpointing with staggering (12 processes, "
       "4 MB checkpoint each, 3 rounds)\n"
       "C = checkpoint overhead per round, S = mean synchronization wait\n\n");
+
+  sim::JsonWriter json = bench::bench_json("fig7_checkpoint");
 
   {
     std::printf(
@@ -76,6 +78,10 @@ int main() {
       const auto r = run(Arch::kRaidX, p, st, waves);
       table.add_row({ckpt::strategy_name(st), secs(r.overhead_c),
                      secs(r.sync_s), secs(r.total_elapsed)});
+      json.add(std::string("total_s_") + ckpt::strategy_name(st),
+               sim::to_seconds(r.total_elapsed));
+      json.add(std::string("overhead_c_s_") + ckpt::strategy_name(st),
+               sim::to_seconds(r.overhead_c));
     }
     table.print();
     std::printf("\n");
@@ -116,6 +122,8 @@ int main() {
       std::snprintf(label, sizeof(label), "%dx%d", n, k);
       table.add_row({label, secs(r.overhead_c), secs(r.sync_s),
                      secs(r.total_elapsed)});
+      json.add(std::string("total_s_") + label,
+               sim::to_seconds(r.total_elapsed));
     }
     table.print();
     std::printf("\n");
@@ -126,7 +134,7 @@ int main() {
     sim::TablePrinter table({"path", "recovery time (s)"});
     CheckpointConfig cfg;
     cfg.processes = 12;
-    cfg.bytes_per_process = 4ull << 20;
+    cfg.bytes_per_process = bench::smoke_pick(4ull << 20, 1ull << 20);
     cfg.rounds = 1;
     cfg.compute_between = 0;
 
@@ -158,6 +166,11 @@ int main() {
     table.add_row({"permanent: striped read, 1 disk failed",
                    secs(t_degraded)});
     table.print();
+    json.add("recover_local_s", sim::to_seconds(t_local));
+    json.add("recover_striped_s", sim::to_seconds(t_striped));
+    json.add("recover_degraded_s", sim::to_seconds(t_degraded));
+    bench::add_obs(json, "obs_recovery", world);
   }
+  bench::write_bench_json("fig7_checkpoint", json);
   return 0;
 }

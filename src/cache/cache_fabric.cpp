@@ -31,9 +31,10 @@ void CacheFabric::directory_remove(std::uint64_t lba, int node) {
   if (holders.empty()) directory_.erase(it);
 }
 
-sim::Task<> CacheFabric::one_way(int from, int to, std::uint64_t bytes) {
+sim::Task<> CacheFabric::one_way(int from, int to, std::uint64_t bytes,
+                                 obs::TraceContext ctx) {
   co_await cluster_.node(from).cpu_work(bytes);
-  co_await cluster_.network().transmit(from, to, bytes);
+  co_await cluster_.network().transmit(from, to, bytes, ctx);
   co_await cluster_.node(to).cpu_work(bytes);
 }
 
@@ -44,21 +45,30 @@ void CacheFabric::post_notice(int from, int to) {
 
 sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
                                         std::uint64_t lba,
-                                        std::span<std::byte> out) {
+                                        std::span<std::byte> out,
+                                        obs::TraceContext ctx) {
   const std::uint32_t bs = cluster_.geometry().block_bytes;
   assert(out.size() == bs);
   NodeCache& local = cache(cache_node);
 
+  // hit tag: 0 = miss, 1 = local hit, 2 = peer-memory hit.
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cache.read", obs::Track::kRequest, cache_node,
+      obs::SpanArgs{}
+          .tag("node", cache_node)
+          .tag("lba", static_cast<std::int64_t>(lba)));
+
   auto hit = local.lookup(lba);
   if (!hit.empty()) {
     ++stats_.hits;
+    span.tag("hit", 1);
     // Functional copy happens now; the latency below models the memcpy and
     // (for a server-side cache) the wire round trip.
     std::copy(hit.begin(), hit.end(), out.begin());
     if (cache_node != client) {
       co_await cluster_.node(client).cpu_work(kCacheHeaderBytes);
       co_await cluster_.network().transmit(client, cache_node,
-                                           kCacheHeaderBytes);
+                                           kCacheHeaderBytes, span.ctx());
     }
     co_await cluster_.node(cache_node).compute(
         params_.lookup_overhead +
@@ -66,7 +76,8 @@ sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
     if (cache_node != client) {
       co_await cluster_.node(cache_node).cpu_work(kCacheHeaderBytes + bs);
       co_await cluster_.network().transmit(cache_node, client,
-                                           kCacheHeaderBytes + bs);
+                                           kCacheHeaderBytes + bs,
+                                           span.ctx());
       co_await cluster_.node(client).cpu_work(kCacheHeaderBytes + bs);
     }
     co_return true;
@@ -103,6 +114,8 @@ sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
     }
     if (peer >= 0) {
       ++stats_.peer_hits;
+      span.tag("hit", 2);
+      span.tag("peer", peer);
       auto data = cache(peer).peek(lba);
       std::copy(data.begin(), data.end(), out.begin());
       // Install a clean replica at the requester immediately: the directory
@@ -114,21 +127,23 @@ sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
       // (payload): three one-way hops, the hit-forwarding path.
       const int home = home_of(lba);
       if (cache_node != home) {
-        co_await one_way(cache_node, home, kCacheHeaderBytes);
+        co_await one_way(cache_node, home, kCacheHeaderBytes, span.ctx());
       }
       if (home != peer) {
-        co_await one_way(home, peer, kCacheHeaderBytes);
+        co_await one_way(home, peer, kCacheHeaderBytes, span.ctx());
       }
       co_await cluster_.node(peer).compute(
           params_.lookup_overhead +
           static_cast<sim::Time>(params_.mem_ns_per_byte * bs));
       if (peer != cache_node) {
-        co_await one_way(peer, cache_node, kCacheHeaderBytes + bs);
+        co_await one_way(peer, cache_node, kCacheHeaderBytes + bs,
+                         span.ctx());
       }
       if (cache_node != client) {
         co_await cluster_.node(cache_node).cpu_work(kCacheHeaderBytes + bs);
         co_await cluster_.network().transmit(cache_node, client,
-                                             kCacheHeaderBytes + bs);
+                                             kCacheHeaderBytes + bs,
+                                             span.ctx());
         co_await cluster_.node(client).cpu_work(kCacheHeaderBytes + bs);
       }
       co_return true;
@@ -138,6 +153,7 @@ sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
   // Miss: charge nothing here -- the disk path pays full price and the
   // directory probe rides the request traffic the client sends anyway.
   ++stats_.misses;
+  span.tag("hit", 0);
   co_return false;
 }
 
@@ -157,8 +173,15 @@ void CacheFabric::fill(int cache_node, std::uint64_t lba,
 
 sim::Task<std::uint64_t> CacheFabric::write_block(
     int cache_node, std::uint64_t lba, std::span<const std::byte> data,
-    bool dirty, bool piggybacked, bool through) {
+    bool dirty, bool piggybacked, bool through, obs::TraceContext ctx) {
   const std::uint32_t bs = cluster_.geometry().block_bytes;
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cache.write", obs::Track::kRequest, cache_node,
+      obs::SpanArgs{}
+          .tag("node", cache_node)
+          .tag("lba", static_cast<std::int64_t>(lba))
+          .tag("dirty", dirty ? 1 : 0)
+          .tag("through", through ? 1 : 0));
   NodeCache& local = cache(cache_node);
   const std::uint64_t epoch = ++write_epoch_[lba];
   if (through) ++wt_inflight_[lba];

@@ -53,6 +53,7 @@
 
 #include "cache/block_cache.hpp"
 #include "cluster/cluster.hpp"
+#include "obs/obs.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -131,7 +132,8 @@ class CacheFabric {
   /// Returns false on a miss, charging nothing -- the caller's disk path
   /// pays full price and then calls fill().
   sim::Task<bool> read_block(int client, int cache_node, std::uint64_t lba,
-                             std::span<std::byte> out);
+                             std::span<std::byte> out,
+                             obs::TraceContext ctx = {});
 
   /// Monotonic per-block write counter.  A reader snapshots it before
   /// going to disk; fill() refuses the install if a write slipped in
@@ -159,7 +161,8 @@ class CacheFabric {
   sim::Task<std::uint64_t> write_block(int cache_node, std::uint64_t lba,
                                        std::span<const std::byte> data,
                                        bool dirty, bool piggybacked,
-                                       bool through = false);
+                                       bool through = false,
+                                       obs::TraceContext ctx = {});
 
   /// A write-through disk write finished (`ok` = it actually reached the
   /// disks).  The entry is marked clean only when this writer is still the
@@ -233,7 +236,8 @@ class CacheFabric {
   void directory_remove(std::uint64_t lba, int node);
   /// Fire-and-forget control message (registration / invalidation notice).
   void post_notice(int from, int to);
-  sim::Task<> one_way(int from, int to, std::uint64_t bytes);
+  sim::Task<> one_way(int from, int to, std::uint64_t bytes,
+                      obs::TraceContext ctx = {});
 
   cluster::Cluster& cluster_;
   CacheParams params_;

@@ -27,6 +27,9 @@ sim::Task<> CddService::handle(Request req) {
 
   switch (req.op) {
     case Request::Op::kRead: {
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.read", obs::Track::kServer,
+          node_, obs::SpanArgs{}.tag("node", node_).tag("disk", req.disk));
       Reply reply;
       co_await node.cpu_work(req.wire_bytes());
       try {
@@ -37,30 +40,40 @@ sim::Task<> CddService::handle(Request req) {
           reply.ok = false;
         } else {
           co_await d.io(disk::IoKind::kRead, req.offset, req.nblocks,
-                        req.prio);
+                        req.prio, serve.ctx());
           reply.data = d.read_data(req.offset, req.nblocks);
         }
       } catch (const disk::DiskFailedError&) {
         reply.ok = false;
       }
-      co_await send_reply(req.from, req.op, req.reply, std::move(reply));
+      co_await send_reply(req.from, req.op, req.reply, std::move(reply),
+                          serve.ctx());
       break;
     }
     case Request::Op::kWrite: {
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.write", obs::Track::kServer,
+          node_, obs::SpanArgs{}.tag("node", node_).tag("disk", req.disk));
       Reply reply;
       co_await node.cpu_work(req.wire_bytes());
       try {
         auto& d = cluster.disk(req.disk);
         co_await d.io(disk::IoKind::kWrite, req.offset, req.nblocks,
-                      req.prio);
+                      req.prio, serve.ctx());
         d.write_data(req.offset, req.payload);
       } catch (const disk::DiskFailedError&) {
         reply.ok = false;
       }
-      co_await send_reply(req.from, req.op, req.reply, std::move(reply));
+      co_await send_reply(req.from, req.op, req.reply, std::move(reply),
+                          serve.ctx());
       break;
     }
     case Request::Op::kLock: {
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.lock", obs::Track::kServer,
+          node_,
+          obs::SpanArgs{}.tag("node", node_).tag(
+              "groups", static_cast<std::int64_t>(req.lock_groups.size())));
       co_await node.cpu_work(req.wire_bytes());
       // Grant the whole record atomically: groups in ascending order, the
       // same order every requester uses.
@@ -71,10 +84,15 @@ sim::Task<> CddService::handle(Request req) {
               replicate_lock_state(g, req.lock_owner));
         }
       }
-      co_await send_reply(req.from, req.op, req.reply, Reply{});
+      co_await send_reply(req.from, req.op, req.reply, Reply{}, serve.ctx());
       break;
     }
     case Request::Op::kUnlock: {
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.unlock", obs::Track::kServer,
+          node_,
+          obs::SpanArgs{}.tag("node", node_).tag(
+              "groups", static_cast<std::int64_t>(req.lock_groups.size())));
       co_await node.cpu_work(req.wire_bytes());
       for (std::uint64_t g : req.lock_groups) {
         locks_.release(g, req.lock_owner);
@@ -83,11 +101,14 @@ sim::Task<> CddService::handle(Request req) {
               replicate_lock_state(g, locks_.owner(g)));
         }
       }
-      co_await send_reply(req.from, req.op, req.reply, Reply{});
+      co_await send_reply(req.from, req.op, req.reply, Reply{}, serve.ctx());
       break;
     }
     case Request::Op::kLockSync: {
       // One-way replication update; lock_owner 0 means "group is free".
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.locksync", obs::Track::kServer,
+          node_, obs::SpanArgs{}.tag("node", node_));
       co_await node.cpu_work(req.wire_bytes());
       locks_.apply_replica_update(req.group, req.lock_owner);
       break;
@@ -96,12 +117,13 @@ sim::Task<> CddService::handle(Request req) {
 }
 
 sim::Task<> CddService::send_reply(int to, Request::Op /*op*/,
-                                   sim::Oneshot<Reply>* slot, Reply reply) {
+                                   sim::Oneshot<Reply>* slot, Reply reply,
+                                   obs::TraceContext ctx) {
   assert(slot != nullptr);
   if (to != node_) {
     auto& cluster = fabric_.cluster();
     co_await cluster.node(node_).cpu_work(reply.wire_bytes());
-    co_await cluster.network().transmit(node_, to, reply.wire_bytes());
+    co_await cluster.network().transmit(node_, to, reply.wire_bytes(), ctx);
   }
   slot->set(std::move(reply));
 }
@@ -109,6 +131,10 @@ sim::Task<> CddService::send_reply(int to, Request::Op /*op*/,
 sim::Task<> CddService::replicate_lock_state(std::uint64_t group,
                                              std::uint64_t owner) {
   auto& cluster = fabric_.cluster();
+  // Background one-way traffic gets its own root trace.
+  obs::Span span = obs::trace_span(
+      cluster.sim(), {}, "cdd.replicate", obs::Track::kRequest, node_,
+      obs::SpanArgs{}.tag("node", node_));
   for (int peer = 0; peer < cluster.num_nodes(); ++peer) {
     if (peer == node_) continue;
     Request sync;
@@ -116,7 +142,9 @@ sim::Task<> CddService::replicate_lock_state(std::uint64_t group,
     sync.from = node_;
     sync.group = group;
     sync.lock_owner = owner;
-    co_await cluster.network().transmit(node_, peer, sync.wire_bytes());
+    sync.ctx = span.ctx();
+    co_await cluster.network().transmit(node_, peer, sync.wire_bytes(),
+                                        span.ctx());
     fabric_.service(peer).mailbox().send(std::move(sync));
   }
 }
@@ -135,6 +163,7 @@ sim::Task<Reply> CddFabric::submit(int client, int target_node, Request req) {
   req.from = client;
   req.reply = &slot;
   const std::uint64_t request_bytes = req.wire_bytes();
+  const obs::TraceContext ctx = req.ctx;  // req is moved away below
 
   if (target_node == client) {
     ++local_requests_;
@@ -144,7 +173,8 @@ sim::Task<Reply> CddFabric::submit(int client, int target_node, Request req) {
 
   ++remote_requests_;
   co_await cluster_.node(client).cpu_work(request_bytes);
-  co_await cluster_.network().transmit(client, target_node, request_bytes);
+  co_await cluster_.network().transmit(client, target_node, request_bytes,
+                                       ctx);
   service(target_node).mailbox().send(std::move(req));
   Reply reply = co_await slot.wait();
   co_await cluster_.node(client).cpu_work(reply.wire_bytes());
@@ -153,22 +183,40 @@ sim::Task<Reply> CddFabric::submit(int client, int target_node, Request req) {
 
 sim::Task<Reply> CddFabric::read(int client, int disk_id, std::uint64_t offset,
                                  std::uint32_t nblocks,
-                                 disk::IoPriority prio) {
+                                 disk::IoPriority prio,
+                                 obs::TraceContext ctx) {
+  const int target = cluster_.geometry().node_of(disk_id);
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.read", obs::Track::kRequest, client,
+      obs::SpanArgs{}
+          .tag("client", client)
+          .tag("disk", disk_id)
+          .tag("remote", target != client ? 1 : 0));
   Request req;
   req.op = Request::Op::kRead;
   req.disk = disk_id;
   req.offset = offset;
   req.nblocks = nblocks;
   req.prio = prio;
-  co_return co_await submit(client, cluster_.geometry().node_of(disk_id),
-                            std::move(req));
+  req.ctx = span.ctx();
+  co_return co_await submit(client, target, std::move(req));
 }
 
 sim::Task<Reply> CddFabric::write(int client, int disk_id,
                                   std::uint64_t offset,
                                   std::vector<std::byte> data,
-                                  disk::IoPriority prio) {
+                                  disk::IoPriority prio,
+                                  obs::TraceContext ctx) {
   assert(data.size() % cluster_.geometry().block_bytes == 0);
+  const int target = cluster_.geometry().node_of(disk_id);
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.write", obs::Track::kRequest, client,
+      obs::SpanArgs{}
+          .tag("client", client)
+          .tag("disk", disk_id)
+          .tag("remote", target != client ? 1 : 0)
+          .tag("background",
+               prio == disk::IoPriority::kBackground ? 1 : 0));
   Request req;
   req.op = Request::Op::kWrite;
   req.disk = disk_id;
@@ -177,19 +225,25 @@ sim::Task<Reply> CddFabric::write(int client, int disk_id,
       data.size() / cluster_.geometry().block_bytes);
   req.payload = std::move(data);
   req.prio = prio;
-  co_return co_await submit(client, cluster_.geometry().node_of(disk_id),
-                            std::move(req));
+  req.ctx = span.ctx();
+  co_return co_await submit(client, target, std::move(req));
 }
 
 sim::Task<> CddFabric::lock_groups(int client,
                                    std::vector<std::uint64_t> groups,
-                                   std::uint64_t owner) {
+                                   std::uint64_t owner,
+                                   obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.lock", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag(
+          "groups", static_cast<std::int64_t>(groups.size())));
   // One RPC per home node, homes in ascending order.  Groups are already
   // sorted, so each home's sub-list is ascending too.
   for (int home = 0; home < cluster_.num_nodes(); ++home) {
     Request req;
     req.op = Request::Op::kLock;
     req.lock_owner = owner;
+    req.ctx = span.ctx();
     for (std::uint64_t g : groups) {
       if (lock_home(g) == home) req.lock_groups.push_back(g);
     }
@@ -200,11 +254,17 @@ sim::Task<> CddFabric::lock_groups(int client,
 
 sim::Task<> CddFabric::unlock_groups(int client,
                                      std::vector<std::uint64_t> groups,
-                                     std::uint64_t owner) {
+                                     std::uint64_t owner,
+                                     obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.unlock", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag(
+          "groups", static_cast<std::int64_t>(groups.size())));
   for (int home = 0; home < cluster_.num_nodes(); ++home) {
     Request req;
     req.op = Request::Op::kUnlock;
     req.lock_owner = owner;
+    req.ctx = span.ctx();
     for (std::uint64_t g : groups) {
       if (lock_home(g) == home) req.lock_groups.push_back(g);
     }

@@ -54,7 +54,7 @@ class CddService {
   sim::Task<> server_loop();
   sim::Task<> handle(Request req);
   sim::Task<> send_reply(int to, Request::Op op, sim::Oneshot<Reply>* slot,
-                         Reply reply);
+                         Reply reply, obs::TraceContext ctx = {});
   sim::Task<> replicate_lock_state(std::uint64_t group, std::uint64_t owner);
 
   CddFabric& fabric_;
@@ -76,12 +76,14 @@ class CddFabric {
   /// `client`.  Returns the data; Reply.ok is false if the disk failed.
   sim::Task<Reply> read(int client, int disk_id, std::uint64_t offset,
                         std::uint32_t nblocks,
-                        disk::IoPriority prio = disk::IoPriority::kForeground);
+                        disk::IoPriority prio = disk::IoPriority::kForeground,
+                        obs::TraceContext ctx = {});
 
   /// Write `data` to physical (disk, offset) on behalf of node `client`.
   sim::Task<Reply> write(int client, int disk_id, std::uint64_t offset,
                          std::vector<std::byte> data,
-                         disk::IoPriority prio = disk::IoPriority::kForeground);
+                         disk::IoPriority prio = disk::IoPriority::kForeground,
+                         obs::TraceContext ctx = {});
 
   /// Acquire/release exclusive write locks on a set of groups (sorted
   /// ascending, no duplicates).  Batched: one RPC per home node, homes
@@ -89,9 +91,9 @@ class CddFabric {
   /// (home, group) acquisition order, so overlapping writers queue FIFO
   /// instead of deadlocking.  `owner` is a token from next_lock_owner().
   sim::Task<> lock_groups(int client, std::vector<std::uint64_t> groups,
-                          std::uint64_t owner);
+                          std::uint64_t owner, obs::TraceContext ctx = {});
   sim::Task<> unlock_groups(int client, std::vector<std::uint64_t> groups,
-                            std::uint64_t owner);
+                            std::uint64_t owner, obs::TraceContext ctx = {});
 
   /// Mint a fresh lock-owner token (unique across the fabric's lifetime).
   std::uint64_t next_lock_owner() { return ++lock_owner_seq_; }

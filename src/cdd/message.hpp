@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "disk/disk.hpp"
+#include "obs/obs.hpp"
 #include "sim/channel.hpp"
 
 namespace raidx::cdd {
@@ -45,6 +46,10 @@ struct Request {
   /// "free" sentinel.
   std::uint64_t lock_owner = 0;
   sim::Oneshot<Reply>* reply = nullptr;  // null for one-way messages
+  /// Trace identity carried across the node boundary, so the server-side
+  /// handling spans nest under the originating client request.  Not
+  /// counted in wire_bytes(): trace ids ride in existing header slack.
+  obs::TraceContext ctx{};
 
   std::uint64_t wire_bytes() const {
     return kHeaderBytes + payload.size() + 8 * lock_groups.size();

@@ -41,6 +41,12 @@ Cluster::Cluster(sim::Simulation& sim, ClusterParams params)
                                             params_.bus, params_.disk,
                                             params_.geometry.disks_per_node));
   }
+  // Promote each disk's node-local diagnostic id to its global index, so
+  // failure messages and observability tracks use the same numbering as
+  // the layouts and the metrics registry.
+  for (int d = 0; d < params_.geometry.total_disks(); ++d) {
+    disk(d).set_id(d);
+  }
 }
 
 disk::Disk& Cluster::disk(int global_id) {

@@ -9,7 +9,7 @@ Node::Node(sim::Simulation& sim, int id, NodeParams params,
       id_(id),
       params_(params),
       cpu_(sim, /*capacity=*/1),
-      bus_(std::make_unique<disk::ScsiBus>(sim, bus_params)) {
+      bus_(std::make_unique<disk::ScsiBus>(sim, bus_params, id)) {
   disks_.reserve(static_cast<std::size_t>(num_disks));
   for (int row = 0; row < num_disks; ++row) {
     // Global ids are assigned by the Cluster; the local id encodes

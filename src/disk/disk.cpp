@@ -39,12 +39,35 @@ sim::Time Disk::service_time(std::uint64_t block, std::uint32_t nblocks,
 }
 
 sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
-                     IoPriority prio) {
+                     IoPriority prio, obs::TraceContext ctx) {
   if (failed_) throw DiskFailedError(id_);
   assert(block + nblocks <= params_.total_blocks);
 
+  // Queue depth at arrival: requests ahead of us plus the one in service.
+  obs::record_depth(
+      sim_, obs::Track::kDisk, id_,
+      static_cast<std::int64_t>(queue_.queued() + queue_.in_use() + 1));
+  obs::Span req = obs::trace_span(
+      sim_, ctx, kind == IoKind::kRead ? "disk.read" : "disk.write",
+      obs::Track::kRequest, id_,
+      obs::SpanArgs{}
+          .tag("disk", id_)
+          .tag("lba", static_cast<std::int64_t>(block))
+          .tag("nblocks", nblocks)
+          .tag("background", prio == IoPriority::kBackground ? 1 : 0));
+
   auto arm = co_await queue_.acquire(static_cast<int>(prio));
   if (failed_) throw DiskFailedError(id_);
+
+  // The service span brackets arm occupancy exactly ([grant, release] of a
+  // capacity-1 resource), so per-disk span time sums to busy_time().
+  const sim::Time grant = sim_.now();
+  obs::Span service = obs::trace_span(
+      sim_, req.ctx(), "disk.service", obs::Track::kDisk, id_,
+      obs::SpanArgs{}
+          .tag("disk", id_)
+          .tag("lba", static_cast<std::int64_t>(block))
+          .tag("write", kind == IoKind::kWrite ? 1 : 0));
 
   const bool sequential = (block == head_pos_);
   const sim::Time mech = service_time(block, nblocks, sequential);
@@ -55,17 +78,21 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
     // Media first, then ship across the bus.
     co_await sim_.delay(mech);
     head_pos_ = block + nblocks;
+    service.close();
+    obs::record_busy(sim_, obs::Track::kDisk, id_, grant, sim_.now());
     arm.release();  // the arm is free while the buffer drains to the bus
-    if (bus_) co_await bus_->transfer(bytes);
+    if (bus_) co_await bus_->transfer(bytes, req.ctx());
     ++reads_;
     bytes_read_ += bytes;
   } else {
     // Data arrives over the bus into the disk buffer, then hits the media.
-    if (bus_) co_await bus_->transfer(bytes);
+    if (bus_) co_await bus_->transfer(bytes, service.ctx());
     co_await sim_.delay(mech);
     head_pos_ = block + nblocks;
     ++writes_;
     bytes_written_ += bytes;
+    service.close();
+    obs::record_busy(sim_, obs::Track::kDisk, id_, grant, sim_.now());
   }
   if (failed_) throw DiskFailedError(id_);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "disk/scsi_bus.hpp"
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -69,9 +70,11 @@ class Disk {
 
   /// Perform the timing of one contiguous request.  Throws DiskFailedError
   /// if the disk is failed.  Does not touch stored data; callers pair it
-  /// with read_data/write_data as appropriate.
+  /// with read_data/write_data as appropriate.  `ctx` links the request
+  /// into an active trace (no-op when tracing is off).
   sim::Task<> io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
-                 IoPriority prio = IoPriority::kForeground);
+                 IoPriority prio = IoPriority::kForeground,
+                 obs::TraceContext ctx = {});
 
   /// Functional storage access (no simulated time).
   void write_data(std::uint64_t block, std::span<const std::byte> data);
@@ -108,6 +111,10 @@ class Disk {
   }
 
   int id() const { return id_; }
+  /// Reassign the disk's identity.  The Cluster calls this once after
+  /// construction to replace the node-local diagnostic id with the global
+  /// disk index, so trace/timeline tracks and registry counters agree.
+  void set_id(int id) { id_ = id; }
   const DiskParams& params() const { return params_; }
 
   std::uint64_t reads() const { return reads_; }

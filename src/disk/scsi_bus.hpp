@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -24,17 +25,20 @@ struct BusParams {
 
 class ScsiBus {
  public:
-  ScsiBus(sim::Simulation& sim, BusParams params);
+  /// `id` labels the bus's trace lane (the owning node id); -1 = unnamed.
+  ScsiBus(sim::Simulation& sim, BusParams params, int id = -1);
 
   /// Occupy the bus long enough to move `bytes` across it.
-  sim::Task<> transfer(std::uint64_t bytes);
+  sim::Task<> transfer(std::uint64_t bytes, obs::TraceContext ctx = {});
 
   const BusParams& params() const { return params_; }
   sim::Time busy_time() const { return bus_.busy_time(); }
+  int id() const { return id_; }
 
  private:
   sim::Simulation& sim_;
   BusParams params_;
+  int id_;
   sim::Resource bus_;
 };
 

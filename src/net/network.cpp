@@ -18,22 +18,44 @@ Network::Network(sim::Simulation& sim, NetParams params, int nodes)
   }
 }
 
-sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes) {
+sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
+                              obs::TraceContext ctx) {
   assert(from >= 0 && from < nodes());
   assert(to >= 0 && to < nodes());
   bytes_sent_[static_cast<std::size_t>(from)] += bytes;
   ++msgs_sent_[static_cast<std::size_t>(from)];
   if (from == to) co_return;
 
+  obs::Span msg = obs::trace_span(
+      sim_, ctx, "net.transmit", obs::Track::kRequest, from,
+      obs::SpanArgs{}
+          .tag("from", from)
+          .tag("to", to)
+          .tag("bytes", static_cast<std::int64_t>(bytes)));
+
   const sim::Time wire = sim::transfer_time(bytes, params_.effective_mbs());
   {
     auto tx = co_await tx_[static_cast<std::size_t>(from)]->acquire();
+    const sim::Time grant = sim_.now();
+    obs::Span port = obs::trace_span(
+        sim_, msg.ctx(), "net.tx", obs::Track::kNetTx, from,
+        obs::SpanArgs{}.tag("to", to).tag("bytes",
+                                          static_cast<std::int64_t>(bytes)));
     co_await sim_.delay(params_.per_message_overhead + wire);
+    port.close();
+    obs::record_busy(sim_, obs::Track::kNetTx, from, grant, sim_.now());
   }
   co_await sim_.delay(params_.switch_latency);
   {
     auto rx = co_await rx_[static_cast<std::size_t>(to)]->acquire();
+    const sim::Time grant = sim_.now();
+    obs::Span port = obs::trace_span(
+        sim_, msg.ctx(), "net.rx", obs::Track::kNetRx, to,
+        obs::SpanArgs{}.tag("from", from)
+            .tag("bytes", static_cast<std::int64_t>(bytes)));
     co_await sim_.delay(wire);
+    port.close();
+    obs::record_busy(sim_, obs::Track::kNetRx, to, grant, sim_.now());
   }
 }
 

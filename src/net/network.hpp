@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -42,7 +43,8 @@ class Network {
   /// Move `bytes` from node `from` to node `to`; completes when the last
   /// byte has drained from the receiver's port.  from == to is free (the
   /// loopback path never touches the wire).
-  sim::Task<> transmit(int from, int to, std::uint64_t bytes);
+  sim::Task<> transmit(int from, int to, std::uint64_t bytes,
+                       obs::TraceContext ctx = {});
 
   int nodes() const { return static_cast<int>(tx_.size()); }
   const NetParams& params() const { return params_; }

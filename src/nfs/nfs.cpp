@@ -23,34 +23,49 @@ sim::Task<> NfsEngine::server_overhead(std::uint64_t bytes) {
   co_await server.compute(nfs_.server_extra_op + extra);
 }
 
-sim::Task<> NfsEngine::control_rpc(int client) {
+sim::Task<> NfsEngine::control_rpc(int client, obs::TraceContext ctx) {
   if (client == nfs_.server_node) co_return;
   auto& cluster = fabric_.cluster();
+  obs::Span rpc = obs::trace_span(
+      cluster.sim(), ctx, "nfs.rpc", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("server", nfs_.server_node));
   co_await cluster.node(client).cpu_work(cdd::kHeaderBytes);
   co_await cluster.network().transmit(client, nfs_.server_node,
-                                      cdd::kHeaderBytes);
+                                      cdd::kHeaderBytes, rpc.ctx());
   co_await cluster.node(nfs_.server_node).cpu_work(cdd::kHeaderBytes);
   co_await cluster.network().transmit(nfs_.server_node, client,
-                                      cdd::kHeaderBytes);
+                                      cdd::kHeaderBytes, rpc.ctx());
   co_await cluster.node(client).cpu_work(cdd::kHeaderBytes);
 }
 
 sim::Task<> NfsEngine::read_chunk(int client, std::uint64_t lba,
                                   std::uint32_t nblocks,
-                                  std::span<std::byte> out) {
-  co_await control_rpc(client);
+                                  std::span<std::byte> out,
+                                  obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      sim(), ctx, "nfs.server", obs::Track::kRequest, nfs_.server_node,
+      obs::SpanArgs{}.tag("client", client).tag(
+          "lba", static_cast<std::int64_t>(lba)));
+  co_await control_rpc(client, span.ctx());
   co_await server_overhead(static_cast<std::uint64_t>(nblocks) *
                            block_bytes());
-  co_await ArrayController::read_chunk(client, lba, nblocks, out);
+  co_await ArrayController::read_chunk(client, lba, nblocks, out,
+                                       span.ctx());
 }
 
 sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
                                    std::span<const std::byte> data,
-                                   disk::IoPriority prio) {
+                                   disk::IoPriority prio,
+                                   obs::TraceContext ctx) {
   // Background cache flushes originate in the server's own buffer cache:
   // no client RPC or daemon copy to pay, just the disk writes.
+  obs::Span span = obs::trace_span(
+      sim(), ctx, "nfs.server", obs::Track::kRequest, nfs_.server_node,
+      obs::SpanArgs{}.tag("client", client).tag(
+          "lba", static_cast<std::int64_t>(lba)));
+  ctx = span.ctx();
   if (prio == disk::IoPriority::kForeground) {
-    co_await control_rpc(client);
+    co_await control_rpc(client, ctx);
     co_await server_overhead(data.size());
   }
   const std::uint32_t bs = block_bytes();
@@ -58,10 +73,10 @@ sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](NfsEngine* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p,
-                         disk::IoPriority prio) -> sim::Task<> {
+                         std::vector<std::byte> p, disk::IoPriority prio,
+                         obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
-                                                std::move(p), prio);
+                                                std::move(p), prio, ctx);
     if (!r.ok) {
       throw raid::IoError("NFS: server disk " + std::to_string(e.disk) +
                           " failed");
@@ -76,8 +91,8 @@ sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
       std::copy(src.begin(), src.end(),
                 payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
     }
-    join.spawn(
-        write_extent(this, client, me.extent, std::move(payload), prio));
+    join.spawn(write_extent(this, client, me.extent, std::move(payload),
+                            prio, ctx));
   }
   co_await join.wait();
 }

@@ -63,10 +63,12 @@ class NfsEngine : public raid::ArrayController {
 
  protected:
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
-                         std::span<std::byte> out) override;
+                         std::span<std::byte> out,
+                         obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
 
   /// The NFS counterpart of the cooperative cache is the server's buffer
   /// cache: one cache, on the server node, fronting every client.
@@ -81,7 +83,7 @@ class NfsEngine : public raid::ArrayController {
 
   /// The per-request control traffic NFSv2 pays before moving data: a
   /// lookup/getattr round trip through the server's port and CPU.
-  sim::Task<> control_rpc(int client);
+  sim::Task<> control_rpc(int client, obs::TraceContext ctx);
 
   NfsParams nfs_;
   NfsLayout layout_;

@@ -1,0 +1,79 @@
+#include "obs/collect.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "cache/cache_fabric.hpp"
+#include "cdd/cdd.hpp"
+#include "cluster/cluster.hpp"
+
+namespace raidx::obs {
+
+namespace {
+
+std::string key(const char* layer, int idx, const char* metric) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s.%03d.%s", layer, idx, metric);
+  return buf;
+}
+
+}  // namespace
+
+void collect_cluster(Registry& reg, cluster::Cluster& cluster,
+                     const cdd::CddFabric* fabric,
+                     const cache::CacheFabric* cache) {
+  sim::Simulation& sim = cluster.sim();
+  const double elapsed = static_cast<double>(sim.now());
+
+  reg.counter("sim.events_processed").inc(sim.events_processed());
+  reg.counter("sim.now_ns").inc(static_cast<std::uint64_t>(sim.now()));
+
+  for (int d = 0; d < cluster.total_disks(); ++d) {
+    const disk::Disk& disk = cluster.disk(d);
+    reg.counter(key("disk", d, "reads")).inc(disk.reads());
+    reg.counter(key("disk", d, "writes")).inc(disk.writes());
+    reg.counter(key("disk", d, "bytes_read")).inc(disk.bytes_read());
+    reg.counter(key("disk", d, "bytes_written")).inc(disk.bytes_written());
+    reg.counter(key("disk", d, "busy_ns"))
+        .inc(static_cast<std::uint64_t>(disk.busy_time()));
+    reg.gauge(key("disk", d, "util"))
+        .set(elapsed > 0.0 ? static_cast<double>(disk.busy_time()) / elapsed
+                           : 0.0);
+  }
+
+  net::Network& net = cluster.network();
+  for (int n = 0; n < net.nodes(); ++n) {
+    reg.counter(key("link", n, "bytes_sent")).inc(net.bytes_sent(n));
+    reg.counter(key("link", n, "messages_sent")).inc(net.messages_sent(n));
+    reg.counter(key("link", n, "tx_busy_ns"))
+        .inc(static_cast<std::uint64_t>(net.tx_busy(n)));
+    reg.counter(key("link", n, "rx_busy_ns"))
+        .inc(static_cast<std::uint64_t>(net.rx_busy(n)));
+    reg.gauge(key("link", n, "tx_util"))
+        .set(elapsed > 0.0 ? static_cast<double>(net.tx_busy(n)) / elapsed
+                           : 0.0);
+    reg.gauge(key("link", n, "rx_util"))
+        .set(elapsed > 0.0 ? static_cast<double>(net.rx_busy(n)) / elapsed
+                           : 0.0);
+  }
+
+  if (fabric != nullptr) {
+    reg.counter("cdd.local_requests").inc(fabric->local_requests());
+    reg.counter("cdd.remote_requests").inc(fabric->remote_requests());
+  }
+
+  if (cache != nullptr && cache->enabled()) {
+    const cache::CacheStats& s = cache->stats();
+    reg.counter("cache.hits").inc(s.hits);
+    reg.counter("cache.peer_hits").inc(s.peer_hits);
+    reg.counter("cache.misses").inc(s.misses);
+    reg.counter("cache.fills").inc(s.fills);
+    reg.counter("cache.writes_absorbed").inc(s.writes_absorbed);
+    reg.counter("cache.invalidations").inc(s.invalidations);
+    reg.counter("cache.flushes").inc(s.flushes);
+    reg.counter("cache.evictions").inc(s.evictions);
+    reg.gauge("cache.hit_ratio").set(s.hit_ratio());
+  }
+}
+
+}  // namespace raidx::obs

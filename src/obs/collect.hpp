@@ -1,0 +1,28 @@
+// Pull-model metrics collection: scrape the counters the simulator
+// already keeps (per-disk, per-link, CDD, cache) into an obs::Registry at
+// export time.  Running this once at the end of a run costs the hot paths
+// nothing and cannot perturb simulated time.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace raidx::cluster {
+class Cluster;
+}
+namespace raidx::cdd {
+class CddFabric;
+}
+namespace raidx::cache {
+class CacheFabric;
+}
+
+namespace raidx::obs {
+
+/// Fill `reg` with the cluster's per-resource counters and utilization
+/// gauges.  `fabric` and `cache` are optional (null skips their section).
+/// Utilization gauges divide busy time by the simulation's current time.
+void collect_cluster(Registry& reg, cluster::Cluster& cluster,
+                     const cdd::CddFabric* fabric,
+                     const cache::CacheFabric* cache);
+
+}  // namespace raidx::obs

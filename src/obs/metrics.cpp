@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace raidx::obs {
+
+namespace {
+
+// Shared with the bench JSON: non-finite doubles have no JSON literal, so
+// they render as null (matches sim::JsonWriter).
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  // Highest set bit m >= 2; split octave [2^m, 2^(m+1)) into kSubBuckets
+  // linear sub-buckets of width 2^(m-2) each.
+  const unsigned m = static_cast<unsigned>(std::bit_width(v)) - 1;
+  const std::uint64_t sub = (v >> (m - 2)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(kSubBuckets + (m - 2) * kSubBuckets + sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::size_t octave = (i - kSubBuckets) / kSubBuckets;
+  const std::uint64_t sub = (i - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + sub) << octave;
+}
+
+void Histogram::observe(std::uint64_t v) {
+  const std::size_t idx = bucket_of(v);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  ++counts_[idx];
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count).
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      // Clamp to observed extremes so p0/p100 are exact.
+      std::uint64_t v = bucket_lower(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+std::string Registry::snapshot_json() const {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_u64(out, c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":";
+    append_double(out, g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{";
+    out += "\"count\":";
+    append_u64(out, h.count());
+    out += ",\"sum\":";
+    append_u64(out, h.sum());
+    out += ",\"min\":";
+    append_u64(out, h.min());
+    out += ",\"max\":";
+    append_u64(out, h.max());
+    out += ",\"mean\":";
+    append_double(out, h.mean());
+    out += ",\"p50\":";
+    append_u64(out, h.percentile(0.50));
+    out += ",\"p90\":";
+    append_u64(out, h.percentile(0.90));
+    out += ",\"p95\":";
+    append_u64(out, h.percentile(0.95));
+    out += ",\"p99\":";
+    append_u64(out, h.percentile(0.99));
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    const auto& buckets = h.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "[";
+      append_u64(out, Histogram::bucket_lower(i));
+      out += ",";
+      append_u64(out, buckets[i]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace raidx::obs

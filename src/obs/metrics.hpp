@@ -1,0 +1,105 @@
+// Unified metrics registry: named counters, gauges, and log-bucketed
+// histograms with one deterministic JSON snapshot.
+//
+// The registry is the pull-model half of the observability substrate
+// (src/obs): instrumented layers either bump metrics directly or -- for
+// per-resource statistics the simulator already keeps (disk counters, link
+// busy time) -- are scraped into the registry once at export time by
+// obs::collect_cluster.  Nothing here touches simulated time, so an
+// enabled registry can never perturb a run.
+//
+// Naming convention (see DESIGN.md section 9): dotted lowercase paths,
+// `<layer>.<index>.<metric>`, indices zero-padded to three digits so the
+// sorted snapshot lists resources in numeric order (disk.003.reads).
+// Snapshots are sorted by name, which makes two identically seeded runs
+// produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace raidx::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { value_ += d; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over non-negative integer samples (latencies in
+/// nanoseconds, sizes in bytes).  Buckets follow an HdrHistogram-style
+/// scheme: values below kSubBuckets are exact; above that each power-of-two
+/// octave is split into kSubBuckets linear sub-buckets, bounding the
+/// relative quantization error at 1/kSubBuckets (25%).
+class Histogram {
+ public:
+  static constexpr std::uint64_t kSubBuckets = 4;
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+  }
+  /// Nearest-rank percentile, q in [0,1]; returns the lower bound of the
+  /// bucket holding the ranked sample (deterministic, never interpolated).
+  std::uint64_t percentile(double q) const;
+
+  /// Bucket index covering value v.
+  static std::size_t bucket_of(std::uint64_t v);
+  /// Inclusive lower bound of bucket i (its representative value).
+  static std::uint64_t bucket_lower(std::size_t i);
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+/// Named metrics, one instance per Hub.  Lookup creates on first use; names
+/// are stored in sorted order so snapshot_json() is deterministic.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms render count/sum/min/max/mean plus p50/p90/p95/p99 and the
+  /// non-empty buckets as [[lower_bound, count], ...].
+  std::string snapshot_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace raidx::obs

@@ -1,0 +1,283 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+namespace raidx::obs {
+
+const char* track_name(Track t) {
+  switch (t) {
+    case Track::kRequest: return "request";
+    case Track::kDisk: return "disk";
+    case Track::kBus: return "bus";
+    case Track::kNetTx: return "link.tx";
+    case Track::kNetRx: return "link.rx";
+    case Track::kServer: return "server";
+  }
+  return "unknown";
+}
+
+std::size_t Tracer::begin_span(const TraceContext& parent, const char* name,
+                               Track track, int idx, sim::Time now,
+                               const SpanArgs& args) {
+  SpanRecord rec;
+  rec.id = ++next_span_;
+  rec.trace = parent.active() ? parent.trace : ++next_trace_ + (1ull << 32);
+  rec.parent = parent.active() ? parent.parent : 0;
+  rec.begin = now;
+  rec.name = name;
+  rec.track = track;
+  rec.idx = idx;
+  rec.depth = parent.active() ? parent.depth : 0;
+  rec.args = args;
+  spans_.push_back(rec);
+  return spans_.size() - 1;
+}
+
+void Tracer::end_span(std::size_t handle, sim::Time now) {
+  spans_[handle].end = now;
+}
+
+void Tracer::add_tag(std::size_t handle, const char* key,
+                     std::int64_t value) {
+  spans_[handle].args.tag(key, value);
+}
+
+TraceContext Tracer::context_of(std::size_t handle) const {
+  const SpanRecord& rec = spans_[handle];
+  return TraceContext{rec.trace, rec.id,
+                      static_cast<std::uint16_t>(rec.depth + 1)};
+}
+
+namespace {
+
+// Microsecond timestamps with nanosecond precision kept as a decimal.
+void append_ts(std::string& out, sim::Time ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const SpanRecord& rec) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"args\":{\"span\":%" PRIu64
+                                  ",\"parent\":%" PRIu64,
+                rec.id, rec.parent);
+  out += buf;
+  for (std::uint8_t i = 0; i < rec.args.n; ++i) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRId64,
+                  rec.args.tags[i].key, rec.args.tags[i].value);
+    out += buf;
+  }
+  out += "}";
+}
+
+struct ChromeEvent {
+  sim::Time ts;
+  // Same-timestamp ordering so viewers nest correctly: ends before
+  // begins, deeper ends before shallower ends, shallower begins before
+  // deeper begins.  X events last (they carry their own duration).
+  int phase_rank;
+  int depth_key;
+  std::uint64_t seq;
+  std::string json;
+};
+
+}  // namespace
+
+bool Tracer::export_chrome(const std::string& path, sim::Time now,
+                           std::string* err) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open trace output '" + path + "'";
+    return false;
+  }
+
+  std::vector<ChromeEvent> events;
+  events.reserve(spans_.size() * 2 + 16);
+  char buf[256];
+
+  // Lane naming: pid 1 carries the async request-flow view; each resource
+  // track gets its own pid with one tid per resource instance.
+  auto pid_of = [](Track t) { return t == Track::kRequest ? 1 : 10 + static_cast<int>(t); };
+  std::vector<std::pair<int, int>> lanes;  // (pid, tid) seen for X events
+
+  std::uint64_t seq = 0;
+  for (const SpanRecord& rec : spans_) {
+    const sim::Time end = rec.end >= 0 ? rec.end : now;
+    if (rec.track == Track::kRequest) {
+      std::string b = "{\"ph\":\"b\",\"cat\":\"req\",\"id\":\"0x";
+      std::snprintf(buf, sizeof(buf), "%" PRIx64, rec.trace);
+      b += buf;
+      b += "\",\"pid\":1,\"tid\":0,\"name\":\"";
+      b += rec.name;
+      b += "\",\"ts\":";
+      append_ts(b, rec.begin);
+      b += ",";
+      append_args(b, rec);
+      b += "}";
+      events.push_back({rec.begin, 1, rec.depth, seq++, std::move(b)});
+
+      std::string e = "{\"ph\":\"e\",\"cat\":\"req\",\"id\":\"0x";
+      std::snprintf(buf, sizeof(buf), "%" PRIx64, rec.trace);
+      e += buf;
+      e += "\",\"pid\":1,\"tid\":0,\"name\":\"";
+      e += rec.name;
+      e += "\",\"ts\":";
+      append_ts(e, end);
+      e += "}";
+      events.push_back({end, 0, -rec.depth, seq++, std::move(e)});
+    } else {
+      const int pid = pid_of(rec.track);
+      const int tid = rec.idx;
+      if (std::find(lanes.begin(), lanes.end(),
+                    std::make_pair(pid, tid)) == lanes.end()) {
+        lanes.emplace_back(pid, tid);
+      }
+      std::string x = "{\"ph\":\"X\",\"pid\":";
+      x += std::to_string(pid);
+      x += ",\"tid\":";
+      x += std::to_string(tid);
+      x += ",\"name\":\"";
+      x += rec.name;
+      x += "\",\"ts\":";
+      append_ts(x, rec.begin);
+      x += ",\"dur\":";
+      append_ts(x, end - rec.begin);
+      x += ",";
+      append_args(x, rec);
+      x += "}";
+      events.push_back({rec.begin, 2, rec.depth, seq++, std::move(x)});
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const ChromeEvent& a, const ChromeEvent& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.phase_rank != b.phase_rank)
+                return a.phase_rank < b.phase_rank;
+              if (a.depth_key != b.depth_key) return a.depth_key < b.depth_key;
+              return a.seq < b.seq;
+            });
+
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+  bool first = true;
+  // Metadata first: name the request lane and each resource row.
+  auto meta = [&](const char* what, int pid, int tid, const std::string& name,
+                  const char* arg_key) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                 "\"args\":{\"%s\":\"%s\"}}",
+                 pid, tid, what, arg_key, name.c_str());
+  };
+  meta("process_name", 1, 0, "requests", "name");
+  std::sort(lanes.begin(), lanes.end());
+  int last_pid = -1;
+  for (const auto& [pid, tid] : lanes) {
+    const Track t = static_cast<Track>(pid - 10);
+    if (pid != last_pid) {
+      meta("process_name", pid, 0, track_name(t), "name");
+      last_pid = pid;
+    }
+    std::snprintf(buf, sizeof(buf), "%s.%03d", track_name(t), tid);
+    meta("thread_name", pid, tid, buf, "name");
+  }
+  for (const ChromeEvent& ev : events) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fputs(ev.json.c_str(), f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok && err != nullptr) *err = "write error on '" + path + "'";
+  return ok;
+}
+
+void Timeline::add_busy(sim::Time begin, sim::Time end) {
+  if (end <= begin) return;
+  const std::size_t last = static_cast<std::size_t>((end - 1) / window_);
+  if (last >= busy_ns_.size()) busy_ns_.resize(last + 1, 0.0);
+  sim::Time t = begin;
+  while (t < end) {
+    const std::size_t w = static_cast<std::size_t>(t / window_);
+    const sim::Time wend = static_cast<sim::Time>(w + 1) * window_;
+    const sim::Time chunk = std::min(end, wend) - t;
+    busy_ns_[w] += static_cast<double>(chunk);
+    t += chunk;
+  }
+}
+
+std::vector<double> Timeline::utilization() const {
+  std::vector<double> out(busy_ns_.size());
+  for (std::size_t i = 0; i < busy_ns_.size(); ++i) {
+    out[i] = busy_ns_[i] / static_cast<double>(window_);
+  }
+  return out;
+}
+
+void MaxTimeline::sample(sim::Time at, std::int64_t value) {
+  const std::size_t w = static_cast<std::size_t>(at / window_);
+  if (w >= max_.size()) max_.resize(w + 1, 0);
+  if (value > max_[w]) max_[w] = value;
+}
+
+Timeline& Timelines::busy(Track track, int idx) {
+  return busy_.try_emplace({static_cast<int>(track), idx}, window_)
+      .first->second;
+}
+
+MaxTimeline& Timelines::depth(Track track, int idx) {
+  return depth_.try_emplace({static_cast<int>(track), idx}, window_)
+      .first->second;
+}
+
+std::string Timelines::json() const {
+  char buf[64];
+  std::string out = "{\"window_ms\":";
+  std::snprintf(buf, sizeof(buf), "%.6g", sim::to_milliseconds(window_));
+  out += buf;
+  out += ",\"busy\":{";
+  bool first = true;
+  for (const auto& [key, tl] : busy_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s.%03d\":[",
+                  track_name(static_cast<Track>(key.first)), key.second);
+    out += buf;
+    bool vfirst = true;
+    for (double v : tl.utilization()) {
+      if (!vfirst) out += ",";
+      vfirst = false;
+      std::snprintf(buf, sizeof(buf), "%.4f", v);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "},\"depth\":{";
+  first = true;
+  for (const auto& [key, tl] : depth_) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "\"%s.%03d\":[",
+                  track_name(static_cast<Track>(key.first)), key.second);
+    out += buf;
+    bool vfirst = true;
+    for (std::int64_t v : tl.maxima()) {
+      if (!vfirst) out += ",";
+      vfirst = false;
+      std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+      out += buf;
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace raidx::obs

@@ -1,0 +1,276 @@
+// Cross-layer request tracing: per-request TraceContext threaded through
+// the coroutine task chain, RAII spans at every layer boundary, Chrome
+// trace-event JSON export, and event-fed utilization timelines.
+//
+// Invariants this file is built around:
+//
+//  * Observation never perturbs the simulation.  No function here awaits,
+//    delays, or schedules; spans and timeline samples only *record*
+//    sim.now() at points the instrumented code already reaches.  A traced
+//    run therefore produces bit-identical simulated numbers to an
+//    untraced one.
+//
+//  * Disabled means absent.  The whole substrate hangs off a single
+//    `obs::Hub*` on sim::Simulation, null by default; every hook is a
+//    pointer test on a hot-cache word.  Reference runs stay bit-identical
+//    because no obs object even exists.
+//
+//  * Spans live in coroutine *bodies*, never in parameters.  A coroutine
+//    frame (and its parameters) is destroyed when the task object is
+//    reaped, which can be long after the body finished at a later
+//    simulated time; body-local variables are destroyed exactly when the
+//    body completes, which is the correct span end time.
+//
+// Context threading is explicit -- `obs::TraceContext ctx = {}` default
+// arguments down the layer stack -- because interleaved coroutine
+// resumption makes any ambient "current span" global stale after the
+// first co_await.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::obs {
+
+/// Identity a request carries across layers (and across nodes inside a
+/// cdd::Request).  trace == 0 means "not being traced".
+struct TraceContext {
+  std::uint64_t trace = 0;   // request identity; 0 = none
+  std::uint64_t parent = 0;  // enclosing span id
+  std::uint16_t depth = 0;   // nesting depth of the enclosing span
+
+  bool active() const { return trace != 0; }
+};
+
+/// Which lane a span renders on in the Chrome trace.  kRequest spans are
+/// async begin/end events grouped per trace id (the request flow view);
+/// the rest are complete ("X") events on per-resource rows (the resource
+/// occupancy view, e.g. one row per disk arm).
+enum class Track : std::uint8_t {
+  kRequest = 0,
+  kDisk,    // idx = global disk id; span == arm occupancy
+  kBus,     // idx = node id; SCSI bus transfer
+  kNetTx,   // idx = sender node; TX port occupancy
+  kNetRx,   // idx = receiver node; RX port occupancy
+  kServer,  // idx = node id; CDD/NFS server-side handling
+};
+
+const char* track_name(Track t);
+
+/// Up to six integer tags (node, disk, lba, ...).  Fixed-size by design:
+/// no allocation on the record path.
+struct SpanArgs {
+  struct Tag {
+    const char* key = nullptr;
+    std::int64_t value = 0;
+  };
+  std::array<Tag, 6> tags{};
+  std::uint8_t n = 0;
+
+  SpanArgs& tag(const char* key, std::int64_t value) {
+    if (n < tags.size()) tags[n++] = {key, value};
+    return *this;
+  }
+};
+
+/// One recorded span.  `end < 0` while still open.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+  sim::Time begin = 0;
+  sim::Time end = -1;
+  const char* name = "";
+  Track track = Track::kRequest;
+  int idx = 0;
+  std::uint16_t depth = 0;
+  SpanArgs args;
+};
+
+/// Append-only span store.  Handles are indices into spans_, stable under
+/// growth.  All ids are sequentially assigned, so two identically seeded
+/// runs record identical span tables.
+class Tracer {
+ public:
+  std::size_t begin_span(const TraceContext& parent, const char* name,
+                         Track track, int idx, sim::Time now,
+                         const SpanArgs& args);
+  void end_span(std::size_t handle, sim::Time now);
+  void add_tag(std::size_t handle, const char* key, std::int64_t value);
+  TraceContext context_of(std::size_t handle) const;
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  std::uint64_t traces_started() const { return next_trace_; }
+
+  /// Write the span table as Chrome trace-event JSON ("traceEvents"
+  /// array format).  Spans still open are closed at `now`.  Returns false
+  /// and fills *err if the file cannot be written.
+  bool export_chrome(const std::string& path, sim::Time now,
+                     std::string* err) const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::uint64_t next_trace_ = 0;
+  std::uint64_t next_span_ = 0;
+};
+
+/// Busy-time accumulation over fixed windows of simulated time.  Fed from
+/// the same [acquire, release] intervals the spans record -- never from a
+/// periodic sampler task, which would add simulation events and keep
+/// sim.run() from draining.
+class Timeline {
+ public:
+  explicit Timeline(sim::Time window) : window_(window) {}
+
+  /// Credit the busy interval [begin, end) across the windows it overlaps.
+  void add_busy(sim::Time begin, sim::Time end);
+
+  sim::Time window() const { return window_; }
+  /// Busy fraction per window, in [0, 1] (up to rounding of the final
+  /// partial window).  Computed fresh from the accumulated busy time.
+  std::vector<double> utilization() const;
+
+ private:
+  sim::Time window_;
+  std::vector<double> busy_ns_;
+};
+
+/// Per-window maximum of a sampled value (queue depth).
+class MaxTimeline {
+ public:
+  explicit MaxTimeline(sim::Time window) : window_(window) {}
+
+  void sample(sim::Time at, std::int64_t value);
+  const std::vector<std::int64_t>& maxima() const { return max_; }
+
+ private:
+  sim::Time window_;
+  std::vector<std::int64_t> max_;
+};
+
+/// All timelines for a run, keyed by (track, index) so hot paths never
+/// build strings.  JSON keys come out as "<track>.<index>".
+class Timelines {
+ public:
+  explicit Timelines(sim::Time window = sim::milliseconds(250))
+      : window_(window) {}
+
+  Timeline& busy(Track track, int idx);
+  MaxTimeline& depth(Track track, int idx);
+
+  bool empty() const { return busy_.empty() && depth_.empty(); }
+  sim::Time window() const { return window_; }
+
+  /// {"window_ms":..., "busy":{"disk.000":[...], ...},
+  ///  "depth":{"disk.000":[...], ...}}
+  std::string json() const;
+
+ private:
+  sim::Time window_;
+  std::map<std::pair<int, int>, Timeline> busy_;
+  std::map<std::pair<int, int>, MaxTimeline> depth_;
+};
+
+/// The one object a Simulation points at when observability is on.
+/// `tracing` gates span recording separately so benches can collect
+/// metrics/timelines without paying for a span table.
+class Hub {
+ public:
+  Tracer& tracer() { return tracer_; }
+  Registry& registry() { return registry_; }
+  Timelines& timelines() { return timelines_; }
+  const Tracer& tracer() const { return tracer_; }
+  const Registry& registry() const { return registry_; }
+  const Timelines& timelines() const { return timelines_; }
+
+  bool tracing = false;
+
+ private:
+  Tracer tracer_;
+  Registry registry_;
+  Timelines timelines_;
+};
+
+/// Body-local RAII span.  Inert (all-null) when tracing is off, in which
+/// case ctx() passes the inbound context through unchanged.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      close();
+      sim_ = o.sim_;
+      tracer_ = o.tracer_;
+      handle_ = o.handle_;
+      ctx_ = o.ctx_;
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { close(); }
+
+  /// Context for work nested under this span.
+  const TraceContext& ctx() const { return ctx_; }
+  /// Attach a tag discovered after the span opened (e.g. cache hit/miss).
+  void tag(const char* key, std::int64_t value) {
+    if (tracer_) tracer_->add_tag(handle_, key, value);
+  }
+  void close() {
+    if (tracer_) {
+      tracer_->end_span(handle_, sim_->now());
+      tracer_ = nullptr;
+    }
+  }
+
+ private:
+  friend Span trace_span(sim::Simulation&, const TraceContext&, const char*,
+                         Track, int, SpanArgs);
+  sim::Simulation* sim_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::size_t handle_ = 0;
+  TraceContext ctx_{};
+};
+
+/// Open a span under `parent` if the simulation has a tracing Hub; mint a
+/// fresh trace id when the parent context is empty (root spans).  Returns
+/// an inert Span otherwise, so call sites need no branching.
+inline Span trace_span(sim::Simulation& sim, const TraceContext& parent,
+                       const char* name, Track track, int idx,
+                       SpanArgs args = {}) {
+  Span s;
+  s.ctx_ = parent;
+  Hub* hub = sim.hub();
+  if (hub != nullptr && hub->tracing) {
+    s.sim_ = &sim;
+    s.tracer_ = &hub->tracer();
+    s.handle_ =
+        s.tracer_->begin_span(parent, name, track, idx, sim.now(), args);
+    s.ctx_ = s.tracer_->context_of(s.handle_);
+  }
+  return s;
+}
+
+/// Timeline hooks: no-ops without a Hub.
+inline void record_busy(sim::Simulation& sim, Track track, int idx,
+                        sim::Time begin, sim::Time end) {
+  if (Hub* hub = sim.hub()) hub->timelines().busy(track, idx).add_busy(begin, end);
+}
+
+inline void record_depth(sim::Simulation& sim, Track track, int idx,
+                         std::int64_t value) {
+  if (Hub* hub = sim.hub())
+    hub->timelines().depth(track, idx).sample(sim.now(), value);
+}
+
+}  // namespace raidx::obs

@@ -66,7 +66,15 @@ sim::Task<> ArrayController::windowed_op(sim::Task<> op,
 
 sim::Task<> ArrayController::read(int client, std::uint64_t lba,
                                   std::uint32_t nblocks,
-                                  std::span<std::byte> out) {
+                                  std::span<std::byte> out,
+                                  obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      sim(), ctx, "engine.read", obs::Track::kRequest, client,
+      obs::SpanArgs{}
+          .tag("client", client)
+          .tag("lba", static_cast<std::int64_t>(lba))
+          .tag("nblocks", nblocks));
+  ctx = span.ctx();
   if (nblocks == 0) co_return;
   if (lba + nblocks > logical_blocks()) {
     throw IoError("read beyond end of " + name());
@@ -85,8 +93,8 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
                            static_cast<std::size_t>(n) * bs);
     done.add(1);
     sim().spawn(windowed_op(
-        cache_ ? cached_read_chunk(client, lba + off, n, sub)
-               : read_chunk(client, lba + off, n, sub),
+        cache_ ? cached_read_chunk(client, lba + off, n, sub, ctx)
+               : read_chunk(client, lba + off, n, sub, ctx),
         window, done, error));
   }
   co_await done.wait();
@@ -94,7 +102,16 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
 }
 
 sim::Task<> ArrayController::write(int client, std::uint64_t lba,
-                                   std::span<const std::byte> data) {
+                                   std::span<const std::byte> data,
+                                   obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      sim(), ctx, "engine.write", obs::Track::kRequest, client,
+      obs::SpanArgs{}
+          .tag("client", client)
+          .tag("lba", static_cast<std::int64_t>(lba))
+          .tag("nblocks",
+               static_cast<std::int64_t>(data.size() / block_bytes())));
+  ctx = span.ctx();
   const std::uint32_t bs = block_bytes();
   assert(data.size() % bs == 0);
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
@@ -111,7 +128,7 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
       const std::uint64_t g = lock_group_of(b);
       if (groups.empty() || groups.back() != g) groups.push_back(g);
     }
-    co_await fabric_.lock_groups(client, groups, owner);
+    co_await fabric_.lock_groups(client, groups, owner, ctx);
   }
 
   std::exception_ptr error;
@@ -128,9 +145,9 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
                               static_cast<std::size_t>(chunk_end - pos) * bs);
       done.add(1);
       sim().spawn(windowed_op(
-          cache_ ? cached_write_chunk(client, pos, sub)
+          cache_ ? cached_write_chunk(client, pos, sub, ctx)
                  : write_chunk(client, pos, sub,
-                               disk::IoPriority::kForeground),
+                               disk::IoPriority::kForeground, ctx),
           window, done, error));
       pos = chunk_end;
     }
@@ -138,18 +155,19 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
   }
 
   if (params_.use_locks) {
-    co_await fabric_.unlock_groups(client, std::move(groups), owner);
+    co_await fabric_.unlock_groups(client, std::move(groups), owner, ctx);
   }
   if (error) std::rethrow_exception(error);
 }
 
 sim::Task<> ArrayController::read_chunk(int client, std::uint64_t lba,
                                         std::uint32_t nblocks,
-                                        std::span<std::byte> out) {
+                                        std::span<std::byte> out,
+                                        obs::TraceContext ctx) {
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   for (auto& me : extents) {
-    join.spawn(read_extent_into(client, me.extent, me.lbas, lba, out));
+    join.spawn(read_extent_into(client, me.extent, me.lbas, lba, out, ctx));
   }
   co_await join.wait();
 }
@@ -157,11 +175,12 @@ sim::Task<> ArrayController::read_chunk(int client, std::uint64_t lba,
 sim::Task<> ArrayController::read_extent_into(
     int client, block::PhysExtent extent,
     std::span<const std::uint64_t> lbas, std::uint64_t chunk_lba,
-    std::span<std::byte> out) {
+    std::span<std::byte> out, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   cdd::Reply reply =
       co_await fabric_.read(client, extent.disk, extent.offset,
-                            extent.nblocks);
+                            extent.nblocks,
+                            disk::IoPriority::kForeground, ctx);
   for (std::uint32_t i = 0; i < extent.nblocks; ++i) {
     auto dst = out.subspan(
         static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
@@ -169,8 +188,8 @@ sim::Task<> ArrayController::read_extent_into(
       std::copy_n(reply.data.begin() + static_cast<std::ptrdiff_t>(i) * bs,
                   bs, dst.begin());
     } else {
-      std::vector<std::byte> rec = co_await degraded_read_block(client,
-                                                                lbas[i]);
+      std::vector<std::byte> rec =
+          co_await degraded_read_block(client, lbas[i], ctx);
       std::copy(rec.begin(), rec.end(), dst.begin());
     }
   }
@@ -193,8 +212,9 @@ void ArrayController::preload(std::uint64_t lba,
 }
 
 sim::Task<std::vector<std::byte>> ArrayController::degraded_read_block(
-    int client, std::uint64_t lba) {
+    int client, std::uint64_t lba, obs::TraceContext ctx) {
   (void)client;
+  (void)ctx;
   throw IoError(name() + ": block " + std::to_string(lba) +
                 " lost (no redundancy)");
   co_return std::vector<std::byte>{};  // unreachable
@@ -230,7 +250,8 @@ sim::Task<> ArrayController::background(sim::Task<> op) {
 
 sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
                                                std::uint32_t nblocks,
-                                               std::span<std::byte> out) {
+                                               std::span<std::byte> out,
+                                               obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const int node = cache_node(client);
   std::vector<char> hit(nblocks, 0);
@@ -238,7 +259,7 @@ sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     hit[i] = (co_await cache_->read_block(
                  client, node, lba + i,
-                 out.subspan(static_cast<std::size_t>(i) * bs, bs)))
+                 out.subspan(static_cast<std::size_t>(i) * bs, bs), ctx))
                  ? 1
                  : 0;
     if (!hit[i]) epoch[i] = cache_->write_epoch(lba + i);
@@ -256,7 +277,8 @@ sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
     while (j < nblocks && !hit[j]) ++j;
     join.spawn(read_chunk(client, lba + i, j - i,
                           out.subspan(static_cast<std::size_t>(i) * bs,
-                                      static_cast<std::size_t>(j - i) * bs)));
+                                      static_cast<std::size_t>(j - i) * bs),
+                          ctx));
     i = j;
   }
   co_await join.wait();
@@ -272,7 +294,8 @@ sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> ArrayController::cached_write_chunk(
-    int client, std::uint64_t lba, std::span<const std::byte> data) {
+    int client, std::uint64_t lba, std::span<const std::byte> data,
+    obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const int node = cache_node(client);
@@ -290,7 +313,7 @@ sim::Task<> ArrayController::cached_write_chunk(
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     epochs[i] = co_await cache_->write_block(
         node, lba + i, data.subspan(static_cast<std::size_t>(i) * bs, bs),
-        /*dirty=*/true, piggybacked, /*through=*/!write_back);
+        /*dirty=*/true, piggybacked, /*through=*/!write_back, ctx);
   }
   if (write_back) {
     if (cache_->needs_flush(node)) ensure_flusher(node);
@@ -299,7 +322,8 @@ sim::Task<> ArrayController::cached_write_chunk(
   bool ok = true;
   std::exception_ptr err;
   try {
-    co_await write_chunk(client, lba, data, disk::IoPriority::kForeground);
+    co_await write_chunk(client, lba, data, disk::IoPriority::kForeground,
+                         ctx);
   } catch (...) {
     ok = false;
     err = std::current_exception();
@@ -339,11 +363,17 @@ sim::Task<> ArrayController::flusher_loop(int node) {
 }
 
 sim::Task<bool> ArrayController::flush_block(int node, std::uint64_t lba) {
+  // Background flushes start their own root trace: the write that dirtied
+  // the block has long since completed.
+  obs::Span span = obs::trace_span(
+      sim(), {}, "engine.flush", obs::Track::kRequest, node,
+      obs::SpanArgs{}.tag("node", node).tag(
+          "lba", static_cast<std::int64_t>(lba)));
   std::vector<std::uint64_t> groups{lock_group_of(lba)};
   const std::uint64_t owner =
       params_.use_locks ? fabric_.next_lock_owner() : 0;
   if (params_.use_locks) {
-    co_await fabric_.lock_groups(node, groups, owner);
+    co_await fabric_.lock_groups(node, groups, owner, span.ctx());
   }
   bool ok = true;
   std::uint64_t version = 0;
@@ -353,14 +383,15 @@ sim::Task<bool> ArrayController::flush_block(int node, std::uint64_t lba) {
     version = snap->version;
     try {
       co_await write_chunk(node, lba, snap->data,
-                           disk::IoPriority::kBackground);
+                           disk::IoPriority::kBackground, span.ctx());
     } catch (...) {
       ok = false;  // stays dirty; the cache holds the only current copy
     }
   }
   cache_->end_flush(node, lba, version, ok);
   if (params_.use_locks) {
-    co_await fabric_.unlock_groups(node, std::move(groups), owner);
+    co_await fabric_.unlock_groups(node, std::move(groups), owner,
+                                   span.ctx());
   }
   co_return ok;
 }
@@ -385,16 +416,17 @@ Raid0Controller::Raid0Controller(cdd::CddFabric& fabric, EngineParams params)
 
 sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
                                          std::span<const std::byte> data,
-                                         disk::IoPriority prio) {
+                                         disk::IoPriority prio,
+                                         obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](Raid0Controller* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p,
-                         disk::IoPriority prio) -> sim::Task<> {
+                         std::vector<std::byte> p, disk::IoPriority prio,
+                         obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
-                                                std::move(p), prio);
+                                                std::move(p), prio, ctx);
     if (!r.ok) {
       throw IoError("RAID-0: write hit failed disk " +
                     std::to_string(e.disk));
@@ -409,8 +441,8 @@ sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
       std::copy(src.begin(), src.end(),
                 payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
     }
-    join.spawn(
-        write_extent(this, client, me.extent, std::move(payload), prio));
+    join.spawn(write_extent(this, client, me.extent, std::move(payload),
+                            prio, ctx));
   }
   co_await join.wait();
 }
@@ -422,20 +454,23 @@ Raid5Controller::Raid5Controller(cdd::CddFabric& fabric, EngineParams params)
 
 sim::Task<> Raid5Controller::read_chunk(int client, std::uint64_t lba,
                                         std::uint32_t nblocks,
-                                        std::span<std::byte> out) {
-  co_await ArrayController::read_chunk(client, lba, nblocks, out);
+                                        std::span<std::byte> out,
+                                        obs::TraceContext ctx) {
+  co_await ArrayController::read_chunk(client, lba, nblocks, out, ctx);
   if (params_.verify_parity_on_read) {
     // Fetch the parity of each covered stripe alongside the data (Table 1:
     // "parity checks" reliability) and charge the XOR comparison.
     sim::Joiner join(sim());
-    auto read_parity = [](Raid5Controller* self, int c,
-                          block::PhysBlock pb) -> sim::Task<> {
-      co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+    auto read_parity = [](Raid5Controller* self, int c, block::PhysBlock pb,
+                          obs::TraceContext ctx) -> sim::Task<> {
+      co_await self->fabric_.read(c, pb.disk, pb.offset, 1,
+                                  disk::IoPriority::kForeground, ctx);
     };
     std::uint64_t first = layout_.stripe_of(lba);
     std::uint64_t last = layout_.stripe_of(lba + nblocks - 1);
     for (std::uint64_t s = first; s <= last; ++s) {
-      join.spawn(read_parity(this, client, layout_.parity_location(s)));
+      join.spawn(read_parity(this, client, layout_.parity_location(s),
+                             ctx));
     }
     co_await join.wait();
   }
@@ -446,15 +481,17 @@ sim::Task<> Raid5Controller::read_chunk(int client, std::uint64_t lba,
 
 sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
                                          std::span<const std::byte> data,
-                                         disk::IoPriority prio) {
+                                         disk::IoPriority prio,
+                                         obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint32_t width = layout_.stripe_width();
   if (params_.raid5_full_stripe_writes && lba % width == 0 &&
       nblocks == width) {
-    co_await full_stripe_write(client, layout_.stripe_of(lba), data, prio);
+    co_await full_stripe_write(client, layout_.stripe_of(lba), data, prio,
+                               ctx);
   } else if (params_.raid5_full_stripe_writes) {
-    co_await rmw_write(client, lba, data, prio);
+    co_await rmw_write(client, lba, data, prio, ctx);
   } else {
     // Per-block read-modify-write: the request stream a 1999 block layer
     // hands the driver.  Blocks go one at a time; each pays the 4-op RMW
@@ -465,14 +502,14 @@ sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
                          data.subspan(static_cast<std::size_t>(i) *
                                           block_bytes(),
                                       block_bytes()),
-                         prio);
+                         prio, ctx);
     }
   }
 }
 
 sim::Task<> Raid5Controller::full_stripe_write(
     int client, std::uint64_t stripe, std::span<const std::byte> data,
-    disk::IoPriority prio) {
+    disk::IoPriority prio, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const std::uint32_t width = layout_.stripe_width();
   const std::uint64_t first = layout_.stripe_first_lba(stripe);
@@ -485,26 +522,28 @@ sim::Task<> Raid5Controller::full_stripe_write(
 
   sim::Joiner join(sim());
   auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload,
-                      disk::IoPriority prio) -> sim::Task<> {
+                      std::vector<std::byte> payload, disk::IoPriority prio,
+                      obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload), prio);
+                                                std::move(payload), prio,
+                                                ctx);
     (void)r;  // a failed disk is tolerated; parity or data covers it
   };
   for (std::uint32_t j = 0; j < width; ++j) {
     join.spawn(write_one(this, client, layout_.data_location(first + j),
                          to_vector(data.subspan(
                              static_cast<std::size_t>(j) * bs, bs)),
-                         prio));
+                         prio, ctx));
   }
   join.spawn(write_one(this, client, layout_.parity_location(stripe),
-                       std::move(parity), prio));
+                       std::move(parity), prio, ctx));
   co_await join.wait();
 }
 
 sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
                                        std::span<const std::byte> data,
-                                       disk::IoPriority prio) {
+                                       disk::IoPriority prio,
+                                       obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint64_t stripe = layout_.stripe_of(lba);
@@ -517,15 +556,17 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto read_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                       cdd::Reply* out, disk::IoPriority prio) -> sim::Task<> {
-      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio);
+                       cdd::Reply* out, disk::IoPriority prio,
+                       obs::TraceContext ctx) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio,
+                                         ctx);
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(read_one(this, client, layout_.data_location(lba + i),
-                          &old_data[i], prio));
+                          &old_data[i], prio, ctx));
     }
     join.spawn(read_one(this, client, layout_.parity_location(stripe),
-                        &old_parity, prio));
+                        &old_parity, prio, ctx));
     co_await join.wait();
   }
 
@@ -552,16 +593,17 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
     std::vector<cdd::Reply> others(width);
     std::vector<char> was_read(width, 0);
     auto read_other = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                         cdd::Reply* out,
-                         disk::IoPriority prio) -> sim::Task<> {
-      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio);
+                         cdd::Reply* out, disk::IoPriority prio,
+                         obs::TraceContext ctx) -> sim::Task<> {
+      *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1, prio,
+                                         ctx);
     };
     for (std::uint32_t j = 0; j < width; ++j) {
       const std::uint64_t b = first + j;
       if (b >= lba && b < lba + nblocks) continue;  // being overwritten
       was_read[j] = 1;
       join.spawn(read_other(this, client, layout_.data_location(b),
-                            &others[j], prio));
+                            &others[j], prio, ctx));
     }
     co_await join.wait();
     for (std::uint32_t j = 0; j < width; ++j) {
@@ -586,18 +628,19 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
     sim::Joiner join(sim());
     auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
                         std::vector<std::byte> payload,
-                        disk::IoPriority prio) -> sim::Task<> {
+                        disk::IoPriority prio,
+                        obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                   std::move(payload), prio);
+                                   std::move(payload), prio, ctx);
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
           to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          prio));
+          prio, ctx));
     }
     join.spawn(write_one(this, client, layout_.parity_location(stripe),
-                         std::move(parity), prio));
+                         std::move(parity), prio, ctx));
     co_await join.wait();
   }
 }
@@ -626,7 +669,7 @@ void Raid5Controller::preload(std::uint64_t lba,
 }
 
 sim::Task<std::vector<std::byte>> Raid5Controller::degraded_read_block(
-    int client, std::uint64_t lba) {
+    int client, std::uint64_t lba, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const std::uint32_t width = layout_.stripe_width();
   const std::uint64_t stripe = layout_.stripe_of(lba);
@@ -635,18 +678,19 @@ sim::Task<std::vector<std::byte>> Raid5Controller::degraded_read_block(
   std::vector<cdd::Reply> replies(width + 1);
   sim::Joiner join(sim());
   auto read_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                     cdd::Reply* out) -> sim::Task<> {
-    *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1);
+                     cdd::Reply* out, obs::TraceContext ctx) -> sim::Task<> {
+    *out = co_await self->fabric_.read(c, pb.disk, pb.offset, 1,
+                                       disk::IoPriority::kForeground, ctx);
   };
   std::size_t slot = 0;
   for (std::uint32_t j = 0; j < width; ++j) {
     const std::uint64_t b = first + j;
     if (b == lba) continue;
     join.spawn(read_one(this, client, layout_.data_location(b),
-                        &replies[slot++]));
+                        &replies[slot++], ctx));
   }
   join.spawn(read_one(this, client, layout_.parity_location(stripe),
-                      &replies[slot++]));
+                      &replies[slot++], ctx));
   co_await join.wait();
 
   std::vector<std::byte> out(bs, std::byte{0});
@@ -669,9 +713,10 @@ Raid10Controller::Raid10Controller(cdd::CddFabric& fabric,
 
 sim::Task<> Raid10Controller::read_chunk(int client, std::uint64_t lba,
                                          std::uint32_t nblocks,
-                                         std::span<std::byte> out) {
+                                         std::span<std::byte> out,
+                                         obs::TraceContext ctx) {
   if (!params_.balance_mirror_reads) {
-    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_await ArrayController::read_chunk(client, lba, nblocks, out, ctx);
     co_return;
   }
   auto extents = mapped_extents(lba, nblocks);
@@ -681,7 +726,7 @@ sim::Task<> Raid10Controller::read_chunk(int client, std::uint64_t lba,
     // evenly over the primary and the chained backup.
     const bool use_mirror = (me.extent.offset % 2) == 1;
     join.spawn(balanced_read_extent(client, me.extent, use_mirror, me.lbas,
-                                    lba, out));
+                                    lba, out, ctx));
   }
   co_await join.wait();
 }
@@ -689,15 +734,17 @@ sim::Task<> Raid10Controller::read_chunk(int client, std::uint64_t lba,
 sim::Task<> Raid10Controller::balanced_read_extent(
     int client, block::PhysExtent primary, bool use_mirror,
     std::span<const std::uint64_t> lbas, std::uint64_t chunk_lba,
-    std::span<std::byte> out) {
+    std::span<std::byte> out, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   block::PhysExtent target = primary;
   if (use_mirror) {
     const block::PhysBlock m = layout_.mirror_locations(lbas[0])[0];
     target = block::PhysExtent{m.disk, m.offset, primary.nblocks};
   }
-  cdd::Reply reply = co_await fabric_.read(client, target.disk,
-                                           target.offset, target.nblocks);
+  cdd::Reply reply =
+      co_await fabric_.read(client, target.disk, target.offset,
+                            target.nblocks,
+                            disk::IoPriority::kForeground, ctx);
   for (std::uint32_t i = 0; i < target.nblocks; ++i) {
     auto dst = out.subspan(
         static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
@@ -711,7 +758,8 @@ sim::Task<> Raid10Controller::balanced_read_extent(
         use_mirror ? layout_.data_location(lbas[i])
                    : layout_.mirror_locations(lbas[i])[0];
     cdd::Reply fallback =
-        co_await fabric_.read(client, other.disk, other.offset, 1);
+        co_await fabric_.read(client, other.disk, other.offset, 1,
+                              disk::IoPriority::kForeground, ctx);
     if (!fallback.ok) {
       throw IoError("RAID-10: both copies of block " +
                     std::to_string(lbas[i]) + " unavailable");
@@ -722,7 +770,8 @@ sim::Task<> Raid10Controller::balanced_read_extent(
 
 sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
                                           std::span<const std::byte> data,
-                                          disk::IoPriority prio) {
+                                          disk::IoPriority prio,
+                                          obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
 
@@ -732,19 +781,21 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
   sim::Joiner join(sim());
   auto write_one = [](Raid10Controller* self, int c, block::PhysBlock pb,
                       std::vector<std::byte> payload, char* ok,
-                      disk::IoPriority prio) -> sim::Task<> {
+                      disk::IoPriority prio,
+                      obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload), prio);
+                                                std::move(payload), prio,
+                                                ctx);
     *ok = r.ok ? 1 : 0;
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i], prio));
+                         to_vector(blockspan), &pok[i], prio, ctx));
     join.spawn(write_one(this, client,
                          layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i], prio));
+                         to_vector(blockspan), &mok[i], prio, ctx));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -756,9 +807,11 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<std::vector<std::byte>> Raid10Controller::degraded_read_block(
-    int client, std::uint64_t lba) {
+    int client, std::uint64_t lba, obs::TraceContext ctx) {
   const block::PhysBlock mirror = layout_.mirror_locations(lba)[0];
-  cdd::Reply r = co_await fabric_.read(client, mirror.disk, mirror.offset, 1);
+  cdd::Reply r =
+      co_await fabric_.read(client, mirror.disk, mirror.offset, 1,
+                            disk::IoPriority::kForeground, ctx);
   if (!r.ok) {
     throw IoError("RAID-10: both copies of block " + std::to_string(lba) +
                   " unavailable");
@@ -773,9 +826,10 @@ Raid1Controller::Raid1Controller(cdd::CddFabric& fabric, EngineParams params)
 
 sim::Task<> Raid1Controller::read_chunk(int client, std::uint64_t lba,
                                         std::uint32_t nblocks,
-                                        std::span<std::byte> out) {
+                                        std::span<std::byte> out,
+                                        obs::TraceContext ctx) {
   if (!params_.balance_mirror_reads) {
-    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_await ArrayController::read_chunk(client, lba, nblocks, out, ctx);
     co_return;
   }
   // Balance over the pair: even physical offsets from the primary, odd
@@ -784,38 +838,41 @@ sim::Task<> Raid1Controller::read_chunk(int client, std::uint64_t lba,
   sim::Joiner join(sim());
   auto read_copy = [](Raid1Controller* self, int c, block::PhysExtent e,
                       std::span<const std::uint64_t> lbas,
-                      std::uint64_t chunk_lba,
-                      std::span<std::byte> dst) -> sim::Task<> {
-    co_await self->read_extent_into(c, e, lbas, chunk_lba, dst);
+                      std::uint64_t chunk_lba, std::span<std::byte> dst,
+                      obs::TraceContext ctx) -> sim::Task<> {
+    co_await self->read_extent_into(c, e, lbas, chunk_lba, dst, ctx);
   };
   for (auto& me : extents) {
     block::PhysExtent e = me.extent;
     if (e.offset % 2 == 1) e.disk += 1;  // partner copy
-    join.spawn(read_copy(this, client, e, me.lbas, lba, out));
+    join.spawn(read_copy(this, client, e, me.lbas, lba, out, ctx));
   }
   co_await join.wait();
 }
 
 sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
                                          std::span<const std::byte> data,
-                                         disk::IoPriority prio) {
+                                         disk::IoPriority prio,
+                                         obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   sim::Joiner join(sim());
   auto write_one = [](Raid1Controller* self, int c, block::PhysBlock pb,
                       std::vector<std::byte> payload, char* ok,
-                      disk::IoPriority prio) -> sim::Task<> {
+                      disk::IoPriority prio,
+                      obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                std::move(payload), prio);
+                                                std::move(payload), prio,
+                                                ctx);
     *ok = r.ok ? 1 : 0;
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
     auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i], prio));
+                         to_vector(blockspan), &pok[i], prio, ctx));
     join.spawn(write_one(this, client, layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i], prio));
+                         to_vector(blockspan), &mok[i], prio, ctx));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -827,13 +884,14 @@ sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<std::vector<std::byte>> Raid1Controller::degraded_read_block(
-    int client, std::uint64_t lba) {
+    int client, std::uint64_t lba, obs::TraceContext ctx) {
   // Try the partner copy; if the chosen copy was already the partner
   // (balanced reads), the primary serves instead.
   const block::PhysBlock primary = layout_.data_location(lba);
   const block::PhysBlock partner = layout_.mirror_locations(lba)[0];
   for (const block::PhysBlock& pb : {partner, primary}) {
-    cdd::Reply r = co_await fabric_.read(client, pb.disk, pb.offset, 1);
+    cdd::Reply r = co_await fabric_.read(client, pb.disk, pb.offset, 1,
+                                         disk::IoPriority::kForeground, ctx);
     if (r.ok) co_return std::move(r.data);
   }
   throw IoError("RAID-1: pair of block " + std::to_string(lba) + " lost");
@@ -846,9 +904,10 @@ RaidxController::RaidxController(cdd::CddFabric& fabric, EngineParams params)
 
 sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
                                         std::uint32_t nblocks,
-                                        std::span<std::byte> out) {
+                                        std::span<std::byte> out,
+                                        obs::TraceContext ctx) {
   if (!params_.balance_mirror_reads || nblocks != 1) {
-    co_await ArrayController::read_chunk(client, lba, nblocks, out);
+    co_await ArrayController::read_chunk(client, lba, nblocks, out, ctx);
     co_return;
   }
   // Spread single-block reads over the two copies; fall back to the other
@@ -858,9 +917,11 @@ sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
   const block::PhysBlock image_pb = layout_.mirror_locations(lba)[0];
   const block::PhysBlock first = use_image ? image_pb : data_pb;
   const block::PhysBlock second = use_image ? data_pb : image_pb;
-  cdd::Reply r = co_await fabric_.read(client, first.disk, first.offset, 1);
+  cdd::Reply r = co_await fabric_.read(client, first.disk, first.offset, 1,
+                                       disk::IoPriority::kForeground, ctx);
   if (!r.ok) {
-    r = co_await fabric_.read(client, second.disk, second.offset, 1);
+    r = co_await fabric_.read(client, second.disk, second.offset, 1,
+                              disk::IoPriority::kForeground, ctx);
   }
   if (!r.ok) {
     throw IoError("RAID-x: data and image of block " + std::to_string(lba) +
@@ -870,7 +931,8 @@ sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> RaidxController::flush_stripe_images(
-    int client, std::uint64_t stripe, std::vector<std::byte> stripe_data) {
+    int client, std::uint64_t stripe, std::vector<std::byte> stripe_data,
+    obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
   const std::uint64_t first = layout_.stripe_first_lba(stripe);
@@ -887,24 +949,27 @@ sim::Task<> RaidxController::flush_stripe_images(
     }
     sim::Joiner join(sim());
     auto write_run = [](RaidxController* self, int c, block::PhysExtent e,
-                        std::vector<std::byte> p) -> sim::Task<> {
+                        std::vector<std::byte> p,
+                        obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, e.disk, e.offset, std::move(p),
-                                   disk::IoPriority::kBackground);
+                                   disk::IoPriority::kBackground, ctx);
     };
     auto write_neighbor = [](RaidxController* self, int c,
-                             block::PhysBlock pb,
-                             std::vector<std::byte> p) -> sim::Task<> {
+                             block::PhysBlock pb, std::vector<std::byte> p,
+                             obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, pb.disk, pb.offset, std::move(p),
-                                   disk::IoPriority::kBackground);
+                                   disk::IoPriority::kBackground, ctx);
     };
-    join.spawn(write_run(this, client, imgs.clustered, std::move(run)));
+    join.spawn(write_run(this, client, imgs.clustered, std::move(run),
+                         ctx));
     // ...plus the single neighbor image.
     std::vector<std::byte> nb(
         stripe_data.begin() +
             static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first) * bs,
         stripe_data.begin() +
             static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first + 1) * bs);
-    join.spawn(write_neighbor(this, client, imgs.neighbor, std::move(nb)));
+    join.spawn(write_neighbor(this, client, imgs.neighbor, std::move(nb),
+                              ctx));
     co_await join.wait();
   } else {
     // Ablation: scatter n individual image writes (declustering-style).
@@ -917,22 +982,25 @@ sim::Task<> RaidxController::flush_stripe_images(
           std::vector<std::byte>(
               stripe_data.begin() + static_cast<std::ptrdiff_t>(j) * bs,
               stripe_data.begin() +
-                  static_cast<std::ptrdiff_t>(j + 1) * bs)));
+                  static_cast<std::ptrdiff_t>(j + 1) * bs),
+          ctx));
     }
     co_await join.wait();
   }
 }
 
 sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
-                                               std::vector<std::byte> data) {
+                                               std::vector<std::byte> data,
+                                               obs::TraceContext ctx) {
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
   co_await fabric_.write(client, img.disk, img.offset, std::move(data),
-                         disk::IoPriority::kBackground);
+                         disk::IoPriority::kBackground, ctx);
 }
 
 sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
                                          std::span<const std::byte> data,
-                                         disk::IoPriority prio) {
+                                         disk::IoPriority prio,
+                                         obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   const std::uint32_t width = layout_.stripe_width();
@@ -944,16 +1012,18 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
     sim::Joiner join(sim());
     auto write_one = [](RaidxController* self, int c, block::PhysBlock pb,
                         std::vector<std::byte> payload, char* ok_out,
-                        disk::IoPriority prio) -> sim::Task<> {
+                        disk::IoPriority prio,
+                        obs::TraceContext ctx) -> sim::Task<> {
       cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
-                                                  std::move(payload), prio);
+                                                  std::move(payload), prio,
+                                                  ctx);
       *ok_out = r.ok ? 1 : 0;
     };
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
           to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          &ok[i], prio));
+          &ok[i], prio, ctx));
     }
     co_await join.wait();
   }
@@ -967,7 +1037,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       r = co_await fabric_.write(
           client, img.disk, img.offset,
           to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          prio);
+          prio, ctx);
       if (!r.ok) {
         throw IoError("RAID-x: block " + std::to_string(lba + i) +
                       " lost data disk and image disk");
@@ -979,7 +1049,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   // ablation runs them synchronously.
   if (full_stripe) {
     auto flush = flush_stripe_images(client, layout_.stripe_of(lba),
-                                     to_vector(data));
+                                     to_vector(data), ctx);
     if (params_.background_mirrors) {
       sim().spawn(background(std::move(flush)));
     } else {
@@ -990,7 +1060,8 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       if (!ok[i]) continue;  // already written in the foreground
       auto flush = flush_block_image(
           client, lba + i,
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)));
+          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
+          ctx);
       if (params_.background_mirrors) {
         sim().spawn(background(std::move(flush)));
       } else {
@@ -1001,9 +1072,10 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<std::vector<std::byte>> RaidxController::degraded_read_block(
-    int client, std::uint64_t lba) {
+    int client, std::uint64_t lba, obs::TraceContext ctx) {
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
-  cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1);
+  cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,
+                                       disk::IoPriority::kForeground, ctx);
   if (!r.ok) {
     throw IoError("RAID-x: data and image of block " + std::to_string(lba) +
                   " both unavailable");

@@ -22,6 +22,7 @@
 
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
+#include "obs/obs.hpp"
 #include "raid/layout.hpp"
 #include "raid/raid0.hpp"
 #include "raid/raid1.hpp"
@@ -83,14 +84,17 @@ class IoEngine {
   virtual sim::Simulation& simulation() = 0;
 
   /// Read blocks [lba, lba+nblocks) into `out` (size nblocks*block_bytes),
-  /// on behalf of node `client`.  `out` must outlive the task.
+  /// on behalf of node `client`.  `out` must outlive the task.  `ctx`
+  /// links the request into an active trace; an empty context starts a
+  /// new root span when tracing is on.
   virtual sim::Task<> read(int client, std::uint64_t lba,
-                           std::uint32_t nblocks,
-                           std::span<std::byte> out) = 0;
+                           std::uint32_t nblocks, std::span<std::byte> out,
+                           obs::TraceContext ctx = {}) = 0;
 
   /// Write `data` (whole blocks) at `lba` on behalf of node `client`.
   virtual sim::Task<> write(int client, std::uint64_t lba,
-                            std::span<const std::byte> data) = 0;
+                            std::span<const std::byte> data,
+                            obs::TraceContext ctx = {}) = 0;
 
   /// Attach a cooperative block-cache fabric in front of this engine.
   /// Engines without a cache path ignore the call; an attached fabric with
@@ -124,9 +128,11 @@ class ArrayController : public IoEngine {
   sim::Simulation& simulation() override { return fabric_.cluster().sim(); }
 
   sim::Task<> read(int client, std::uint64_t lba, std::uint32_t nblocks,
-                   std::span<std::byte> out) override;
+                   std::span<std::byte> out,
+                   obs::TraceContext ctx = {}) override;
   sim::Task<> write(int client, std::uint64_t lba,
-                    std::span<const std::byte> data) override;
+                    std::span<const std::byte> data,
+                    obs::TraceContext ctx = {}) override;
 
   virtual const Layout& layout() const = 0;
 
@@ -150,13 +156,15 @@ class ArrayController : public IoEngine {
   /// One read chunk: contiguous logical blocks, bounded size.
   virtual sim::Task<> read_chunk(int client, std::uint64_t lba,
                                  std::uint32_t nblocks,
-                                 std::span<std::byte> out);
+                                 std::span<std::byte> out,
+                                 obs::TraceContext ctx = {});
   /// One write chunk: at most one stripe, stripe-aligned when full.
   /// `prio` is kForeground on the client write path and kBackground when
   /// the cache flusher drains dirty blocks behind foreground traffic.
   virtual sim::Task<> write_chunk(int client, std::uint64_t lba,
                                   std::span<const std::byte> data,
-                                  disk::IoPriority prio) = 0;
+                                  disk::IoPriority prio,
+                                  obs::TraceContext ctx = {}) = 0;
 
   /// Node whose cache fronts requests from `client`.  Per-client caches by
   /// default; NFS overrides with the server node (server-side cache).
@@ -167,11 +175,13 @@ class ArrayController : public IoEngine {
   /// install them.
   sim::Task<> cached_read_chunk(int client, std::uint64_t lba,
                                 std::uint32_t nblocks,
-                                std::span<std::byte> out);
+                                std::span<std::byte> out,
+                                obs::TraceContext ctx = {});
   /// write_chunk with the cache in front: update/invalidate copies, then
   /// either write through or absorb (write-back).
   sim::Task<> cached_write_chunk(int client, std::uint64_t lba,
-                                 std::span<const std::byte> data);
+                                 std::span<const std::byte> data,
+                                 obs::TraceContext ctx = {});
 
   /// Flush one dirty block under its lock group; false if the disk write
   /// failed (the block stays dirty, the cache holds the only copy).
@@ -185,7 +195,7 @@ class ArrayController : public IoEngine {
 
   /// Recover one block whose data disk failed; default throws IoError.
   virtual sim::Task<std::vector<std::byte>> degraded_read_block(
-      int client, std::uint64_t lba);
+      int client, std::uint64_t lba, obs::TraceContext ctx = {});
 
   /// Lock group covering a logical block.  Default: per-block groups (no
   /// false sharing between independent writers); RAID-5 overrides with
@@ -204,7 +214,8 @@ class ArrayController : public IoEngine {
   sim::Task<> read_extent_into(int client, block::PhysExtent extent,
                                std::span<const std::uint64_t> lbas,
                                std::uint64_t chunk_lba,
-                               std::span<std::byte> out);
+                               std::span<std::byte> out,
+                               obs::TraceContext ctx = {});
 
   sim::Simulation& sim() { return fabric_.cluster().sim(); }
 
@@ -237,7 +248,8 @@ class Raid0Controller : public ArrayController {
  protected:
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
 
  private:
   Raid0Layout layout_;
@@ -260,12 +272,14 @@ class Raid5Controller : public ArrayController {
 
  protected:
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
-                         std::span<std::byte> out) override;
+                         std::span<std::byte> out,
+                         obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
-      int client, std::uint64_t lba) override;
+      int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
   std::uint64_t lock_group_of(std::uint64_t lba) const override {
     // Stripe-aligned groups: concurrent partial-stripe writers must never
     // race on the same parity block.
@@ -276,11 +290,12 @@ class Raid5Controller : public ArrayController {
   /// Full-stripe write: XOR parity client-side, one write per disk.
   sim::Task<> full_stripe_write(int client, std::uint64_t stripe,
                                 std::span<const std::byte> data,
-                                disk::IoPriority prio);
+                                disk::IoPriority prio,
+                                obs::TraceContext ctx = {});
   /// Partial write inside one stripe: read-modify-write.
   sim::Task<> rmw_write(int client, std::uint64_t lba,
                         std::span<const std::byte> data,
-                        disk::IoPriority prio);
+                        disk::IoPriority prio, obs::TraceContext ctx = {});
 
   Raid5Layout layout_;
 };
@@ -299,12 +314,14 @@ class Raid10Controller : public ArrayController {
   /// With balance_mirror_reads, alternate extents between the primary and
   /// the chained backup copy -- Hsiao & DeWitt's load-balancing read path.
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
-                         std::span<std::byte> out) override;
+                         std::span<std::byte> out,
+                         obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
-      int client, std::uint64_t lba) override;
+      int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
   /// Balanced read of one extent: possibly redirected to the mirror copy,
@@ -313,7 +330,8 @@ class Raid10Controller : public ArrayController {
                                    bool use_mirror,
                                    std::span<const std::uint64_t> lbas,
                                    std::uint64_t chunk_lba,
-                                   std::span<std::byte> out);
+                                   std::span<std::byte> out,
+                                   obs::TraceContext ctx = {});
 
   Raid10Layout layout_;
 };
@@ -332,12 +350,14 @@ class Raid1Controller : public ArrayController {
 
  protected:
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
-                         std::span<std::byte> out) override;
+                         std::span<std::byte> out,
+                         obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
-      int client, std::uint64_t lba) override;
+      int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
   Raid1Layout layout_;
@@ -362,20 +382,24 @@ class RaidxController : public ArrayController {
   /// data stripe: a stripe's images are clustered on ONE disk, so routing
   /// a whole stripe at them would serialize what striping parallelizes.
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
-                         std::span<std::byte> out) override;
+                         std::span<std::byte> out,
+                         obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
                           std::span<const std::byte> data,
-                          disk::IoPriority prio) override;
+                          disk::IoPriority prio,
+                          obs::TraceContext ctx = {}) override;
   sim::Task<std::vector<std::byte>> degraded_read_block(
-      int client, std::uint64_t lba) override;
+      int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
   /// Flush a full stripe's images: one clustered run + one neighbor block.
   sim::Task<> flush_stripe_images(int client, std::uint64_t stripe,
-                                  std::vector<std::byte> stripe_data);
+                                  std::vector<std::byte> stripe_data,
+                                  obs::TraceContext ctx = {});
   /// Flush a single block's image.
   sim::Task<> flush_block_image(int client, std::uint64_t lba,
-                                std::vector<std::byte> data);
+                                std::vector<std::byte> data,
+                                obs::TraceContext ctx = {});
 
   RaidxLayout layout_;
 };

@@ -40,6 +40,9 @@ class RebuildScope {
 
 sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
                                           std::uint64_t max_offset) {
+  obs::Span span = obs::trace_span(
+      sim(), {}, "engine.rebuild", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("disk", disk_id));
   const auto& geo = fabric_.cluster().geometry();
   const std::uint32_t bs = block_bytes();
   const std::uint64_t limit = std::min(max_offset, geo.blocks_per_disk);
@@ -53,7 +56,7 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
     for (int d = 0; d < total; ++d) {
       if (d == disk_id) continue;
       cdd::Reply r = co_await fabric_.read(client, d, off, 1,
-                                           disk::IoPriority::kBackground);
+                                           disk::IoPriority::kBackground, span.ctx());
       if (!r.ok) {
         throw IoError("RAID-5 rebuild: second failure on disk " +
                       std::to_string(d));
@@ -63,7 +66,7 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
     co_await xor_cpu(client, static_cast<std::uint64_t>(total - 1) * bs);
     cdd::Reply w = co_await fabric_.write(client, disk_id, off,
                                           std::move(acc),
-                                          disk::IoPriority::kBackground);
+                                          disk::IoPriority::kBackground, span.ctx());
     if (!w.ok) {
       throw IoError("RAID-5 rebuild: replacement disk failed");
     }
@@ -72,6 +75,9 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
 
 sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
                                            std::uint64_t max_offset) {
+  obs::Span span = obs::trace_span(
+      sim(), {}, "engine.rebuild", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("disk", disk_id));
   const auto& geo = fabric_.cluster().geometry();
   const auto& lay = static_cast<const Raid10Layout&>(layout());
   const int n = geo.nodes;
@@ -93,10 +99,10 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
       cdd::Reply r =
           co_await fabric_.read(client, mirror_disk,
                                 lay.mirror_zone_base() + off, 1,
-                                disk::IoPriority::kBackground);
+                                disk::IoPriority::kBackground, span.ctx());
       if (!r.ok) throw IoError("RAID-10 rebuild: mirror copy unavailable");
       co_await fabric_.write(client, disk_id, off, std::move(r.data),
-                             disk::IoPriority::kBackground);
+                             disk::IoPriority::kBackground, span.ctx());
     }
     // Mirror zone: this disk backs the previous node's primaries.
     const std::uint64_t backed_lba =
@@ -104,17 +110,20 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
     if (backed_lba < logical_blocks()) {
       const int primary_disk = geo.disk_id(row, (node + n - 1) % n);
       cdd::Reply r = co_await fabric_.read(client, primary_disk, off, 1,
-                                           disk::IoPriority::kBackground);
+                                           disk::IoPriority::kBackground, span.ctx());
       if (!r.ok) throw IoError("RAID-10 rebuild: primary copy unavailable");
       co_await fabric_.write(client, disk_id, lay.mirror_zone_base() + off,
                              std::move(r.data),
-                             disk::IoPriority::kBackground);
+                             disk::IoPriority::kBackground, span.ctx());
     }
   }
 }
 
 sim::Task<> Raid1Controller::rebuild_disk(int client, int disk_id,
                                           std::uint64_t max_offset) {
+  obs::Span span = obs::trace_span(
+      sim(), {}, "engine.rebuild", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("disk", disk_id));
   const auto& geo = fabric_.cluster().geometry();
   // Both disks of a pair use the same offsets over the whole disk.
   const std::uint64_t limit = std::min(max_offset, geo.blocks_per_disk);
@@ -124,15 +133,18 @@ sim::Task<> Raid1Controller::rebuild_disk(int client, int disk_id,
   for (std::uint64_t off = 0; off < limit; ++off) {
     scope.advance(off);
     cdd::Reply r = co_await fabric_.read(client, partner, off, 1,
-                                         disk::IoPriority::kBackground);
+                                         disk::IoPriority::kBackground, span.ctx());
     if (!r.ok) throw IoError("RAID-1 rebuild: partner copy unavailable");
     co_await fabric_.write(client, disk_id, off, std::move(r.data),
-                           disk::IoPriority::kBackground);
+                           disk::IoPriority::kBackground, span.ctx());
   }
 }
 
 sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
                                           std::uint64_t max_offset) {
+  obs::Span span = obs::trace_span(
+      sim(), {}, "engine.rebuild", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("disk", disk_id));
   const auto& geo = fabric_.cluster().geometry();
   const std::uint32_t bs = block_bytes();
   const int n = geo.nodes;
@@ -154,10 +166,10 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
     {
       const block::PhysBlock img = layout_.mirror_locations(lba)[0];
       cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,
-                                           disk::IoPriority::kBackground);
+                                           disk::IoPriority::kBackground, span.ctx());
       if (!r.ok) throw IoError("RAID-x rebuild: image unavailable");
       co_await fabric_.write(client, disk_id, q, std::move(r.data),
-                             disk::IoPriority::kBackground);
+                             disk::IoPriority::kBackground, span.ctx());
     }
 
     // Clustered zone: if this disk clusters stripe `stripe`'s images,
@@ -170,14 +182,14 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
         const block::PhysBlock src =
             layout_.data_location(imgs.clustered_lbas[i]);
         cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
-                                             disk::IoPriority::kBackground);
+                                             disk::IoPriority::kBackground, span.ctx());
         if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
         std::copy(r.data.begin(), r.data.end(),
                   run.begin() + static_cast<std::ptrdiff_t>(i) * bs);
       }
       co_await fabric_.write(client, imgs.clustered.disk,
                              imgs.clustered.offset, std::move(run),
-                             disk::IoPriority::kBackground);
+                             disk::IoPriority::kBackground, span.ctx());
     }
 
     // Neighbor zone: if this disk holds the stray image of stripe `stripe`.
@@ -185,11 +197,11 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
       const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
       const block::PhysBlock src = layout_.data_location(imgs.neighbor_lba);
       cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
-                                           disk::IoPriority::kBackground);
+                                           disk::IoPriority::kBackground, span.ctx());
       if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
       co_await fabric_.write(client, imgs.neighbor.disk, imgs.neighbor.offset,
                              std::move(r.data),
-                             disk::IoPriority::kBackground);
+                             disk::IoPriority::kBackground, span.ctx());
     }
   }
 }

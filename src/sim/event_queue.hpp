@@ -15,6 +15,10 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
+namespace raidx::obs {
+class Hub;
+}
+
 namespace raidx::sim {
 
 class Simulation {
@@ -62,6 +66,13 @@ class Simulation {
   /// Number of events processed so far (useful for micro-benchmarks).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Observability hub (src/obs), or null when observability is off.
+  /// The simulation never calls into the hub itself; instrumented layers
+  /// test this pointer on their record paths.  Null by default, so runs
+  /// without a hub are bit-identical to builds that predate src/obs.
+  obs::Hub* hub() const { return hub_; }
+  void set_hub(obs::Hub* hub) { hub_ = hub; }
+
  private:
   struct Event {
     Time at;
@@ -79,6 +90,7 @@ class Simulation {
   void reap_finished();
 
   Time now_ = 0;
+  obs::Hub* hub_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 
@@ -75,9 +76,21 @@ std::string json_escape(const std::string& s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
-      default: out += c;
+      default:
+        // All remaining control characters must be \u-escaped per RFC 8259.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -94,9 +107,19 @@ void JsonWriter::add(const std::string& key, std::int64_t v) {
 }
 
 void JsonWriter::add(const std::string& key, double v) {
+  // JSON has no literal for NaN or infinity; emit null so the artifact
+  // stays parseable instead of producing `nan`/`inf` tokens.
+  if (!std::isfinite(v)) {
+    fields_.emplace_back(key, "null");
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
   fields_.emplace_back(key, buf);
+}
+
+void JsonWriter::add_raw(const std::string& key, std::string json) {
+  fields_.emplace_back(key, std::move(json));
 }
 
 void JsonWriter::add(const std::string& key, const std::string& v) {
@@ -152,6 +175,10 @@ void TablePrinter::print() const {
 }
 
 std::string TablePrinter::fmt(double v, int precision) {
+  // printf renders non-finite values in platform-dependent spellings
+  // ("nan", "-nan(ind)", ...); normalize so tables stay diff-friendly.
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;

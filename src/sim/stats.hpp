@@ -67,6 +67,10 @@ class JsonWriter {
     add(key, std::string(v));
   }
   void add(const std::string& key, bool v);
+  /// Embed a pre-rendered JSON value (object/array) verbatim.  Lets the
+  /// flat bench schema carry nested sections like the obs registry
+  /// snapshot without growing this writer into a full JSON library.
+  void add_raw(const std::string& key, std::string json);
 
   /// Render as a JSON object, keys in insertion order.
   std::string str() const;

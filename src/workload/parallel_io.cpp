@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/random.hpp"
 #include "sim/sync.hpp"
 
@@ -60,14 +61,32 @@ sim::Task<> client_task(Shared& sh, int client_idx, std::uint64_t region_lba,
     for (int i = 0; i < sh.config.ops_per_client; ++i) {
       const std::uint64_t lba = lbas[static_cast<std::size_t>(i)];
       const sim::Time t0 = sim.now();
-      if (sh.config.op == IoOp::kRead) {
-        co_await sh.engine.read(node, lba, blocks_per_op, buffer);
-      } else {
-        co_await sh.engine.write(node, lba, buffer);
+      {
+        obs::Span op = obs::trace_span(
+            sim, {}, "workload.op", obs::Track::kRequest, node,
+            obs::SpanArgs{}
+                .tag("client", client_idx)
+                .tag("node", node)
+                .tag("lba", static_cast<std::int64_t>(lba))
+                .tag("write", sh.config.op == IoOp::kWrite ? 1 : 0)
+                .tag("measured", measured ? 1 : 0));
+        if (sh.config.op == IoOp::kRead) {
+          co_await sh.engine.read(node, lba, blocks_per_op, buffer,
+                                  op.ctx());
+        } else {
+          co_await sh.engine.write(node, lba, buffer, op.ctx());
+        }
       }
       if (measured) {
         sh.latency.add(sim.now() - t0);
         r.bytes += sh.config.bytes_per_op;
+        if (obs::Hub* hub = sim.hub()) {
+          hub->registry()
+              .histogram(sh.config.op == IoOp::kRead
+                             ? "workload.op_latency_us.read"
+                             : "workload.op_latency_us.write")
+              .observe(static_cast<std::uint64_t>((sim.now() - t0) / 1000));
+        }
       }
     }
   }

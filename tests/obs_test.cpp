@@ -1,0 +1,408 @@
+// Observability substrate tests: span nesting under concurrent coroutines,
+// histogram bucketing, registry snapshot determinism, Chrome-trace JSON
+// well-formedness, disk busy-time coverage, and the no-perturbation
+// guarantee (traced == untraced simulated numbers).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/collect.hpp"
+#include "obs/obs.hpp"
+#include "raid/controller.hpp"
+#include "test_util.hpp"
+
+namespace raidx {
+namespace {
+
+using test::Rig;
+using test::pattern_run;
+
+// ---------------------------------------------------------------------------
+// Span nesting under concurrent coroutines.
+
+sim::Task<> nested_op(sim::Simulation& sim, int client, sim::Time inner) {
+  obs::Span outer = obs::trace_span(sim, {}, "outer", obs::Track::kRequest,
+                                    client,
+                                    obs::SpanArgs{}.tag("client", client));
+  co_await sim.delay(inner);
+  {
+    obs::Span mid = obs::trace_span(sim, outer.ctx(), "mid",
+                                    obs::Track::kRequest, client);
+    co_await sim.delay(inner);
+    obs::Span leaf = obs::trace_span(sim, mid.ctx(), "leaf",
+                                     obs::Track::kServer, client);
+    co_await sim.delay(inner);
+  }
+  co_await sim.delay(inner);
+}
+
+TEST(ObsSpan, NestingSurvivesConcurrentCoroutines) {
+  sim::Simulation sim;
+  obs::Hub hub;
+  hub.tracing = true;
+  sim.set_hub(&hub);
+
+  // Two interleaved request chains with different step sizes, so their
+  // spans open and close in interleaved order.
+  sim.spawn(nested_op(sim, 0, sim::microseconds(3)));
+  sim.spawn(nested_op(sim, 1, sim::microseconds(5)));
+  sim.run();
+
+  const auto& spans = hub.tracer().spans();
+  ASSERT_EQ(spans.size(), 6u);
+
+  std::map<int, std::vector<const obs::SpanRecord*>> by_client;
+  for (const auto& s : spans) by_client[s.idx].push_back(&s);
+
+  for (const auto& [client, chain] : by_client) {
+    ASSERT_EQ(chain.size(), 3u) << "client " << client;
+    const obs::SpanRecord* outer = nullptr;
+    const obs::SpanRecord* mid = nullptr;
+    const obs::SpanRecord* leaf = nullptr;
+    for (const auto* s : chain) {
+      if (std::string(s->name) == "outer") outer = s;
+      if (std::string(s->name) == "mid") mid = s;
+      if (std::string(s->name) == "leaf") leaf = s;
+    }
+    ASSERT_TRUE(outer && mid && leaf);
+    // One trace per chain, no leakage between the two clients.
+    EXPECT_EQ(outer->trace, mid->trace);
+    EXPECT_EQ(mid->trace, leaf->trace);
+    // Parent/depth linkage.
+    EXPECT_EQ(outer->parent, 0u);
+    EXPECT_EQ(outer->depth, 0);
+    EXPECT_EQ(mid->parent, outer->id);
+    EXPECT_EQ(mid->depth, 1);
+    EXPECT_EQ(leaf->parent, mid->id);
+    EXPECT_EQ(leaf->depth, 2);
+    // Temporal nesting: children open after and close before their parent.
+    EXPECT_LE(outer->begin, mid->begin);
+    EXPECT_LE(mid->begin, leaf->begin);
+    EXPECT_LE(leaf->end, mid->end);
+    EXPECT_LE(mid->end, outer->end);
+  }
+  // The two chains carry distinct trace ids.
+  EXPECT_NE(by_client[0][0]->trace, by_client[1][0]->trace);
+}
+
+TEST(ObsSpan, InertWithoutHub) {
+  sim::Simulation sim;  // no hub attached
+  obs::Span s = obs::trace_span(sim, {}, "x", obs::Track::kRequest, 0);
+  EXPECT_FALSE(s.ctx().active());
+
+  // Inbound context passes through unchanged when tracing is off.
+  obs::TraceContext parent{42, 7, 3};
+  obs::Span t = obs::trace_span(sim, parent, "y", obs::Track::kRequest, 0);
+  EXPECT_EQ(t.ctx().trace, 42u);
+  EXPECT_EQ(t.ctx().parent, 7u);
+  EXPECT_EQ(t.ctx().depth, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing.
+
+TEST(ObsHistogram, BucketBoundaries) {
+  using obs::Histogram;
+  // Values below kSubBuckets are exact.
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_lower(Histogram::bucket_of(v)), v);
+  }
+  // Everywhere: lower(bucket_of(v)) <= v and the next bucket starts above v.
+  for (std::uint64_t v : {4ull, 5ull, 7ull, 8ull, 100ull, 1000ull, 1ull << 20,
+                          (1ull << 40) + 123}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LE(Histogram::bucket_lower(b), v) << v;
+    EXPECT_GT(Histogram::bucket_lower(b + 1), v) << v;
+    // Relative quantization error bounded by 1/kSubBuckets.
+    const double lower = static_cast<double>(Histogram::bucket_lower(b));
+    EXPECT_GE(lower, static_cast<double>(v) * 0.75) << v;
+  }
+  // Bucket indices are monotone in the value.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(ObsHistogram, SummaryAndPercentiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Nearest-rank percentile returns the bucket lower bound: within the
+  // 25% quantization of the true rank value, and monotone in q.
+  std::uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const std::uint64_t p = h.percentile(q);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, static_cast<std::uint64_t>(100.0 * q) + 1);
+    EXPECT_GE(static_cast<double>(p), 100.0 * q * 0.75 - 1.0);
+    prev = p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timelines.
+
+TEST(ObsTimeline, BusySplitsAcrossWindows) {
+  obs::Timeline t(sim::milliseconds(1));
+  // 0.5 ms busy inside window 0, then an interval straddling windows 1-2.
+  t.add_busy(0, sim::microseconds(500));
+  t.add_busy(sim::microseconds(1500), sim::microseconds(2500));
+  const auto u = t.utilization();
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_NEAR(u[0], 0.5, 1e-9);
+  EXPECT_NEAR(u[1], 0.5, 1e-9);
+  EXPECT_NEAR(u[2], 0.5, 1e-9);
+}
+
+TEST(ObsTimeline, DepthKeepsPerWindowMaximum) {
+  obs::MaxTimeline t(sim::milliseconds(1));
+  t.sample(0, 2);
+  t.sample(sim::microseconds(100), 5);
+  t.sample(sim::microseconds(900), 1);
+  t.sample(sim::microseconds(1100), 3);
+  ASSERT_EQ(t.maxima().size(), 2u);
+  EXPECT_EQ(t.maxima()[0], 5);
+  EXPECT_EQ(t.maxima()[1], 3);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a traced RAID-x workload over the full stack.
+
+sim::Task<> small_workload(raid::IoEngine* eng) {
+  const auto data = pattern_run(0, 8, eng->block_bytes());
+  co_await eng->write(0, 0, data);
+  std::vector<std::byte> got(data.size());
+  co_await eng->read(1, 0, 8, got);
+  co_await eng->write(2, 16, pattern_run(16, 4, eng->block_bytes()));
+}
+
+struct TracedRun {
+  explicit TracedRun(bool tracing) {
+    hub.tracing = tracing;
+    rig.sim.set_hub(&hub);
+    raid::RaidxController eng(rig.fabric);
+    rig.run(small_workload(&eng));
+    end_time = rig.sim.now();
+  }
+  obs::Hub hub;
+  Rig rig{test::small_cluster()};
+  sim::Time end_time = 0;
+};
+
+TEST(ObsEndToEnd, TracingDoesNotPerturbSimulatedTime) {
+  sim::Time untraced;
+  {
+    Rig rig(test::small_cluster());
+    raid::RaidxController eng(rig.fabric);
+    rig.run(small_workload(&eng));
+    untraced = rig.sim.now();
+  }
+  TracedRun traced(/*tracing=*/true);
+  EXPECT_EQ(traced.end_time, untraced);
+  EXPECT_FALSE(traced.hub.tracer().spans().empty());
+}
+
+TEST(ObsEndToEnd, DiskServiceSpansCoverAllBusyTime) {
+  TracedRun run(/*tracing=*/true);
+  sim::Time span_sum = 0;
+  for (const auto& s : run.hub.tracer().spans()) {
+    if (std::string(s.name) == "disk.service") span_sum += s.end - s.begin;
+  }
+  sim::Time busy_sum = 0;
+  for (int d = 0; d < run.rig.cluster.total_disks(); ++d) {
+    busy_sum += run.rig.cluster.disk(d).busy_time();
+  }
+  EXPECT_GT(busy_sum, 0);
+  // The acceptance bar is >= 95% coverage; the spans bracket exactly the
+  // [grant, release] interval, so they should match to the nanosecond.
+  EXPECT_EQ(span_sum, busy_sum);
+}
+
+TEST(ObsEndToEnd, SnapshotDeterministicAcrossIdenticalRuns) {
+  auto snapshot = [] {
+    TracedRun run(/*tracing=*/false);
+    obs::collect_cluster(run.hub.registry(), run.rig.cluster,
+                         &run.rig.fabric, nullptr);
+    return run.hub.registry().snapshot_json();
+  };
+  const std::string a = snapshot();
+  const std::string b = snapshot();
+  EXPECT_EQ(a, b);
+  // Registry keys use the global disk index, matching the trace tracks.
+  EXPECT_NE(a.find("\"disk.000.reads\""), std::string::npos);
+  EXPECT_NE(a.find("\"disk.003.busy_ns\""), std::string::npos);
+  EXPECT_EQ(a.find("disk.1000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON well-formedness: a minimal recursive-descent JSON
+// parser; rejects trailing garbage, unbalanced structure, bad literals.
+
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& s) : s_(s) {}
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ObsChromeTrace, ExportIsWellFormedJson) {
+  TracedRun run(/*tracing=*/true);
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  std::string err;
+  ASSERT_TRUE(run.hub.tracer().export_chrome(path, run.rig.sim.now(), &err))
+      << err;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::remove(path.c_str());
+
+  EXPECT_TRUE(MiniJson(text).parse()) << "unparseable trace JSON";
+  // Structural markers of the trace-event format.
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"b\""), std::string::npos);  // async begin
+  EXPECT_NE(text.find("\"ph\":\"e\""), std::string::npos);  // async end
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);  // resource span
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);  // lane metadata
+  EXPECT_NE(text.find("disk.service"), std::string::npos);
+}
+
+TEST(ObsChromeTrace, ExportFailsCleanlyOnBadPath) {
+  obs::Tracer tracer;
+  std::string err;
+  EXPECT_FALSE(
+      tracer.export_chrome("/nonexistent-dir/x.json", 0, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// The mini-parser itself must reject malformed input, or the test above
+// proves nothing.
+TEST(ObsChromeTrace, MiniParserRejectsMalformed) {
+  EXPECT_TRUE(MiniJson(R"({"a":[1,2,{"b":null}],"c":"x"})").parse());
+  EXPECT_FALSE(MiniJson(R"({"a":1)").parse());
+  EXPECT_FALSE(MiniJson(R"({"a":1}})").parse());
+  EXPECT_FALSE(MiniJson(R"({'a':1})").parse());
+  EXPECT_FALSE(MiniJson(R"({"a":})").parse());
+  EXPECT_FALSE(MiniJson(R"([1,2,)").parse());
+}
+
+// ---------------------------------------------------------------------------
+// Timelines JSON uses the same global-index keys as the registry.
+
+TEST(ObsTimelines, JsonKeysUseGlobalIndices) {
+  TracedRun run(/*tracing=*/false);
+  const std::string json = run.hub.timelines().json();
+  EXPECT_TRUE(MiniJson(json).parse());
+  EXPECT_NE(json.find("\"disk.000\""), std::string::npos);
+  EXPECT_NE(json.find("\"disk.003\""), std::string::npos);
+  EXPECT_EQ(json.find("disk.1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raidx

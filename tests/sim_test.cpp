@@ -1,6 +1,8 @@
 // Unit tests for the discrete-event simulation engine.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -371,6 +373,56 @@ TEST(Rng, ForkDiverges) {
     if (f.uniform(0, 1'000'000) != h.uniform(0, 1'000'000)) any_diff = true;
   }
   EXPECT_TRUE(any_diff);
+}
+
+TEST(JsonWriter, EscapesStringsPerRfc8259) {
+  JsonWriter w;
+  w.add("quote", "a\"b");
+  w.add("backslash", "a\\b");
+  w.add("controls", std::string("\b\f\n\r\t"));
+  w.add("low", std::string("\x01\x1f"));
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(out.find("\\b\\f\\n\\r\\t"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001\\u001f"), std::string::npos);
+  // No raw control bytes survive into the rendered JSON.
+  for (char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w;
+  w.add("nan", std::nan(""));
+  w.add("inf", std::numeric_limits<double>::infinity());
+  w.add("ninf", -std::numeric_limits<double>::infinity());
+  w.add("ok", 1.5);
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(out.find("\"ninf\": null"), std::string::npos);
+  // The bare tokens `nan`/`inf` (unquoted, non-null) never appear.
+  EXPECT_EQ(out.find(": nan"), std::string::npos);
+  EXPECT_EQ(out.find(": inf"), std::string::npos);
+  EXPECT_EQ(out.find(": -"), std::string::npos);
+}
+
+TEST(JsonWriter, AddRawEmbedsVerbatim) {
+  JsonWriter w;
+  w.add("n", 1);
+  w.add_raw("nested", "{\"a\":[1,2]}");
+  EXPECT_EQ(w.str(), "{\"n\": 1, \"nested\": {\"a\":[1,2]}}");
+}
+
+TEST(TablePrinter, FmtNormalizesNonFinite) {
+  EXPECT_EQ(TablePrinter::fmt(std::nan("")), "nan");
+  EXPECT_EQ(TablePrinter::fmt(-std::nan("")), "nan");
+  EXPECT_EQ(TablePrinter::fmt(std::numeric_limits<double>::infinity()),
+            "inf");
+  EXPECT_EQ(TablePrinter::fmt(-std::numeric_limits<double>::infinity()),
+            "-inf");
+  EXPECT_EQ(TablePrinter::fmt(1.2345, 2), "1.23");
 }
 
 }  // namespace

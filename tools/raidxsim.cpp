@@ -21,6 +21,8 @@
 #include "cache/cache_fabric.hpp"
 #include "cluster/cluster.hpp"
 #include "nfs/nfs.hpp"
+#include "obs/collect.hpp"
+#include "obs/obs.hpp"
 #include "sim/stats.hpp"
 #include "workload/engines.hpp"
 #include "workload/parallel_io.hpp"
@@ -55,11 +57,15 @@ namespace {
       "  --coop-cache       serve misses from peer memory (cooperative)\n"
       "  --warm N           unmeasured warm passes before the measured run\n"
       "  --seed S           workload seed (default 42)\n"
-      "  --trace FILE       replay a block trace instead of the synthetic "
+      "  --replay FILE      replay a block trace instead of the synthetic "
       "workload\n"
       "  --dump-trace FILE  write a generated trace (clients/ops/seed "
       "apply) and exit\n"
-      "  --verbose          per-client and per-resource detail\n",
+      "  --trace FILE       write a Chrome trace-event JSON of the run "
+      "(view in about:tracing / Perfetto)\n"
+      "  --metrics FILE     write the metrics-registry snapshot as JSON\n"
+      "  --verbose          per-client and per-resource detail\n"
+      "Flags also accept --flag=value form.\n",
       argv0);
   std::exit(2);
 }
@@ -102,7 +108,7 @@ int main(int argc, char** argv) {
   bool bg_mirrors = true, locks = true;
   std::uint64_t seed = 42;
   std::vector<int> fails;
-  std::string trace_file, dump_trace_file;
+  std::string replay_file, dump_trace_file, trace_out, metrics_out;
   double cache_mb = 0.0;
   std::string cache_policy = "wt";
   std::string cache_evict = "lru";
@@ -110,9 +116,27 @@ int main(int argc, char** argv) {
   int warm = 0;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept --flag=value as well as --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.rfind("--", 0) == 0) {
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a = a.substr(0, eq);
+        has_inline = true;
+      }
+    }
+    bool consumed_value = false;
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      consumed_value = true;
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                     a.c_str());
+        std::exit(2);
+      }
       return argv[++i];
     };
     if (a == "--arch") arch = parse_arch(next());
@@ -140,12 +164,59 @@ int main(int argc, char** argv) {
     else if (a == "--coop-cache") coop_cache = true;
     else if (a == "--warm") warm = std::atoi(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
-    else if (a == "--trace") trace_file = next();
+    else if (a == "--replay") replay_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
+    else if (a == "--trace") trace_out = next();
+    else if (a == "--metrics") metrics_out = next();
     else if (a == "--verbose") verbose = true;
-    else usage(argv[0]);
+    else {
+      std::fprintf(stderr, "%s: unknown option %s\n\n", argv[0], a.c_str());
+      usage(argv[0]);
+    }
+    if (has_inline && !consumed_value) {
+      std::fprintf(stderr, "%s: %s takes no value\n", argv[0], a.c_str());
+      return 2;
+    }
   }
   if (nodes < 2 || disks < 1 || clients < 1 || ops < 1) usage(argv[0]);
+
+  // Reject flag combinations that would silently do nothing (or fail only
+  // after a long simulation).
+  const bool cache_on = cache_mb > 0.0 && cache_policy != "none";
+  if (warm < 0) {
+    std::fprintf(stderr, "%s: --warm must be >= 0\n", argv[0]);
+    return 2;
+  }
+  if (warm > 0 && !cache_on) {
+    std::fprintf(stderr,
+                 "%s: --warm only makes sense with a cache; add --cache-mb "
+                 "(or drop --warm)\n",
+                 argv[0]);
+    return 2;
+  }
+  if (coop_cache && !cache_on) {
+    std::fprintf(stderr,
+                 "%s: --coop-cache requires a cache; add --cache-mb\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!replay_file.empty() && !dump_trace_file.empty()) {
+    std::fprintf(stderr,
+                 "%s: --replay and --dump-trace conflict (replay consumes a "
+                 "trace, dump-trace only generates one)\n",
+                 argv[0]);
+    return 2;
+  }
+  // Validate output paths up front so a bad path fails in milliseconds,
+  // not after the whole simulation has run.
+  for (const std::string* out : {&trace_out, &metrics_out}) {
+    if (out->empty()) continue;
+    std::ofstream probe(*out);
+    if (!probe) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], out->c_str());
+      return 2;
+    }
+  }
 
   if (!dump_trace_file.empty()) {
     workload::TraceGenConfig tg;
@@ -172,6 +243,11 @@ int main(int argc, char** argv) {
   params.disk.store_data = false;
 
   sim::Simulation sim;
+  obs::Hub hub;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    hub.tracing = !trace_out.empty();
+    sim.set_hub(&hub);
+  }
   cluster::Cluster cluster(sim, params);
   cdd::CddFabric fabric(cluster);
 
@@ -212,10 +288,33 @@ int main(int argc, char** argv) {
     cluster.disk(f).fail();
   }
 
-  if (!trace_file.empty()) {
-    std::ifstream in(trace_file);
+  auto export_obs = [&]() -> int {
+    if (!trace_out.empty()) {
+      std::string err;
+      if (!hub.tracer().export_chrome(trace_out, sim.now(), &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+      }
+      std::printf("trace               : %zu spans -> %s\n",
+                  hub.tracer().spans().size(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::collect_cluster(hub.registry(), cluster, &fabric, &block_cache);
+      std::ofstream out(metrics_out);
+      out << hub.registry().snapshot_json() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics             : %s\n", metrics_out.c_str());
+    }
+    return 0;
+  };
+
+  if (!replay_file.empty()) {
+    std::ifstream in(replay_file);
     if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", trace_file.c_str());
+      std::fprintf(stderr, "cannot read %s\n", replay_file.c_str());
       return 1;
     }
     std::vector<workload::TraceRecord> recs;
@@ -226,7 +325,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("raidxsim: replaying %zu trace records from %s on %s\n",
-                recs.size(), trace_file.c_str(), engine->name().c_str());
+                recs.size(), replay_file.c_str(), engine->name().c_str());
     const auto tr = workload::replay_trace(*engine, recs);
     std::printf("\nelapsed             : %8.3f s\n",
                 sim::to_seconds(tr.elapsed));
@@ -240,7 +339,7 @@ int main(int argc, char** argv) {
     std::printf("write latency       : mean %.2f ms, p95 %.2f ms\n",
                 tr.write_latency.mean() / 1e6,
                 sim::to_milliseconds(tr.write_latency.percentile(0.95)));
-    return 0;
+    return export_obs();
   }
 
   workload::ParallelIoConfig cfg;
@@ -325,5 +424,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fabric.local_requests()),
                 static_cast<unsigned long long>(fabric.remote_requests()));
   }
-  return 0;
+  return export_obs();
 }
