@@ -61,7 +61,10 @@ inline T smoke_pick(T full, T reduced) {
 /// cross-PR trajectory tooling can tell schema drift from regressions.
 /// v2: adds "smoke", and nested registry/timeline snapshots from the obs
 /// layer ("obs_*" keys); every v1 key is unchanged.
-inline constexpr int kBenchSchemaVersion = 2;
+/// v3: the obs registry snapshot gains the engine-internal counters
+/// `sim.queue.*` and `sim.frame_pool.*`; every v2 key is unchanged and
+/// every simulated result is bit-identical to v2.
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

@@ -4,6 +4,10 @@
 // harness can run per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
 #include "block/sios.hpp"
 #include "raid/raid0.hpp"
 #include "raid/raid10.hpp"
@@ -63,6 +67,53 @@ void BM_ResourceContention(benchmark::State& state) {
 }
 BENCHMARK(BM_ResourceContention);
 
+// Timers beyond the wheel's 2^48 ns prefix window detour through the
+// overflow heap and migrate back in when the clock reaches their window.
+void BM_FarFutureInsert(benchmark::State& state) {
+  constexpr std::int64_t kHorizon = std::int64_t{1} << 48;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule(kHorizon + (std::int64_t{1} << (i % 20)),
+                   [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FarFutureInsert);
+
+// Every event lands on one timestamp: a single level-0 slot absorbs the
+// whole burst and must drain it in exact insertion order.
+void BM_EqualTimestampBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule(1000, [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EqualTimestampBurst);
+
+// Deep wait lists: 64 processes pile onto one resource, so every release
+// pops a waiter and every acquire parks one (intrusive list churn).
+void BM_WaiterChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Resource r(sim, 1);
+    for (int c = 0; c < 64; ++c) sim.spawn(contender(sim, r, 16));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 16);
+}
+BENCHMARK(BM_WaiterChurn);
+
 block::ArrayGeometry bench_geo() {
   block::ArrayGeometry g;
   g.nodes = 16;
@@ -115,4 +166,21 @@ BENCHMARK(BM_RaidxStripeImages);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but under RAIDX_BENCH_SMOKE each benchmark runs
+// for a fraction of the default wall time: CI only needs to prove the
+// paths execute, not to produce stable throughput numbers.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char smoke_flag[] = "--benchmark_min_time=0.01";
+  if (std::getenv("RAIDX_BENCH_SMOKE") != nullptr) {
+    args.push_back(smoke_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

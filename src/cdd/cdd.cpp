@@ -41,7 +41,7 @@ sim::Task<> CddService::handle(Request req) {
         } else {
           co_await d.io(disk::IoKind::kRead, req.offset, req.nblocks,
                         req.prio, serve.ctx());
-          reply.data = d.read_data(req.offset, req.nblocks);
+          reply.data = d.read_payload(req.offset, req.nblocks);
         }
       } catch (const disk::DiskFailedError&) {
         reply.ok = false;
@@ -78,7 +78,9 @@ sim::Task<> CddService::handle(Request req) {
       // Grant the whole record atomically: groups in ascending order, the
       // same order every requester uses.
       for (std::uint64_t g : req.lock_groups) {
-        co_await locks_.acquire(g, req.lock_owner);
+        if (!locks_.try_acquire_now(g, req.lock_owner)) {
+          co_await locks_.acquire(g, req.lock_owner);
+        }
         if (fabric_.params().replicate_lock_table) {
           fabric_.cluster().sim().spawn(
               replicate_lock_state(g, req.lock_owner));
@@ -204,7 +206,7 @@ sim::Task<Reply> CddFabric::read(int client, int disk_id, std::uint64_t offset,
 
 sim::Task<Reply> CddFabric::write(int client, int disk_id,
                                   std::uint64_t offset,
-                                  std::vector<std::byte> data,
+                                  block::Payload data,
                                   disk::IoPriority prio,
                                   obs::TraceContext ctx) {
   assert(data.size() % cluster_.geometry().block_bytes == 0);

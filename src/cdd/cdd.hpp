@@ -81,7 +81,7 @@ class CddFabric {
 
   /// Write `data` to physical (disk, offset) on behalf of node `client`.
   sim::Task<Reply> write(int client, int disk_id, std::uint64_t offset,
-                         std::vector<std::byte> data,
+                         block::Payload data,
                          disk::IoPriority prio = disk::IoPriority::kForeground,
                          obs::TraceContext ctx = {});
 

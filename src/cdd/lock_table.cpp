@@ -4,14 +4,21 @@
 
 namespace raidx::cdd {
 
-sim::Task<> LockGroupTable::acquire(std::uint64_t group,
-                                    std::uint64_t owner) {
+bool LockGroupTable::try_acquire_now(std::uint64_t group,
+                                     std::uint64_t owner) {
   assert(owner != 0 && "owner token 0 is the free sentinel");
   Entry& e = table_[group];
   if (e.owner == 0 && e.queue.empty()) {
     e.owner = owner;
-    co_return;
+    return true;
   }
+  return false;
+}
+
+sim::Task<> LockGroupTable::acquire(std::uint64_t group,
+                                    std::uint64_t owner) {
+  if (try_acquire_now(group, owner)) co_return;
+  Entry& e = table_[group];
   assert(e.owner != owner && "lock groups are not re-entrant");
   auto trigger = std::make_unique<sim::Trigger>(sim_);
   sim::Trigger* waiting_on = trigger.get();
@@ -54,7 +61,11 @@ void LockGroupTable::apply_replica_update(std::uint64_t group,
                                           std::uint64_t owner) {
   ++replica_updates_;
   if (owner == 0) {
-    replica_.erase(group);
+    // Tombstone (owner 0) instead of erasing: replica_owner() treats
+    // missing and 0 identically, and this map sees millions of free/grant
+    // flips per run -- erase/reinsert churn dominates otherwise.
+    auto it = replica_.find(group);
+    if (it != replica_.end()) it->second = 0;
   } else {
     replica_[group] = owner;
   }

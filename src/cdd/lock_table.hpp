@@ -28,6 +28,11 @@ class LockGroupTable {
   /// two writers on one node must still exclude each other.
   sim::Task<> acquire(std::uint64_t group, std::uint64_t owner);
 
+  /// Uncontended fast path: grab the lock without spinning up a coroutine
+  /// frame.  Returns false (and takes nothing) if the group is held or has
+  /// waiters; fall back to acquire() then.
+  bool try_acquire_now(std::uint64_t group, std::uint64_t owner);
+
   /// Release; ownership passes atomically to the oldest waiter, if any.
   void release(std::uint64_t group, std::uint64_t owner);
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "block/payload.hpp"
 #include "disk/disk.hpp"
 #include "obs/obs.hpp"
 #include "sim/channel.hpp"
@@ -15,7 +16,7 @@ inline constexpr std::uint64_t kHeaderBytes = 128;
 
 struct Reply {
   bool ok = true;
-  std::vector<std::byte> data;  // read payload
+  block::Payload data;  // read payload
 
   std::uint64_t wire_bytes() const { return kHeaderBytes + data.size(); }
 };
@@ -35,7 +36,7 @@ struct Request {
   std::uint64_t offset = 0;      // physical block offset on that disk
   std::uint32_t nblocks = 0;
   disk::IoPriority prio = disk::IoPriority::kForeground;
-  std::vector<std::byte> payload;  // write data
+  block::Payload payload;  // write data
   /// Lock groups covered by one request -- the paper's "record in the
   /// lock-group table": a set of block groups granted to one client
   /// atomically.  All groups in one message share a home node.

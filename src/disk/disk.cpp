@@ -44,7 +44,7 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
   assert(block + nblocks <= params_.total_blocks);
 
   // Queue depth at arrival: requests ahead of us plus the one in service.
-  obs::record_depth(
+  depth_rec_.record(
       sim_, obs::Track::kDisk, id_,
       static_cast<std::int64_t>(queue_.queued() + queue_.in_use() + 1));
   obs::Span req = obs::trace_span(
@@ -79,7 +79,7 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
     co_await sim_.delay(mech);
     head_pos_ = block + nblocks;
     service.close();
-    obs::record_busy(sim_, obs::Track::kDisk, id_, grant, sim_.now());
+    busy_rec_.record(sim_, obs::Track::kDisk, id_, grant, sim_.now());
     arm.release();  // the arm is free while the buffer drains to the bus
     if (bus_) co_await bus_->transfer(bytes, req.ctx());
     ++reads_;
@@ -92,7 +92,7 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
     ++writes_;
     bytes_written_ += bytes;
     service.close();
-    obs::record_busy(sim_, obs::Track::kDisk, id_, grant, sim_.now());
+    busy_rec_.record(sim_, obs::Track::kDisk, id_, grant, sim_.now());
   }
   if (failed_) throw DiskFailedError(id_);
 }
@@ -111,6 +111,18 @@ void Disk::write_data(std::uint64_t block, std::span<const std::byte> data) {
   }
 }
 
+void Disk::write_data(std::uint64_t block, const block::Payload& data) {
+  if (!params_.store_data) return;
+  assert(data.size() % params_.block_bytes == 0);
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(data.size() / params_.block_bytes);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto& blk = blocks_[block + i];
+    blk.resize(params_.block_bytes);
+    data.copy_to(blk, static_cast<std::size_t>(i) * params_.block_bytes);
+  }
+}
+
 std::vector<std::byte> Disk::read_data(std::uint64_t block,
                                        std::uint32_t nblocks) const {
   std::vector<std::byte> out(static_cast<std::size_t>(nblocks) *
@@ -125,6 +137,18 @@ std::vector<std::byte> Disk::read_data(std::uint64_t block,
     }
   }
   return out;
+}
+
+block::Payload Disk::read_payload(std::uint64_t block,
+                                  std::uint32_t nblocks) const {
+  // A disk that never stored anything (pure-timing mode, or simply never
+  // written) reads as zeros either way; the zero-run skips the
+  // allocate-and-memset that dominates the large sweeps.
+  if (!params_.store_data || blocks_.empty()) {
+    return block::Payload::zeros(static_cast<std::size_t>(nblocks) *
+                                 params_.block_bytes);
+  }
+  return block::Payload(read_data(block, nblocks));
 }
 
 void Disk::fail() { failed_ = true; }

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "block/payload.hpp"
 #include "disk/scsi_bus.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
@@ -78,8 +79,13 @@ class Disk {
 
   /// Functional storage access (no simulated time).
   void write_data(std::uint64_t block, std::span<const std::byte> data);
+  void write_data(std::uint64_t block, const block::Payload& data);
   std::vector<std::byte> read_data(std::uint64_t block,
                                    std::uint32_t nblocks) const;
+  /// read_data without materializing: store_data=false (and blocks never
+  /// written) come back as a zero-run with no storage behind it.
+  block::Payload read_payload(std::uint64_t block,
+                              std::uint32_t nblocks) const;
 
   /// Fault injection.
   void fail();
@@ -137,6 +143,8 @@ class Disk {
   int id_;
   ScsiBus* bus_;
   sim::Resource queue_;  // the disk arm: capacity 1, 2 priority classes
+  obs::BusyRecorder busy_rec_;
+  obs::DepthRecorder depth_rec_;
   std::uint64_t head_pos_ = 0;
   bool failed_ = false;
   bool rebuilding_ = false;

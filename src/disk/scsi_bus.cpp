@@ -14,7 +14,7 @@ sim::Task<> ScsiBus::transfer(std::uint64_t bytes, obs::TraceContext ctx) {
   co_await sim_.delay(params_.arbitration +
                       sim::transfer_time(bytes, params_.rate_mbs));
   xfer.close();
-  obs::record_busy(sim_, obs::Track::kBus, id_, grant, sim_.now());
+  busy_rec_.record(sim_, obs::Track::kBus, id_, grant, sim_.now());
 }
 
 }  // namespace raidx::disk

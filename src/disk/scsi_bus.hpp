@@ -40,6 +40,7 @@ class ScsiBus {
   BusParams params_;
   int id_;
   sim::Resource bus_;
+  obs::BusyRecorder busy_rec_;
 };
 
 }  // namespace raidx::disk

@@ -16,6 +16,8 @@ Network::Network(sim::Simulation& sim, NetParams params, int nodes)
     tx_.push_back(std::make_unique<sim::Resource>(sim, 1));
     rx_.push_back(std::make_unique<sim::Resource>(sim, 1));
   }
+  tx_rec_.resize(static_cast<std::size_t>(nodes));
+  rx_rec_.resize(static_cast<std::size_t>(nodes));
 }
 
 sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
@@ -43,7 +45,8 @@ sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
                                           static_cast<std::int64_t>(bytes)));
     co_await sim_.delay(params_.per_message_overhead + wire);
     port.close();
-    obs::record_busy(sim_, obs::Track::kNetTx, from, grant, sim_.now());
+    tx_rec_[static_cast<std::size_t>(from)].record(
+        sim_, obs::Track::kNetTx, from, grant, sim_.now());
   }
   co_await sim_.delay(params_.switch_latency);
   {
@@ -55,7 +58,8 @@ sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
             .tag("bytes", static_cast<std::int64_t>(bytes)));
     co_await sim_.delay(wire);
     port.close();
-    obs::record_busy(sim_, obs::Track::kNetRx, to, grant, sim_.now());
+    rx_rec_[static_cast<std::size_t>(to)].record(
+        sim_, obs::Track::kNetRx, to, grant, sim_.now());
   }
 }
 

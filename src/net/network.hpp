@@ -59,6 +59,8 @@ class Network {
   NetParams params_;
   std::vector<std::unique_ptr<sim::Resource>> tx_;
   std::vector<std::unique_ptr<sim::Resource>> rx_;
+  std::vector<obs::BusyRecorder> tx_rec_;
+  std::vector<obs::BusyRecorder> rx_rec_;
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> msgs_sent_;
 };

@@ -54,7 +54,7 @@ sim::Task<> NfsEngine::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
-                                   std::span<const std::byte> data,
+                                   block::Payload data,
                                    disk::IoPriority prio,
                                    obs::TraceContext ctx) {
   // Background cache flushes originate in the server's own buffer cache:
@@ -73,7 +73,7 @@ sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](NfsEngine* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p, disk::IoPriority prio,
+                         block::Payload p, disk::IoPriority prio,
                          obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
                                                 std::move(p), prio, ctx);
@@ -83,13 +83,29 @@ sim::Task<> NfsEngine::write_chunk(int client, std::uint64_t lba,
     }
   };
   for (auto& me : extents) {
-    std::vector<std::byte> payload(
-        static_cast<std::size_t>(me.extent.nblocks) * bs);
-    for (std::uint32_t i = 0; i < me.extent.nblocks; ++i) {
-      auto src = data.subspan(
-          static_cast<std::size_t>(me.lbas[i] - lba) * bs, bs);
-      std::copy(src.begin(), src.end(),
-                payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+    // Contiguous server-disk extents slice the chunk payload in O(1);
+    // strided gathers materialize (see gather() in controller.cpp).
+    bool contiguous = true;
+    for (std::size_t i = 1; i < me.lbas.size(); ++i) {
+      if (me.lbas[i] != me.lbas[0] + i) {
+        contiguous = false;
+        break;
+      }
+    }
+    block::Payload payload;
+    if (contiguous) {
+      payload = data.slice(
+          static_cast<std::size_t>(me.lbas[0] - lba) * bs,
+          me.lbas.size() * bs);
+    } else if (data.is_zeros()) {
+      payload = block::Payload::zeros(me.lbas.size() * bs);
+    } else {
+      std::vector<std::byte> out(me.lbas.size() * bs);
+      for (std::size_t i = 0; i < me.lbas.size(); ++i) {
+        data.copy_to(std::span<std::byte>(out).subspan(i * bs, bs),
+                     static_cast<std::size_t>(me.lbas[i] - lba) * bs);
+      }
+      payload = block::Payload(std::move(out));
     }
     join.spawn(write_extent(this, client, me.extent, std::move(payload),
                             prio, ctx));

@@ -66,7 +66,7 @@ class NfsEngine : public raid::ArrayController {
                          std::span<std::byte> out,
                          obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
+                          block::Payload data,
                           disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
 

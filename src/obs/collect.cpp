@@ -28,6 +28,24 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
   reg.counter("sim.events_processed").inc(sim.events_processed());
   reg.counter("sim.now_ns").inc(static_cast<std::uint64_t>(sim.now()));
 
+  // Engine-internal counters (additive keys; see DESIGN.md "Engine
+  // internals").  These describe how the engine ran, not what it simulated,
+  // and are still deterministic for a fixed workload + engine version.
+  const sim::Simulation::QueueStats& qs = sim.queue_stats();
+  reg.counter("sim.queue.fast_resumes").inc(qs.fast_resumes);
+  reg.counter("sim.queue.cascaded_events").inc(qs.cascaded_events);
+  reg.counter("sim.queue.overflow_inserts").inc(qs.overflow_inserts);
+  reg.counter("sim.queue.overflow_migrated").inc(qs.overflow_migrated);
+  reg.counter("sim.queue.heap_callbacks").inc(qs.heap_callbacks);
+  reg.counter("sim.queue.peak_pending").inc(qs.peak_pending);
+
+  const sim::FramePool::Stats& fp = sim.frame_pool_stats();
+  reg.counter("sim.frame_pool.allocations").inc(fp.allocations);
+  reg.counter("sim.frame_pool.reuses").inc(fp.reuses);
+  reg.counter("sim.frame_pool.fresh").inc(fp.fresh);
+  reg.counter("sim.frame_pool.oversize").inc(fp.oversize);
+  reg.counter("sim.frame_pool.live").inc(fp.live);
+
   for (int d = 0; d < cluster.total_disks(); ++d) {
     const disk::Disk& disk = cluster.disk(d);
     reg.counter(key("disk", d, "reads")).inc(disk.reads());

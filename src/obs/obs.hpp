@@ -273,4 +273,44 @@ inline void record_depth(sim::Simulation& sim, Track track, int idx,
     hub->timelines().depth(track, idx).sample(sim.now(), value);
 }
 
+/// Cached variants for call sites that record millions of intervals on one
+/// fixed (track, idx) lane: the std::map lookup inside Timelines::busy is
+/// measurable there, and map references are stable, so each lane keeps its
+/// Timeline pointer and revalidates only when the hub changes.
+class BusyRecorder {
+ public:
+  void record(sim::Simulation& sim, Track track, int idx, sim::Time begin,
+              sim::Time end) {
+    Hub* hub = sim.hub();
+    if (hub == nullptr) return;
+    if (hub != hub_) {
+      hub_ = hub;
+      line_ = &hub->timelines().busy(track, idx);
+    }
+    line_->add_busy(begin, end);
+  }
+
+ private:
+  Hub* hub_ = nullptr;
+  Timeline* line_ = nullptr;
+};
+
+class DepthRecorder {
+ public:
+  void record(sim::Simulation& sim, Track track, int idx,
+              std::int64_t value) {
+    Hub* hub = sim.hub();
+    if (hub == nullptr) return;
+    if (hub != hub_) {
+      hub_ = hub;
+      line_ = &hub->timelines().depth(track, idx);
+    }
+    line_->sample(sim.now(), value);
+  }
+
+ private:
+  Hub* hub_ = nullptr;
+  MaxTimeline* line_ = nullptr;
+};
+
 }  // namespace raidx::obs

@@ -12,8 +12,32 @@ void xor_into(std::span<std::byte> acc, std::span<const std::byte> src) {
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
 }
 
-std::vector<std::byte> to_vector(std::span<const std::byte> s) {
-  return std::vector<std::byte>(s.begin(), s.end());
+// Gather the chunk blocks listed in `lbas` out of `data` (block-indexed
+// relative to chunk_lba) into one payload.  A contiguous ascending run --
+// the overwhelmingly common case -- is an O(1) slice; strided gathers
+// (e.g. RAID-0 extents that merge every width-th block) materialize, and
+// zero-runs stay zero-runs either way.
+block::Payload gather(const block::Payload& data,
+                      std::span<const std::uint64_t> lbas,
+                      std::uint64_t chunk_lba, std::uint32_t bs) {
+  bool contiguous = true;
+  for (std::size_t i = 1; i < lbas.size(); ++i) {
+    if (lbas[i] != lbas[0] + i) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous) {
+    return data.slice(static_cast<std::size_t>(lbas[0] - chunk_lba) * bs,
+                      lbas.size() * bs);
+  }
+  if (data.is_zeros()) return block::Payload::zeros(lbas.size() * bs);
+  std::vector<std::byte> out(lbas.size() * bs);
+  for (std::size_t i = 0; i < lbas.size(); ++i) {
+    data.copy_to(std::span<std::byte>(out).subspan(i * bs, bs),
+                 static_cast<std::size_t>(lbas[i] - chunk_lba) * bs);
+  }
+  return block::Payload(std::move(out));
 }
 
 }  // namespace
@@ -102,7 +126,7 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
 }
 
 sim::Task<> ArrayController::write(int client, std::uint64_t lba,
-                                   std::span<const std::byte> data,
+                                   block::Payload data,
                                    obs::TraceContext ctx) {
   obs::Span span = obs::trace_span(
       sim(), ctx, "engine.write", obs::Track::kRequest, client,
@@ -141,8 +165,9 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
     while (pos < end) {
       const std::uint64_t stripe_end = (pos / width + 1) * width;
       const std::uint64_t chunk_end = std::min(end, stripe_end);
-      auto sub = data.subspan(static_cast<std::size_t>(pos - lba) * bs,
-                              static_cast<std::size_t>(chunk_end - pos) * bs);
+      block::Payload sub =
+          data.slice(static_cast<std::size_t>(pos - lba) * bs,
+                     static_cast<std::size_t>(chunk_end - pos) * bs);
       done.add(1);
       sim().spawn(windowed_op(
           cache_ ? cached_write_chunk(client, pos, sub, ctx)
@@ -185,12 +210,11 @@ sim::Task<> ArrayController::read_extent_into(
     auto dst = out.subspan(
         static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
     if (reply.ok) {
-      std::copy_n(reply.data.begin() + static_cast<std::ptrdiff_t>(i) * bs,
-                  bs, dst.begin());
+      reply.data.copy_to(dst, static_cast<std::size_t>(i) * bs);
     } else {
-      std::vector<std::byte> rec =
+      block::Payload rec =
           co_await degraded_read_block(client, lbas[i], ctx);
-      std::copy(rec.begin(), rec.end(), dst.begin());
+      rec.copy_to(dst);
     }
   }
 }
@@ -211,13 +235,13 @@ void ArrayController::preload(std::uint64_t lba,
   }
 }
 
-sim::Task<std::vector<std::byte>> ArrayController::degraded_read_block(
+sim::Task<block::Payload> ArrayController::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
   (void)client;
   (void)ctx;
   throw IoError(name() + ": block " + std::to_string(lba) +
                 " lost (no redundancy)");
-  co_return std::vector<std::byte>{};  // unreachable
+  co_return block::Payload{};  // unreachable
 }
 
 // ------------------------------------------------------------ block cache --
@@ -294,7 +318,7 @@ sim::Task<> ArrayController::cached_read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> ArrayController::cached_write_chunk(
-    int client, std::uint64_t lba, std::span<const std::byte> data,
+    int client, std::uint64_t lba, block::Payload data,
     obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
@@ -309,10 +333,19 @@ sim::Task<> ArrayController::cached_write_chunk(
   // drains it; write-through is transiently dirty until its own disk write
   // below lands and end_write_through() settles the block (see
   // cache_fabric.hpp on why the disk write landing is not enough).
+  // The cache stores materialized copies; zero-run payloads view a
+  // per-chunk scratch block instead (the cached contents are zeros either
+  // way, and the perf sweeps never attach a cache).
+  const std::vector<std::byte> zero_block(
+      data.is_zeros() ? bs : 0, std::byte{0});
   std::vector<std::uint64_t> epochs(nblocks);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
+    const std::span<const std::byte> blk =
+        data.is_zeros()
+            ? std::span<const std::byte>(zero_block)
+            : data.bytes().subspan(static_cast<std::size_t>(i) * bs, bs);
     epochs[i] = co_await cache_->write_block(
-        node, lba + i, data.subspan(static_cast<std::size_t>(i) * bs, bs),
+        node, lba + i, blk,
         /*dirty=*/true, piggybacked, /*through=*/!write_back, ctx);
   }
   if (write_back) {
@@ -322,8 +355,8 @@ sim::Task<> ArrayController::cached_write_chunk(
   bool ok = true;
   std::exception_ptr err;
   try {
-    co_await write_chunk(client, lba, data, disk::IoPriority::kForeground,
-                         ctx);
+    co_await write_chunk(client, lba, std::move(data),
+                         disk::IoPriority::kForeground, ctx);
   } catch (...) {
     ok = false;
     err = std::current_exception();
@@ -382,7 +415,8 @@ sim::Task<bool> ArrayController::flush_block(int node, std::uint64_t lba) {
   if (auto snap = cache_->resnapshot(node, lba)) {
     version = snap->version;
     try {
-      co_await write_chunk(node, lba, snap->data,
+      co_await write_chunk(node, lba,
+                           block::Payload(std::move(snap->data)),
                            disk::IoPriority::kBackground, span.ctx());
     } catch (...) {
       ok = false;  // stays dirty; the cache holds the only current copy
@@ -415,7 +449,7 @@ Raid0Controller::Raid0Controller(cdd::CddFabric& fabric, EngineParams params)
     : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
 
 sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data,
+                                         block::Payload data,
                                          disk::IoPriority prio,
                                          obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
@@ -423,7 +457,7 @@ sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
   auto extents = mapped_extents(lba, nblocks);
   sim::Joiner join(sim());
   auto write_extent = [](Raid0Controller* self, int c, block::PhysExtent e,
-                         std::vector<std::byte> p, disk::IoPriority prio,
+                         block::Payload p, disk::IoPriority prio,
                          obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, e.disk, e.offset,
                                                 std::move(p), prio, ctx);
@@ -433,16 +467,8 @@ sim::Task<> Raid0Controller::write_chunk(int client, std::uint64_t lba,
     }
   };
   for (auto& me : extents) {
-    std::vector<std::byte> payload(
-        static_cast<std::size_t>(me.extent.nblocks) * bs);
-    for (std::uint32_t i = 0; i < me.extent.nblocks; ++i) {
-      auto src = data.subspan(
-          static_cast<std::size_t>(me.lbas[i] - lba) * bs, bs);
-      std::copy(src.begin(), src.end(),
-                payload.begin() + static_cast<std::ptrdiff_t>(i) * bs);
-    }
-    join.spawn(write_extent(this, client, me.extent, std::move(payload),
-                            prio, ctx));
+    join.spawn(write_extent(this, client, me.extent,
+                            gather(data, me.lbas, lba, bs), prio, ctx));
   }
   co_await join.wait();
 }
@@ -480,7 +506,7 @@ sim::Task<> Raid5Controller::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data,
+                                         block::Payload data,
                                          disk::IoPriority prio,
                                          obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
@@ -499,30 +525,38 @@ sim::Task<> Raid5Controller::write_chunk(int client, std::uint64_t lba,
     // problem, now also visible on large sequential writes.
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       co_await rmw_write(client, lba + i,
-                         data.subspan(static_cast<std::size_t>(i) *
-                                          block_bytes(),
-                                      block_bytes()),
+                         data.slice(static_cast<std::size_t>(i) *
+                                        block_bytes(),
+                                    block_bytes()),
                          prio, ctx);
     }
   }
 }
 
 sim::Task<> Raid5Controller::full_stripe_write(
-    int client, std::uint64_t stripe, std::span<const std::byte> data,
+    int client, std::uint64_t stripe, const block::Payload& data,
     disk::IoPriority prio, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const std::uint32_t width = layout_.stripe_width();
   const std::uint64_t first = layout_.stripe_first_lba(stripe);
 
-  std::vector<std::byte> parity(bs, std::byte{0});
-  for (std::uint32_t j = 0; j < width; ++j) {
-    xor_into(parity, data.subspan(static_cast<std::size_t>(j) * bs, bs));
+  // XOR of all-zero data is all-zero: the zero-run skips the byte math but
+  // the simulated XOR cost below is always charged.
+  block::Payload parity;
+  if (data.is_zeros()) {
+    parity = block::Payload::zeros(bs);
+  } else {
+    std::vector<std::byte> acc(bs, std::byte{0});
+    for (std::uint32_t j = 0; j < width; ++j) {
+      block::xor_into(acc, data.slice(static_cast<std::size_t>(j) * bs, bs));
+    }
+    parity = block::Payload(std::move(acc));
   }
   co_await xor_cpu(client, data.size());
 
   sim::Joiner join(sim());
   auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload, disk::IoPriority prio,
+                      block::Payload payload, disk::IoPriority prio,
                       obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
                                                 std::move(payload), prio,
@@ -531,8 +565,7 @@ sim::Task<> Raid5Controller::full_stripe_write(
   };
   for (std::uint32_t j = 0; j < width; ++j) {
     join.spawn(write_one(this, client, layout_.data_location(first + j),
-                         to_vector(data.subspan(
-                             static_cast<std::size_t>(j) * bs, bs)),
+                         data.slice(static_cast<std::size_t>(j) * bs, bs),
                          prio, ctx));
   }
   join.spawn(write_one(this, client, layout_.parity_location(stripe),
@@ -541,7 +574,7 @@ sim::Task<> Raid5Controller::full_stripe_write(
 }
 
 sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
-                                       std::span<const std::byte> data,
+                                       block::Payload data,
                                        disk::IoPriority prio,
                                        obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
@@ -574,14 +607,25 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
       old_data.begin(), old_data.end(),
       [](const cdd::Reply& r) { return !r.ok; });
 
-  std::vector<std::byte> parity(bs, std::byte{0});
+  block::Payload parity;
   if (!target_failed && old_parity.ok) {
-    // Classic RMW: new_parity = old_parity ^ old_data ^ new_data.
-    parity = std::move(old_parity.data);
-    for (std::uint32_t i = 0; i < nblocks; ++i) {
-      xor_into(parity, old_data[i].data);
-      xor_into(parity,
-               data.subspan(static_cast<std::size_t>(i) * bs, bs));
+    // Classic RMW: new_parity = old_parity ^ old_data ^ new_data.  When
+    // every operand is a zero-run (pure-timing sweeps) so is the result;
+    // the simulated XOR cost is charged regardless.
+    bool all_zero = old_parity.data.is_zeros() && data.is_zeros();
+    for (std::uint32_t i = 0; all_zero && i < nblocks; ++i) {
+      all_zero = old_data[i].data.is_zeros();
+    }
+    if (all_zero) {
+      parity = block::Payload::zeros(bs);
+    } else {
+      std::vector<std::byte> acc = old_parity.data.to_vector();
+      for (std::uint32_t i = 0; i < nblocks; ++i) {
+        block::xor_into(acc, old_data[i].data);
+        block::xor_into(acc,
+                        data.slice(static_cast<std::size_t>(i) * bs, bs));
+      }
+      parity = block::Payload(std::move(acc));
     }
     co_await xor_cpu(client, 3 * data.size());
   } else {
@@ -606,18 +650,30 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
                             &others[j], prio, ctx));
     }
     co_await join.wait();
+    bool all_zero = data.is_zeros();
     for (std::uint32_t j = 0; j < width; ++j) {
-      const std::uint64_t b = first + j;
-      if (b >= lba && b < lba + nblocks) {
-        xor_into(parity, data.subspan(
-                             static_cast<std::size_t>(b - lba) * bs, bs));
-      } else if (was_read[j]) {
+      if (was_read[j]) {
         if (!others[j].ok) {
           throw IoError("RAID-5: double failure in stripe " +
                         std::to_string(stripe));
         }
-        xor_into(parity, others[j].data);
+        if (!others[j].data.is_zeros()) all_zero = false;
       }
+    }
+    if (all_zero) {
+      parity = block::Payload::zeros(bs);
+    } else {
+      std::vector<std::byte> acc(bs, std::byte{0});
+      for (std::uint32_t j = 0; j < width; ++j) {
+        const std::uint64_t b = first + j;
+        if (b >= lba && b < lba + nblocks) {
+          block::xor_into(
+              acc, data.slice(static_cast<std::size_t>(b - lba) * bs, bs));
+        } else if (was_read[j]) {
+          block::xor_into(acc, others[j].data);
+        }
+      }
+      parity = block::Payload(std::move(acc));
     }
     co_await xor_cpu(client,
                      static_cast<std::uint64_t>(width) * bs);
@@ -627,8 +683,7 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto write_one = [](Raid5Controller* self, int c, block::PhysBlock pb,
-                        std::vector<std::byte> payload,
-                        disk::IoPriority prio,
+                        block::Payload payload, disk::IoPriority prio,
                         obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, pb.disk, pb.offset,
                                    std::move(payload), prio, ctx);
@@ -636,8 +691,7 @@ sim::Task<> Raid5Controller::rmw_write(int client, std::uint64_t lba,
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          prio, ctx));
+          data.slice(static_cast<std::size_t>(i) * bs, bs), prio, ctx));
     }
     join.spawn(write_one(this, client, layout_.parity_location(stripe),
                          std::move(parity), prio, ctx));
@@ -668,7 +722,7 @@ void Raid5Controller::preload(std::uint64_t lba,
   }
 }
 
-sim::Task<std::vector<std::byte>> Raid5Controller::degraded_read_block(
+sim::Task<block::Payload> Raid5Controller::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const std::uint32_t width = layout_.stripe_width();
@@ -693,13 +747,23 @@ sim::Task<std::vector<std::byte>> Raid5Controller::degraded_read_block(
                       &replies[slot++], ctx));
   co_await join.wait();
 
-  std::vector<std::byte> out(bs, std::byte{0});
+  bool all_zero = true;
   for (std::size_t i = 0; i < slot; ++i) {
     if (!replies[i].ok) {
       throw IoError("RAID-5: double failure reconstructing block " +
                     std::to_string(lba));
     }
-    xor_into(out, replies[i].data);
+    if (!replies[i].data.is_zeros()) all_zero = false;
+  }
+  block::Payload out;
+  if (all_zero) {
+    out = block::Payload::zeros(bs);
+  } else {
+    std::vector<std::byte> acc(bs, std::byte{0});
+    for (std::size_t i = 0; i < slot; ++i) {
+      block::xor_into(acc, replies[i].data);
+    }
+    out = block::Payload(std::move(acc));
   }
   co_await xor_cpu(client, static_cast<std::uint64_t>(slot) * bs);
   co_return out;
@@ -749,8 +813,7 @@ sim::Task<> Raid10Controller::balanced_read_extent(
     auto dst = out.subspan(
         static_cast<std::size_t>(lbas[i] - chunk_lba) * bs, bs);
     if (reply.ok) {
-      std::copy_n(reply.data.begin() + static_cast<std::ptrdiff_t>(i) * bs,
-                  bs, dst.begin());
+      reply.data.copy_to(dst, static_cast<std::size_t>(i) * bs);
       continue;
     }
     // The chosen copy's disk failed: read the other copy of this block.
@@ -764,12 +827,12 @@ sim::Task<> Raid10Controller::balanced_read_extent(
       throw IoError("RAID-10: both copies of block " +
                     std::to_string(lbas[i]) + " unavailable");
     }
-    std::copy(fallback.data.begin(), fallback.data.end(), dst.begin());
+    fallback.data.copy_to(dst);
   }
 }
 
 sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
-                                          std::span<const std::byte> data,
+                                          block::Payload data,
                                           disk::IoPriority prio,
                                           obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
@@ -780,7 +843,7 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
   // disk one data write plus one scattered mirror write (Table 2: nB/2).
   sim::Joiner join(sim());
   auto write_one = [](Raid10Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload, char* ok,
+                      block::Payload payload, char* ok,
                       disk::IoPriority prio,
                       obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
@@ -790,12 +853,12 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
-    auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
+    block::Payload blk = data.slice(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i], prio, ctx));
+                         blk, &pok[i], prio, ctx));
     join.spawn(write_one(this, client,
                          layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i], prio, ctx));
+                         std::move(blk), &mok[i], prio, ctx));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -806,7 +869,7 @@ sim::Task<> Raid10Controller::write_chunk(int client, std::uint64_t lba,
   }
 }
 
-sim::Task<std::vector<std::byte>> Raid10Controller::degraded_read_block(
+sim::Task<block::Payload> Raid10Controller::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
   const block::PhysBlock mirror = layout_.mirror_locations(lba)[0];
   cdd::Reply r =
@@ -851,14 +914,14 @@ sim::Task<> Raid1Controller::read_chunk(int client, std::uint64_t lba,
 }
 
 sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data,
+                                         block::Payload data,
                                          disk::IoPriority prio,
                                          obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
   sim::Joiner join(sim());
   auto write_one = [](Raid1Controller* self, int c, block::PhysBlock pb,
-                      std::vector<std::byte> payload, char* ok,
+                      block::Payload payload, char* ok,
                       disk::IoPriority prio,
                       obs::TraceContext ctx) -> sim::Task<> {
     cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
@@ -868,11 +931,11 @@ sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
   };
   std::vector<char> pok(nblocks, 0), mok(nblocks, 0);
   for (std::uint32_t i = 0; i < nblocks; ++i) {
-    auto blockspan = data.subspan(static_cast<std::size_t>(i) * bs, bs);
+    block::Payload blk = data.slice(static_cast<std::size_t>(i) * bs, bs);
     join.spawn(write_one(this, client, layout_.data_location(lba + i),
-                         to_vector(blockspan), &pok[i], prio, ctx));
+                         blk, &pok[i], prio, ctx));
     join.spawn(write_one(this, client, layout_.mirror_locations(lba + i)[0],
-                         to_vector(blockspan), &mok[i], prio, ctx));
+                         std::move(blk), &mok[i], prio, ctx));
   }
   co_await join.wait();
   for (std::uint32_t i = 0; i < nblocks; ++i) {
@@ -883,7 +946,7 @@ sim::Task<> Raid1Controller::write_chunk(int client, std::uint64_t lba,
   }
 }
 
-sim::Task<std::vector<std::byte>> Raid1Controller::degraded_read_block(
+sim::Task<block::Payload> Raid1Controller::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
   // Try the partner copy; if the chosen copy was already the partner
   // (balanced reads), the primary serves instead.
@@ -927,11 +990,11 @@ sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
     throw IoError("RAID-x: data and image of block " + std::to_string(lba) +
                   " both unavailable");
   }
-  std::copy(r.data.begin(), r.data.end(), out.begin());
+  r.data.copy_to(out);
 }
 
 sim::Task<> RaidxController::flush_stripe_images(
-    int client, std::uint64_t stripe, std::vector<std::byte> stripe_data,
+    int client, std::uint64_t stripe, block::Payload stripe_data,
     obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
   const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
@@ -939,37 +1002,32 @@ sim::Task<> RaidxController::flush_stripe_images(
 
   if (params_.clustered_images) {
     // One long sequential write of the n-1 clustered images...
-    std::vector<std::byte> run(
-        static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
-    for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
-      const std::uint64_t lba = imgs.clustered_lbas[i];
-      std::copy_n(stripe_data.begin() +
-                      static_cast<std::ptrdiff_t>(lba - first) * bs,
-                  bs, run.begin() + static_cast<std::ptrdiff_t>(i) * bs);
-    }
     sim::Joiner join(sim());
     auto write_run = [](RaidxController* self, int c, block::PhysExtent e,
-                        std::vector<std::byte> p,
+                        block::Payload p,
                         obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, e.disk, e.offset, std::move(p),
                                    disk::IoPriority::kBackground, ctx);
     };
     auto write_neighbor = [](RaidxController* self, int c,
-                             block::PhysBlock pb, std::vector<std::byte> p,
+                             block::PhysBlock pb, block::Payload p,
                              obs::TraceContext ctx) -> sim::Task<> {
       co_await self->fabric_.write(c, pb.disk, pb.offset, std::move(p),
                                    disk::IoPriority::kBackground, ctx);
     };
-    join.spawn(write_run(this, client, imgs.clustered, std::move(run),
-                         ctx));
+    join.spawn(write_run(
+        this, client, imgs.clustered,
+        gather(stripe_data,
+               std::span<const std::uint64_t>(imgs.clustered_lbas.data(),
+                                              imgs.clustered.nblocks),
+               first, bs),
+        ctx));
     // ...plus the single neighbor image.
-    std::vector<std::byte> nb(
-        stripe_data.begin() +
-            static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first) * bs,
-        stripe_data.begin() +
-            static_cast<std::ptrdiff_t>(imgs.neighbor_lba - first + 1) * bs);
-    join.spawn(write_neighbor(this, client, imgs.neighbor, std::move(nb),
-                              ctx));
+    join.spawn(write_neighbor(
+        this, client, imgs.neighbor,
+        stripe_data.slice(
+            static_cast<std::size_t>(imgs.neighbor_lba - first) * bs, bs),
+        ctx));
     co_await join.wait();
   } else {
     // Ablation: scatter n individual image writes (declustering-style).
@@ -979,18 +1037,14 @@ sim::Task<> RaidxController::flush_stripe_images(
       const std::uint64_t lba = first + j;
       join.spawn(flush_block_image(
           client, lba,
-          std::vector<std::byte>(
-              stripe_data.begin() + static_cast<std::ptrdiff_t>(j) * bs,
-              stripe_data.begin() +
-                  static_cast<std::ptrdiff_t>(j + 1) * bs),
-          ctx));
+          stripe_data.slice(static_cast<std::size_t>(j) * bs, bs), ctx));
     }
     co_await join.wait();
   }
 }
 
 sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
-                                               std::vector<std::byte> data,
+                                               block::Payload data,
                                                obs::TraceContext ctx) {
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
   co_await fabric_.write(client, img.disk, img.offset, std::move(data),
@@ -998,7 +1052,7 @@ sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
 }
 
 sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
-                                         std::span<const std::byte> data,
+                                         block::Payload data,
                                          disk::IoPriority prio,
                                          obs::TraceContext ctx) {
   const std::uint32_t bs = block_bytes();
@@ -1011,7 +1065,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   {
     sim::Joiner join(sim());
     auto write_one = [](RaidxController* self, int c, block::PhysBlock pb,
-                        std::vector<std::byte> payload, char* ok_out,
+                        block::Payload payload, char* ok_out,
                         disk::IoPriority prio,
                         obs::TraceContext ctx) -> sim::Task<> {
       cdd::Reply r = co_await self->fabric_.write(c, pb.disk, pb.offset,
@@ -1022,8 +1076,8 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
     for (std::uint32_t i = 0; i < nblocks; ++i) {
       join.spawn(write_one(
           this, client, layout_.data_location(lba + i),
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          &ok[i], prio, ctx));
+          data.slice(static_cast<std::size_t>(i) * bs, bs), &ok[i], prio,
+          ctx));
     }
     co_await join.wait();
   }
@@ -1036,8 +1090,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       const block::PhysBlock img = layout_.mirror_locations(lba + i)[0];
       r = co_await fabric_.write(
           client, img.disk, img.offset,
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          prio, ctx);
+          data.slice(static_cast<std::size_t>(i) * bs, bs), prio, ctx);
       if (!r.ok) {
         throw IoError("RAID-x: block " + std::to_string(lba + i) +
                       " lost data disk and image disk");
@@ -1048,8 +1101,8 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   // Mirror images -- deferred to the background (the OSM trick), unless the
   // ablation runs them synchronously.
   if (full_stripe) {
-    auto flush = flush_stripe_images(client, layout_.stripe_of(lba),
-                                     to_vector(data), ctx);
+    auto flush = flush_stripe_images(client, layout_.stripe_of(lba), data,
+                                     ctx);
     if (params_.background_mirrors) {
       sim().spawn(background(std::move(flush)));
     } else {
@@ -1060,8 +1113,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       if (!ok[i]) continue;  // already written in the foreground
       auto flush = flush_block_image(
           client, lba + i,
-          to_vector(data.subspan(static_cast<std::size_t>(i) * bs, bs)),
-          ctx);
+          data.slice(static_cast<std::size_t>(i) * bs, bs), ctx);
       if (params_.background_mirrors) {
         sim().spawn(background(std::move(flush)));
       } else {
@@ -1071,7 +1123,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   }
 }
 
-sim::Task<std::vector<std::byte>> RaidxController::degraded_read_block(
+sim::Task<block::Payload> RaidxController::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
   cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,

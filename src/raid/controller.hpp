@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "block/payload.hpp"
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "obs/obs.hpp"
@@ -92,9 +93,17 @@ class IoEngine {
                            obs::TraceContext ctx = {}) = 0;
 
   /// Write `data` (whole blocks) at `lba` on behalf of node `client`.
+  /// The Payload overload is the real path: slicing it across disks and
+  /// mirrors is O(1) and shares storage.  The span overload copies once
+  /// into a Payload and forwards.
   virtual sim::Task<> write(int client, std::uint64_t lba,
-                            std::span<const std::byte> data,
+                            block::Payload data,
                             obs::TraceContext ctx = {}) = 0;
+  sim::Task<> write(int client, std::uint64_t lba,
+                    std::span<const std::byte> data,
+                    obs::TraceContext ctx = {}) {
+    return write(client, lba, block::Payload::copy(data), ctx);
+  }
 
   /// Attach a cooperative block-cache fabric in front of this engine.
   /// Engines without a cache path ignore the call; an attached fabric with
@@ -130,9 +139,9 @@ class ArrayController : public IoEngine {
   sim::Task<> read(int client, std::uint64_t lba, std::uint32_t nblocks,
                    std::span<std::byte> out,
                    obs::TraceContext ctx = {}) override;
-  sim::Task<> write(int client, std::uint64_t lba,
-                    std::span<const std::byte> data,
+  sim::Task<> write(int client, std::uint64_t lba, block::Payload data,
                     obs::TraceContext ctx = {}) override;
+  using IoEngine::write;
 
   virtual const Layout& layout() const = 0;
 
@@ -162,7 +171,7 @@ class ArrayController : public IoEngine {
   /// `prio` is kForeground on the client write path and kBackground when
   /// the cache flusher drains dirty blocks behind foreground traffic.
   virtual sim::Task<> write_chunk(int client, std::uint64_t lba,
-                                  std::span<const std::byte> data,
+                                  block::Payload data,
                                   disk::IoPriority prio,
                                   obs::TraceContext ctx = {}) = 0;
 
@@ -180,7 +189,7 @@ class ArrayController : public IoEngine {
   /// write_chunk with the cache in front: update/invalidate copies, then
   /// either write through or absorb (write-back).
   sim::Task<> cached_write_chunk(int client, std::uint64_t lba,
-                                 std::span<const std::byte> data,
+                                 block::Payload data,
                                  obs::TraceContext ctx = {});
 
   /// Flush one dirty block under its lock group; false if the disk write
@@ -194,7 +203,7 @@ class ArrayController : public IoEngine {
   sim::Task<> background(sim::Task<> op);
 
   /// Recover one block whose data disk failed; default throws IoError.
-  virtual sim::Task<std::vector<std::byte>> degraded_read_block(
+  virtual sim::Task<block::Payload> degraded_read_block(
       int client, std::uint64_t lba, obs::TraceContext ctx = {});
 
   /// Lock group covering a logical block.  Default: per-block groups (no
@@ -236,8 +245,6 @@ class ArrayController : public IoEngine {
  private:
   sim::Task<> windowed_op(sim::Task<> op, sim::Resource& window,
                           sim::Latch& done, std::exception_ptr& error);
-  sim::Task<> locked_write(int client, std::uint64_t lba,
-                           std::span<const std::byte> data);
 };
 
 class Raid0Controller : public ArrayController {
@@ -247,8 +254,7 @@ class Raid0Controller : public ArrayController {
 
  protected:
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
-                          disk::IoPriority prio,
+                          block::Payload data, disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
 
  private:
@@ -275,10 +281,9 @@ class Raid5Controller : public ArrayController {
                          std::span<std::byte> out,
                          obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
-                          disk::IoPriority prio,
+                          block::Payload data, disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
-  sim::Task<std::vector<std::byte>> degraded_read_block(
+  sim::Task<block::Payload> degraded_read_block(
       int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
   std::uint64_t lock_group_of(std::uint64_t lba) const override {
     // Stripe-aligned groups: concurrent partial-stripe writers must never
@@ -289,13 +294,13 @@ class Raid5Controller : public ArrayController {
  private:
   /// Full-stripe write: XOR parity client-side, one write per disk.
   sim::Task<> full_stripe_write(int client, std::uint64_t stripe,
-                                std::span<const std::byte> data,
+                                const block::Payload& data,
                                 disk::IoPriority prio,
                                 obs::TraceContext ctx = {});
   /// Partial write inside one stripe: read-modify-write.
   sim::Task<> rmw_write(int client, std::uint64_t lba,
-                        std::span<const std::byte> data,
-                        disk::IoPriority prio, obs::TraceContext ctx = {});
+                        block::Payload data, disk::IoPriority prio,
+                        obs::TraceContext ctx = {});
 
   Raid5Layout layout_;
 };
@@ -317,10 +322,9 @@ class Raid10Controller : public ArrayController {
                          std::span<std::byte> out,
                          obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
-                          disk::IoPriority prio,
+                          block::Payload data, disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
-  sim::Task<std::vector<std::byte>> degraded_read_block(
+  sim::Task<block::Payload> degraded_read_block(
       int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
@@ -353,10 +357,9 @@ class Raid1Controller : public ArrayController {
                          std::span<std::byte> out,
                          obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
-                          disk::IoPriority prio,
+                          block::Payload data, disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
-  sim::Task<std::vector<std::byte>> degraded_read_block(
+  sim::Task<block::Payload> degraded_read_block(
       int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
@@ -385,20 +388,19 @@ class RaidxController : public ArrayController {
                          std::span<std::byte> out,
                          obs::TraceContext ctx = {}) override;
   sim::Task<> write_chunk(int client, std::uint64_t lba,
-                          std::span<const std::byte> data,
-                          disk::IoPriority prio,
+                          block::Payload data, disk::IoPriority prio,
                           obs::TraceContext ctx = {}) override;
-  sim::Task<std::vector<std::byte>> degraded_read_block(
+  sim::Task<block::Payload> degraded_read_block(
       int client, std::uint64_t lba, obs::TraceContext ctx = {}) override;
 
  private:
   /// Flush a full stripe's images: one clustered run + one neighbor block.
   sim::Task<> flush_stripe_images(int client, std::uint64_t stripe,
-                                  std::vector<std::byte> stripe_data,
+                                  block::Payload stripe_data,
                                   obs::TraceContext ctx = {});
   /// Flush a single block's image.
   sim::Task<> flush_block_image(int client, std::uint64_t lba,
-                                std::vector<std::byte> data,
+                                block::Payload data,
                                 obs::TraceContext ctx = {});
 
   RaidxLayout layout_;

@@ -16,10 +16,6 @@
 namespace raidx::raid {
 
 namespace {
-void xor_into(std::vector<std::byte>& acc,
-              const std::vector<std::byte>& src) {
-  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= src[i];
-}
 
 // Marks the target disk as rebuilding for the duration of the sweep; the
 // watermark rises as rows complete, so reads of not-yet-restored regions
@@ -52,7 +48,9 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
   for (std::uint64_t off = 0; off < limit; ++off) {
     scope.advance(off);
     // The missing block (data or parity) is the XOR of its stripe peers.
-    std::vector<std::byte> acc(bs, std::byte{0});
+    std::vector<cdd::Reply> peers;
+    peers.reserve(static_cast<std::size_t>(total - 1));
+    bool all_zero = true;
     for (int d = 0; d < total; ++d) {
       if (d == disk_id) continue;
       cdd::Reply r = co_await fabric_.read(client, d, off, 1,
@@ -61,11 +59,20 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
         throw IoError("RAID-5 rebuild: second failure on disk " +
                       std::to_string(d));
       }
-      xor_into(acc, r.data);
+      if (!r.data.is_zeros()) all_zero = false;
+      peers.push_back(std::move(r));
+    }
+    block::Payload rebuilt;
+    if (all_zero) {
+      rebuilt = block::Payload::zeros(bs);
+    } else {
+      std::vector<std::byte> acc(bs, std::byte{0});
+      for (const cdd::Reply& r : peers) block::xor_into(acc, r.data);
+      rebuilt = block::Payload(std::move(acc));
     }
     co_await xor_cpu(client, static_cast<std::uint64_t>(total - 1) * bs);
     cdd::Reply w = co_await fabric_.write(client, disk_id, off,
-                                          std::move(acc),
+                                          std::move(rebuilt),
                                           disk::IoPriority::kBackground, span.ctx());
     if (!w.ok) {
       throw IoError("RAID-5 rebuild: replacement disk failed");
@@ -176,16 +183,31 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
     // regenerate the run from the surviving data blocks.
     if (layout_.image_node(stripe) == node) {
       const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
-      std::vector<std::byte> run(
-          static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+      std::vector<cdd::Reply> blocks;
+      blocks.reserve(imgs.clustered.nblocks);
+      bool all_zero = true;
       for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
         const block::PhysBlock src =
             layout_.data_location(imgs.clustered_lbas[i]);
         cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
                                              disk::IoPriority::kBackground, span.ctx());
         if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
-        std::copy(r.data.begin(), r.data.end(),
-                  run.begin() + static_cast<std::ptrdiff_t>(i) * bs);
+        if (!r.data.is_zeros()) all_zero = false;
+        blocks.push_back(std::move(r));
+      }
+      block::Payload run;
+      if (all_zero) {
+        run = block::Payload::zeros(
+            static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+      } else {
+        std::vector<std::byte> buf(
+            static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+        for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+          blocks[i].data.copy_to(
+              std::span<std::byte>(buf).subspan(
+                  static_cast<std::size_t>(i) * bs, bs));
+        }
+        run = block::Payload(std::move(buf));
       }
       co_await fabric_.write(client, imgs.clustered.disk,
                              imgs.clustered.offset, std::move(run),

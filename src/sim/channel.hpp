@@ -5,6 +5,10 @@
 // disk drivers use a Channel per node as the request port and a Oneshot per
 // outstanding RPC for the response, mirroring how a kernel driver pairs a
 // request queue with per-request completions.
+//
+// Receive waiters are intrusive list nodes embedded in the recv() awaiter
+// (i.e. in the suspended receiver's frame), so blocking on an empty channel
+// never allocates.
 #pragma once
 
 #include <cassert>
@@ -26,11 +30,13 @@ class Channel {
 
   /// Deliver a value; wakes the oldest receiver if one is waiting.
   void send(T value) {
-    if (!waiters_.empty()) {
-      Waiter w = waiters_.front();
-      waiters_.pop_front();
-      *w.slot = std::move(value);
-      sim_.schedule_resume(0, w.handle);
+    if (head_ != nullptr) {
+      Waiter* w = head_;
+      head_ = w->next;
+      if (head_ == nullptr) tail_ = nullptr;
+      --waiting_;
+      *w->slot = std::move(value);
+      sim_.schedule_resume(0, w->handle);
     } else {
       values_.push_back(std::move(value));
     }
@@ -41,6 +47,7 @@ class Channel {
     struct Awaiter {
       Channel* ch;
       std::optional<T> value;
+      Waiter node;
       bool await_ready() {
         if (!ch->values_.empty()) {
           value = std::move(ch->values_.front());
@@ -50,28 +57,47 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ch->waiters_.push_back(Waiter{h, &value});
+        node.handle = h;
+        node.slot = &value;
+        ch->append(&node);
       }
       T await_resume() {
         assert(value.has_value());
         return std::move(*value);
       }
     };
-    return Awaiter{this, std::nullopt};
+    return Awaiter{this, std::nullopt, {}};
   }
 
   std::size_t pending() const { return values_.size(); }
-  std::size_t receivers_waiting() const { return waiters_.size(); }
+  std::size_t receivers_waiting() const { return waiting_; }
 
  private:
+  /// Intrusive wait-list node; lives in the recv() awaiter.  The slot
+  /// pointer targets the awaiter's own value member, so send() deposits the
+  /// value directly into the receiver's frame before waking it.
   struct Waiter {
-    std::coroutine_handle<> handle;
-    std::optional<T>* slot;
+    std::coroutine_handle<> handle{};
+    std::optional<T>* slot = nullptr;
+    Waiter* next = nullptr;
   };
+
+  void append(Waiter* w) {
+    w->next = nullptr;
+    if (tail_) {
+      tail_->next = w;
+    } else {
+      head_ = w;
+    }
+    tail_ = w;
+    ++waiting_;
+  }
 
   Simulation& sim_;
   std::deque<T> values_;
-  std::deque<Waiter> waiters_;
+  Waiter* head_ = nullptr;
+  Waiter* tail_ = nullptr;
+  std::size_t waiting_ = 0;
 };
 
 /// Single-value, single-waiter rendezvous (an RPC reply slot).

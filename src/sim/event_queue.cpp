@@ -1,73 +1,235 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
 namespace raidx::sim {
 
 Simulation::~Simulation() {
+  drain_finished();
   // Destroy any still-suspended top-level frames.  Nothing will resume them
   // afterwards: the event queue dies with us and child frames are owned by
   // their parents' frames, so destruction cascades safely.
   for (auto h : processes_) {
     if (h) h.destroy();
   }
+  // Undrained events live only in slots whose occupancy bit is set
+  // (drain/cascade clear the bit whenever they empty a slot), so walk the
+  // bitmaps instead of all kLevels * kSlots vectors.
+  for (int l = 0; l < kLevels; ++l) {
+    std::uint64_t m = occupied_[static_cast<std::size_t>(l)];
+    while (m != 0) {
+      const auto idx = static_cast<std::size_t>(std::countr_zero(m));
+      m &= m - 1;
+      release_events(wheel_[static_cast<std::size_t>(l) * kSlots + idx]);
+    }
+  }
+  release_events(overflow_);
 }
 
-void Simulation::schedule(Time delay, std::function<void()> fn) {
-  assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
-}
-
-void Simulation::schedule_resume(Time delay, std::coroutine_handle<> h) {
-  assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(Event{now_ + delay, next_seq_++, {}, h});
+void Simulation::release_events(std::vector<Event>& events) {
+  for (Event& ev : events) {
+    if (ev.kind == Event::Kind::kHeap) delete ev.heap;
+  }
+  events.clear();
 }
 
 void Simulation::spawn(Task<> task) {
   auto handle = task.release();
   if (!handle) return;
+  auto& p = handle.promise();
+  p.owner = this;
+  p.process_slot = static_cast<std::uint32_t>(processes_.size());
+  p.on_final = [](void* owner, detail::PromiseBase* pb) {
+    static_cast<Simulation*>(owner)->note_finished(pb);
+  };
   processes_.push_back(handle);
   // Start lazily via the queue so spawn() itself never re-enters user code;
   // processes spawned at the same instant start in spawn order.
-  queue_.push(Event{now_, next_seq_++, {}, handle});
+  Event ev;
+  ev.at = now_;
+  ev.seq = next_seq_++;
+  ev.kind = Event::Kind::kResume;
+  ev.resume_addr = handle.address();
+  push(ev);
 }
 
-void Simulation::dispatch(Event& ev) {
-  now_ = ev.at;
+void Simulation::dispatch(const Event& ev) {
   ++events_processed_;
-  if (ev.fn) {
-    ev.fn();
-  } else if (ev.resume && !ev.resume.done()) {
-    ev.resume.resume();
-  }
-}
-
-void Simulation::reap_finished() {
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < processes_.size(); ++i) {
-    auto h = processes_[i];
-    if (h.done()) {
-      if (h.promise().exception && !pending_exception_) {
-        pending_exception_ = h.promise().exception;
-      }
-      h.destroy();
-    } else {
-      processes_[kept++] = h;
+  ++dispatched_;
+  switch (ev.kind) {
+    case Event::Kind::kResume: {
+      auto h = std::coroutine_handle<>::from_address(ev.resume_addr);
+      if (h && !h.done()) h.resume();
+      break;
+    }
+    case Event::Kind::kInline: {
+      Event copy = ev;  // the invoker mutates its capture in place
+      copy.inlined.invoke(copy.inlined.buf);
+      break;
+    }
+    case Event::Kind::kHeap: {
+      std::unique_ptr<std::function<void()>> fn(ev.heap);
+      (*fn)();
+      break;
     }
   }
-  processes_.resize(kept);
+}
+
+// Move every event out of the level's current slot and re-place it; each
+// lands strictly below `level` because it agrees with the clock on digit
+// `level` and everything above.  Append order (and therefore seq order for
+// equal timestamps) is preserved.
+void Simulation::cascade(int level) {
+  const std::size_t cur =
+      (static_cast<std::uint64_t>(now_) >> (kSlotBits * level)) &
+      (kSlots - 1);
+  auto& slot = wheel_[static_cast<std::size_t>(level) * kSlots + cur];
+  occupied_[static_cast<std::size_t>(level)] &=
+      ~(std::uint64_t{1} << cur);
+  cascade_scratch_.clear();
+  cascade_scratch_.swap(slot);
+  queue_stats_.cascaded_events += cascade_scratch_.size();
+  for (const Event& ev : cascade_scratch_) place(ev);
+  // Leave no stale copies behind: the destructor frees kHeap payloads of
+  // every non-drained vector, and these were re-placed, not consumed.
+  cascade_scratch_.clear();
+}
+
+// Pull far-future timers whose prefix window the clock has reached into the
+// wheel.  The heap pops in (at, seq) order, so equal-timestamp events enter
+// their slots in seq order ahead of any later insert.
+void Simulation::migrate_overflow() {
+  const std::uint64_t prefix =
+      static_cast<std::uint64_t>(now_) >> kPrefixShift;
+  while (!overflow_.empty() &&
+         (static_cast<std::uint64_t>(overflow_.front().at) >>
+          kPrefixShift) == prefix) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    const Event ev = overflow_.back();
+    overflow_.pop_back();
+    place(ev);
+    ++queue_stats_.overflow_migrated;
+  }
+}
+
+// Locate the next pending timestamp <= limit, cascading and advancing the
+// clock through empty windows as needed so it ends up in a level-0 slot.
+// The clock only ever moves to window starts that precede the timestamp
+// eventually returned, never past `limit`.
+bool Simulation::next_event(Time limit, Time* out) {
+  for (;;) {
+    if (!overflow_.empty() &&
+        (static_cast<std::uint64_t>(overflow_.front().at) >> kPrefixShift) ==
+            (static_cast<std::uint64_t>(now_) >> kPrefixShift)) {
+      migrate_overflow();
+    }
+    const std::uint64_t unow = static_cast<std::uint64_t>(now_);
+    const std::size_t cur0 = unow & (kSlots - 1);
+    const std::uint64_t m0 = occupied_[0] & (~std::uint64_t{0} << cur0);
+    if (m0 != 0) {
+      const auto idx = static_cast<std::uint64_t>(std::countr_zero(m0));
+      const Time t = static_cast<Time>((unow & ~(kSlots - 1)) | idx);
+      if (t > limit) return false;
+      *out = t;
+      return true;
+    }
+    bool progressed = false;
+    for (int l = 1; l < kLevels; ++l) {
+      const std::size_t cur = (unow >> (kSlotBits * l)) & (kSlots - 1);
+      const std::uint64_t m =
+          occupied_[static_cast<std::size_t>(l)] &
+          (~std::uint64_t{0} << cur);
+      if (m == 0) continue;
+      const auto j = static_cast<std::size_t>(std::countr_zero(m));
+      if (j != cur) {
+        // Every level below is empty and so is this level before slot j:
+        // nothing can fire before j's window opens.  Enter the window
+        // (a pure clock advance, no event is skipped) and cascade it.
+        const int shift = kSlotBits * (l + 1);
+        std::uint64_t w = shift >= 64 ? 0 : (unow >> shift) << shift;
+        w |= static_cast<std::uint64_t>(j) << (kSlotBits * l);
+        if (static_cast<Time>(w) > limit) return false;
+        now_ = static_cast<Time>(w);
+      }
+      cascade(l);
+      progressed = true;
+      break;
+    }
+    if (progressed) continue;
+    if (overflow_.empty()) return false;
+    const std::uint64_t w =
+        (static_cast<std::uint64_t>(overflow_.front().at) >> kPrefixShift)
+        << kPrefixShift;
+    if (static_cast<Time>(w) > limit) return false;
+    if (static_cast<Time>(w) > now_) now_ = static_cast<Time>(w);
+    migrate_overflow();
+  }
+}
+
+// Dispatch every event stamped exactly `t` from its level-0 slot.  Events
+// appended mid-drain at the same timestamp (delay-0 wakeups) extend the
+// vector and fire in the same pass; an event stamped later -- possible only
+// after an empty-queue fast-forward -- stays for a later drain.
+void Simulation::drain_slot(Time t) {
+  now_ = t;
+  const std::size_t idx = static_cast<std::uint64_t>(t) & (kSlots - 1);
+  auto& slot = wheel_[idx];
+  std::size_t i = 0;
+  try {
+    while (i < slot.size() && slot[i].at == t) {
+      const Event ev = slot[i];  // user code may grow the vector
+      ++i;
+      --size_;
+      dispatch(ev);
+      if (!finished_.empty()) drain_finished();
+      if (pending_exception_) break;
+    }
+  } catch (...) {
+    slot.erase(slot.begin(), slot.begin() + static_cast<std::ptrdiff_t>(i));
+    if (slot.empty()) occupied_[0] &= ~(std::uint64_t{1} << idx);
+    throw;
+  }
+  if (i == slot.size()) {
+    slot.clear();
+    occupied_[0] &= ~(std::uint64_t{1} << idx);
+  } else {
+    slot.erase(slot.begin(), slot.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+// Called from FinalAwaiter while the finishing frame is suspended at its
+// final suspend point.  Swap-remove from the process table (O(1)) and park
+// the handle for destruction on the next drain pass -- destroying it here
+// would free the frame we are currently executing inside.
+void Simulation::note_finished(detail::PromiseBase* p) {
+  if (p->exception && !pending_exception_) pending_exception_ = p->exception;
+  const std::uint32_t i = p->process_slot;
+  Task<>::Handle h = processes_[i];
+  processes_[i] = processes_.back();
+  processes_[i].promise().process_slot = i;
+  processes_.pop_back();
+  finished_.push_back(h);
+}
+
+void Simulation::drain_finished() {
+  for (auto h : finished_) h.destroy();
+  finished_.clear();
 }
 
 void Simulation::run() {
-  while (!queue_.empty()) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(ev);
-    if ((events_processed_ & 0x3ff) == 0) reap_finished();
+  unbounded_drain_ = true;
+  struct DrainGuard {
+    bool* flag;
+    ~DrainGuard() { *flag = false; }
+  } guard{&unbounded_drain_};
+  Time t;
+  while (next_event(std::numeric_limits<Time>::max(), &t)) {
+    drain_slot(t);
     if (pending_exception_) break;
   }
-  reap_finished();
+  drain_finished();
   if (pending_exception_) {
     auto ex = pending_exception_;
     pending_exception_ = nullptr;
@@ -76,21 +238,24 @@ void Simulation::run() {
 }
 
 bool Simulation::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(ev);
-    if ((events_processed_ & 0x3ff) == 0) reap_finished();
+  Time t;
+  while (next_event(deadline, &t)) {
+    drain_slot(t);
     if (pending_exception_) break;
   }
-  reap_finished();
+  drain_finished();
   if (pending_exception_) {
     auto ex = pending_exception_;
     pending_exception_ = nullptr;
     std::rethrow_exception(ex);
   }
-  if (queue_.empty()) return true;
-  now_ = deadline > now_ ? deadline : now_;
+  if (size_ == 0) return true;
+  if (deadline > now_) {
+    now_ = deadline;
+    // The jump may have entered the overflow's prefix window; merge those
+    // timers now so later same-timestamp inserts keep seq order.
+    if (!overflow_.empty()) migrate_overflow();
+  }
   return false;
 }
 

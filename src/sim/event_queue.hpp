@@ -4,14 +4,45 @@
 // callbacks or suspended coroutine resumptions.  Events at equal timestamps
 // fire in insertion order (a monotonically increasing sequence number breaks
 // ties), which makes every run bit-for-bit reproducible.
+//
+// The queue is built for throughput on the patterns a cluster simulation
+// actually produces (see DESIGN.md section 10 for the full argument):
+//
+//  * Events are a 48-byte tagged union.  Coroutine resumptions -- the
+//    overwhelming majority -- carry a bare coroutine_handle; callbacks with
+//    small trivially-copyable captures are stored inline; only large
+//    captures fall back to one heap allocation.  Steady-state scheduling
+//    and dispatch of a resume allocates nothing.
+//
+//  * Ordering uses a hierarchical timing wheel: kLevels levels of 64 slots,
+//    level l spanning 64^(l+1) ns, with per-level occupancy bitmaps.
+//    Insert and extract are O(1) amortized; an event cascades at most
+//    kLevels-1 times on its way down.  Timers beyond the 2^48 ns (~3.2 day)
+//    horizon wait in a binary min-heap keyed on (at, seq) and migrate into
+//    the wheel when the clock's prefix window reaches them.
+//
+//  * When the queue is empty and run() is draining, delay() resumes the
+//    calling coroutine by symmetric transfer instead of a queue round trip
+//    -- the lone-process case degenerates to a bare clock advance.
+//
+// Slot invariants that make the wheel order-exact rather than approximate:
+// every level-0 slot holds events of a single exact timestamp within the
+// clock's current 64 ns window, and every level-l slot holds events that
+// agree with the clock on all base-64 digits above l.  Cascading preserves
+// append order, so equal-timestamp events always drain in seq order.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
 #include <vector>
 
+#include "sim/frame_pool.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -32,10 +63,40 @@ class Simulation {
   Time now() const { return now_; }
 
   /// Schedule a callback `delay` nanoseconds from now (delay >= 0).
-  void schedule(Time delay, std::function<void()> fn);
+  /// Trivially-copyable callables up to kInlineBytes are stored inline in
+  /// the event; larger ones cost one heap allocation.
+  template <typename F>
+  void schedule(Time delay, F&& fn) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    Event ev;
+    ev.at = now_ + delay;
+    ev.seq = next_seq_++;
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn> &&
+                  sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(void*)) {
+      ev.kind = Event::Kind::kInline;
+      ev.inlined.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+      ::new (static_cast<void*>(ev.inlined.buf)) Fn(std::forward<F>(fn));
+    } else {
+      ev.kind = Event::Kind::kHeap;
+      ev.heap = new std::function<void()>(std::forward<F>(fn));
+      ++queue_stats_.heap_callbacks;
+    }
+    push(ev);
+  }
 
   /// Schedule resumption of a suspended coroutine `delay` ns from now.
-  void schedule_resume(Time delay, std::coroutine_handle<> h);
+  void schedule_resume(Time delay, std::coroutine_handle<> h) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    Event ev;
+    ev.at = now_ + delay;
+    ev.seq = next_seq_++;
+    ev.kind = Event::Kind::kResume;
+    ev.resume_addr = h.address();
+    push(ev);
+  }
 
   /// Start a top-level process.  The simulation takes ownership of the
   /// coroutine frame; the task body begins executing at the current time.
@@ -47,8 +108,8 @@ class Simulation {
       Simulation* sim;
       Time d;
       bool await_ready() const noexcept { return d <= 0; }
-      void await_suspend(std::coroutine_handle<> h) {
-        sim->schedule_resume(d, h);
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> h) noexcept {
+        return sim->suspend_delay(d, h);
       }
       void await_resume() const noexcept {}
     };
@@ -66,6 +127,31 @@ class Simulation {
   /// Number of events processed so far (useful for micro-benchmarks).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Events currently scheduled and not yet dispatched.
+  std::size_t pending_events() const { return size_; }
+
+  /// Engine-internal counters, exported as `sim.queue.*` by obs.
+  struct QueueStats {
+    std::uint64_t fast_resumes = 0;     // delay() symmetric-transfer hops
+    std::uint64_t cascaded_events = 0;  // wheel level demotions
+    std::uint64_t overflow_inserts = 0; // events beyond the wheel horizon
+    std::uint64_t overflow_migrated = 0;
+    std::uint64_t heap_callbacks = 0;   // schedule() SBO misses
+    std::uint64_t peak_pending = 0;     // high-water mark of the queue
+  };
+  QueueStats queue_stats() const {
+    // fast_resumes is derived rather than counted so the symmetric-transfer
+    // hot path touches one counter, not two.
+    QueueStats s = queue_stats_;
+    s.fast_resumes = events_processed_ - dispatched_;
+    return s;
+  }
+
+  /// Coroutine-frame pool statistics, exported as `sim.frame_pool.*`.
+  const FramePool::Stats& frame_pool_stats() const {
+    return frame_pool_.stats();
+  }
+
   /// Observability hub (src/obs), or null when observability is off.
   /// The simulation never calls into the hub itself; instrumented layers
   /// test this pointer on their record paths.  Null by default, so runs
@@ -73,29 +159,123 @@ class Simulation {
   obs::Hub* hub() const { return hub_; }
   void set_hub(obs::Hub* hub) { hub_ = hub; }
 
+  /// Largest callable stored inside an event without heap fallback.
+  static constexpr std::size_t kInlineBytes = 16;
+
  private:
   struct Event {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::coroutine_handle<> resume;  // used when fn is empty
-
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    enum class Kind : std::uint8_t { kResume, kInline, kHeap };
+    Kind kind;
+    union {
+      // coroutine_handle<> stored by address: its user-provided constexpr
+      // ctor would otherwise delete the union's default constructor.
+      void* resume_addr;
+      struct {
+        void (*invoke)(void*);
+        alignas(void*) unsigned char buf[kInlineBytes];
+      } inlined;
+      std::function<void()>* heap;
+    };
+  };
+  struct OverflowLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
-  void dispatch(Event& ev);
-  void reap_finished();
+  static constexpr int kSlotBits = 6;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr int kLevels = 8;
+  static constexpr int kPrefixShift = kSlotBits * kLevels;  // 48
+  static constexpr std::uint64_t kReapMask = 0x3ff;
+
+  /// Route an event into the wheel or the far-future overflow heap.
+  void push(const Event& ev) {
+    ++size_;
+    if (size_ > queue_stats_.peak_pending) queue_stats_.peak_pending = size_;
+    if ((static_cast<std::uint64_t>(ev.at) >> kPrefixShift) !=
+        (static_cast<std::uint64_t>(now_) >> kPrefixShift)) {
+      overflow_.push_back(ev);
+      std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+      ++queue_stats_.overflow_inserts;
+      return;
+    }
+    place(ev);
+  }
+
+  /// Wheel insert proper: level = highest base-64 digit where `at` differs
+  /// from the clock (0 when equal), slot = that digit of `at`.
+  void place(const Event& ev) {
+    const std::uint64_t x = static_cast<std::uint64_t>(ev.at) ^
+                            static_cast<std::uint64_t>(now_);
+    const int l =
+        x == 0 ? 0 : (63 - std::countl_zero(x)) / kSlotBits;
+    const std::size_t idx =
+        (static_cast<std::uint64_t>(ev.at) >> (kSlotBits * l)) &
+        (kSlots - 1);
+    auto& slot = wheel_[static_cast<std::size_t>(l) * kSlots + idx];
+    // Slots keep their capacity across drains, so steady state never
+    // allocates; seed fresh slots with room for 16 events to skip the
+    // 1->2->4->8 growth chain a cold simulation would otherwise pay.
+    if (slot.size() == slot.capacity()) [[unlikely]] {
+      slot.reserve(slot.empty() ? 16 : slot.size() * 2);
+    }
+    slot.push_back(ev);
+    occupied_[static_cast<std::size_t>(l)] |= std::uint64_t{1} << idx;
+  }
+
+  /// delay() suspension: symmetric-transfer fast path when nothing else is
+  /// pending and run() is draining unbounded, queue round trip otherwise.
+  /// Every 1024th event still bounces through run() so finished top-level
+  /// frames get reaped on the same cadence as queued dispatch.
+  std::coroutine_handle<> suspend_delay(Time d,
+                                        std::coroutine_handle<> h) noexcept {
+    // One fused test (all operands are cheap loads with no side effects)
+    // and a single counter bump: fast_resumes is derived in queue_stats().
+    const std::uint64_t n = events_processed_ + 1;
+    if (static_cast<int>((n & kReapMask) != 0) &
+        static_cast<int>(size_ == 0) &
+        static_cast<int>(unbounded_drain_)) [[likely]] {
+      events_processed_ = n;
+      now_ += d;
+      return h;
+    }
+    schedule_resume(d, h);
+    return std::noop_coroutine();
+  }
+
+  bool next_event(Time limit, Time* out);
+  void cascade(int level);
+  void migrate_overflow();
+  void drain_slot(Time t);
+  void dispatch(const Event& ev);
+  // O(1) process retirement: finished top-level frames report in via the
+  // promise's on_final hook; their frames are destroyed on the next pass
+  // through the drain loop (never from inside their own resume).
+  void note_finished(detail::PromiseBase* p);
+  void drain_finished();
+  static void release_events(std::vector<Event>& events);
 
   Time now_ = 0;
   obs::Hub* hub_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t dispatched_ = 0;  // queue round trips (excludes fast resumes)
+  std::size_t size_ = 0;
+  bool unbounded_drain_ = false;
+  QueueStats queue_stats_;
+  std::array<std::vector<Event>, kSlots * kLevels> wheel_;
+  std::array<std::uint64_t, kLevels> occupied_{};
+  std::vector<Event> overflow_;
+  std::vector<Event> cascade_scratch_;
   std::vector<Task<>::Handle> processes_;
+  std::vector<std::coroutine_handle<>> finished_;
   std::exception_ptr pending_exception_;
+  FramePool frame_pool_;
+  FramePool::Scope pool_scope_{&frame_pool_};
 };
 
 }  // namespace raidx::sim

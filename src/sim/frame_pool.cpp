@@ -1,0 +1,78 @@
+#include "sim/frame_pool.hpp"
+
+#include <cassert>
+#include <new>
+
+namespace raidx::sim {
+
+thread_local FramePool* FramePool::current_ = nullptr;
+
+FramePool::~FramePool() {
+  for (FreeNode* node : free_) {
+    while (node != nullptr) {
+      FreeNode* next = node->next;
+      ::operator delete(reinterpret_cast<char*>(node) - sizeof(Header));
+      node = next;
+    }
+  }
+}
+
+void* FramePool::allocate(std::size_t n) {
+  FramePool* pool = current_;
+  if (pool != nullptr && n <= kMaxPooled) return pool->allocate_pooled(n);
+  auto* raw =
+      static_cast<Header*>(::operator new(sizeof(Header) + n));
+  raw->pool = pool;
+  raw->size = static_cast<std::uint32_t>(n);
+  raw->klass = static_cast<std::uint32_t>(kClasses);  // oversize sentinel
+  if (pool != nullptr) {
+    ++pool->stats_.allocations;
+    ++pool->stats_.oversize;
+    ++pool->stats_.live;
+  }
+  return raw + 1;
+}
+
+void* FramePool::allocate_pooled(std::size_t n) {
+  const std::size_t klass = (n - 1) / kGranularity;
+  assert(klass < kClasses);
+  ++stats_.allocations;
+  ++stats_.live;
+  const std::size_t rounded = (klass + 1) * kGranularity;
+  Header* raw;
+  if (FreeNode* node = free_[klass]) {
+    free_[klass] = node->next;
+    raw = reinterpret_cast<Header*>(reinterpret_cast<char*>(node) -
+                                    sizeof(Header));
+    stats_.pooled_bytes -= rounded;
+    ++stats_.reuses;
+  } else {
+    raw = static_cast<Header*>(::operator new(sizeof(Header) + rounded));
+    ++stats_.fresh;
+  }
+  raw->pool = this;
+  raw->size = static_cast<std::uint32_t>(rounded);
+  raw->klass = static_cast<std::uint32_t>(klass);
+  return raw + 1;
+}
+
+void FramePool::deallocate(void* p) noexcept {
+  Header* raw = static_cast<Header*>(p) - 1;
+  FramePool* pool = raw->pool;
+  if (pool == nullptr || raw->klass == kClasses) {
+    if (pool != nullptr) {
+      ++pool->stats_.deallocations;
+      --pool->stats_.live;
+    }
+    ::operator delete(raw);
+    return;
+  }
+  ++pool->stats_.deallocations;
+  --pool->stats_.live;
+  pool->stats_.pooled_bytes += raw->size;
+  auto* node = static_cast<FreeNode*>(p);
+  node->next = pool->free_[raw->klass];
+  pool->free_[raw->klass] = node;
+}
+
+}  // namespace raidx::sim

@@ -1,0 +1,94 @@
+// Size-class recycling pool for coroutine frames.
+//
+// Every Task<> frame in the simulator is allocated through the pool of the
+// Simulation that is live when the task is *created* (the pool installs
+// itself as the thread's current pool for the Simulation's lifetime).  The
+// steady state of a simulation run creates and destroys millions of
+// short-lived frames of a handful of distinct sizes -- one per coroutine
+// function in the I/O path -- so a per-size free list turns almost every
+// frame allocation into a pointer pop.
+//
+// Each block carries a 16-byte header recording its owning pool and size
+// class, so deallocation finds its free list even when a different
+// Simulation has since become current (frames are freed to the pool they
+// came from).  Blocks larger than kMaxPooled, and frames created while no
+// Simulation is alive, fall through to the global heap (header pool =
+// null).  A frame must not outlive the Simulation that was current at its
+// creation -- the same lifetime rule the simulator already imposes, since a
+// frame resumed after its Simulation died would touch a dead event queue.
+//
+// Statistics are exported by obs::collect_cluster as `sim.frame_pool.*`.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace raidx::sim {
+
+class FramePool {
+ public:
+  struct Stats {
+    std::uint64_t allocations = 0;    // frames served by this pool
+    std::uint64_t reuses = 0;         // ... from a free list, no heap touch
+    std::uint64_t fresh = 0;          // ... by a new heap block
+    std::uint64_t oversize = 0;       // ... larger than kMaxPooled (heap)
+    std::uint64_t deallocations = 0;  // frames returned
+    std::uint64_t live = 0;           // currently outstanding frames
+    std::uint64_t pooled_bytes = 0;   // bytes parked in free lists
+  };
+
+  FramePool() = default;
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+  ~FramePool();
+
+  /// Allocate a frame of `n` bytes from the current pool (global heap when
+  /// no pool is installed).  Called by Task promise operator new.
+  static void* allocate(std::size_t n);
+
+  /// Return a frame to the pool recorded in its header (global heap when
+  /// it has none).  Called by Task promise operator delete.
+  static void deallocate(void* p) noexcept;
+
+  const Stats& stats() const { return stats_; }
+
+  /// Granularity and ceiling of the pooled size classes.
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxPooled = 2048;
+
+  /// RAII installation as the thread's current pool; nests (a Simulation
+  /// constructed inside another's scope shadows it and restores on exit).
+  class Scope {
+   public:
+    explicit Scope(FramePool* pool) : prev_(current_) { current_ = pool; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { current_ = prev_; }
+
+   private:
+    FramePool* prev_;
+  };
+
+ private:
+  // Header prefixed to every block; 16 bytes keeps the frame at the
+  // alignment ::operator new would have given it.
+  struct alignas(16) Header {
+    FramePool* pool;     // null: free straight to the heap
+    std::uint32_t size;  // rounded block size excluding the header
+    std::uint32_t klass; // free-list index (valid when pool != null)
+  };
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static constexpr std::size_t kClasses = kMaxPooled / kGranularity;
+
+  void* allocate_pooled(std::size_t n);
+
+  std::array<FreeNode*, kClasses> free_{};
+  Stats stats_;
+
+  static thread_local FramePool* current_;
+};
+
+}  // namespace raidx::sim

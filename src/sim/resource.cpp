@@ -19,19 +19,31 @@ bool Resource::try_acquire() {
   return false;
 }
 
-void Resource::enqueue(int priority, std::coroutine_handle<> h) {
+void Resource::enqueue(int priority, Waiter* w) {
   assert(priority >= 0 &&
          static_cast<std::size_t>(priority) < waiters_.size());
-  waiters_[priority].push_back(h);
+  WaitQueue& q = waiters_[static_cast<std::size_t>(priority)];
+  w->next = nullptr;
+  if (q.tail) {
+    q.tail->next = w;
+  } else {
+    q.head = w;
+  }
+  q.tail = w;
+  ++q.count;
 }
 
 void Resource::release() {
   for (auto& q : waiters_) {
-    if (!q.empty()) {
-      // Hand the slot straight to the waiter: in_use_ is unchanged.
-      auto h = q.front();
-      q.pop_front();
-      sim_.schedule_resume(0, h);
+    if (q.head != nullptr) {
+      // Hand the slot straight to the waiter: in_use_ is unchanged.  The
+      // node lives in the waiter's frame, which stays suspended (and its
+      // memory valid) until the scheduled resume fires.
+      Waiter* w = q.head;
+      q.head = w->next;
+      if (q.head == nullptr) q.tail = nullptr;
+      --q.count;
+      sim_.schedule_resume(0, w->handle);
       return;
     }
   }
@@ -42,7 +54,7 @@ void Resource::release() {
 
 std::size_t Resource::queued() const {
   std::size_t total = 0;
-  for (const auto& q : waiters_) total += q.size();
+  for (const auto& q : waiters_) total += q.count;
   return total;
 }
 

@@ -6,11 +6,15 @@
 // priority.  The disk layer uses two classes so foreground I/O overtakes
 // queued background mirror updates -- the mechanism behind RAID-x's
 // "mirroring hidden in the background" claim.
+//
+// Waiters are intrusive list nodes embedded in the acquire() awaiter, which
+// lives in the suspended coroutine's frame -- stable storage for exactly as
+// long as the wait lasts.  Parking and waking a waiter therefore never
+// touches the heap.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -57,13 +61,15 @@ class Resource {
     struct Awaiter {
       Resource* res;
       int priority;
+      Waiter node;
       bool await_ready() const noexcept { return res->try_acquire(); }
       void await_suspend(std::coroutine_handle<> h) {
-        res->enqueue(priority, h);
+        node.handle = h;
+        res->enqueue(priority, &node);
       }
       Guard await_resume() const noexcept { return Guard{res}; }
     };
-    return Awaiter{this, priority};
+    return Awaiter{this, priority, {}};
   }
 
   /// Non-blocking attempt; returns true and takes a slot if available.
@@ -79,14 +85,26 @@ class Resource {
   /// Total slot-nanoseconds consumed (for utilization reporting).
   Time busy_time() const;
 
+  /// Intrusive wait-list node; lives in the acquire() awaiter.
+  struct Waiter {
+    std::coroutine_handle<> handle{};
+    Waiter* next = nullptr;
+  };
+
  private:
-  void enqueue(int priority, std::coroutine_handle<> h);
+  struct WaitQueue {
+    Waiter* head = nullptr;
+    Waiter* tail = nullptr;
+    std::size_t count = 0;
+  };
+
+  void enqueue(int priority, Waiter* w);
   void note_busy_change();
 
   Simulation& sim_;
   int capacity_;
   int in_use_ = 0;
-  std::vector<std::deque<std::coroutine_handle<>>> waiters_;
+  std::vector<WaitQueue> waiters_;  // one FIFO per priority class
   // Utilization accounting.
   Time busy_accum_ = 0;
   Time last_change_ = 0;

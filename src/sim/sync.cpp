@@ -8,17 +8,15 @@ Barrier::Barrier(Simulation& sim, int parties) : sim_(sim), parties_(parties) {
   assert(parties >= 1);
 }
 
-bool Barrier::arrive(std::coroutine_handle<> h) {
+bool Barrier::arrive(detail::WaitList::Node* n) {
   ++arrived_;
   if (arrived_ < parties_) {
-    waiting_.push_back(h);
+    waiting_.append(n);
     return true;  // suspend
   }
   // Last arriver: release the generation and continue without suspending.
   arrived_ = 0;
-  auto released = std::move(waiting_);
-  waiting_.clear();
-  for (auto w : released) sim_.schedule_resume(0, w);
+  waiting_.release_all(sim_);
   return false;
 }
 
@@ -28,10 +26,8 @@ Latch::Latch(Simulation& sim, int count) : sim_(sim), count_(count) {
 
 void Latch::count_down(int n) {
   count_ -= n;
-  if (count_ <= 0 && !waiting_.empty()) {
-    auto released = std::move(waiting_);
-    waiting_.clear();
-    for (auto w : released) sim_.schedule_resume(0, w);
+  if (count_ <= 0 && waiting_.head != nullptr) {
+    waiting_.release_all(sim_);
   }
 }
 
@@ -40,9 +36,7 @@ Trigger::Trigger(Simulation& sim) : sim_(sim) {}
 void Trigger::set() {
   if (set_) return;
   set_ = true;
-  auto released = std::move(waiting_);
-  waiting_.clear();
-  for (auto w : released) sim_.schedule_resume(0, w);
+  waiting_.release_all(sim_);
 }
 
 }  // namespace raidx::sim

@@ -16,8 +16,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <exception>
 #include <utility>
+
+#include "sim/frame_pool.hpp"
 
 namespace raidx::sim {
 
@@ -26,14 +29,36 @@ namespace detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+  // Set by Simulation::spawn on top-level frames only: final_suspend calls
+  // on_final(owner, this) so the simulation retires the process in O(1)
+  // instead of periodically scanning every live process.  process_slot is
+  // the frame's index in the owner's process table (kept current by the
+  // owner on swap-removal).
+  void (*on_final)(void*, PromiseBase*) = nullptr;
+  void* owner = nullptr;
+  std::uint32_t process_slot = 0;
+
+  // Frames come from the current Simulation's size-class pool (global heap
+  // when no Simulation is alive); see sim/frame_pool.hpp for the lifetime
+  // rule this implies.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p, std::size_t) noexcept {
+    FramePool::deallocate(p);
+  }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
     template <typename Promise>
     std::coroutine_handle<> await_suspend(
         std::coroutine_handle<Promise> h) noexcept {
-      auto& cont = h.promise().continuation;
-      return cont ? cont : std::noop_coroutine();
+      PromiseBase& p = h.promise();
+      if (p.continuation) return p.continuation;
+      // Top-level frame: tell the owning simulation it can be reclaimed.
+      // The frame stays suspended here; the owner destroys it later, never
+      // from inside this resume.
+      if (p.on_final) p.on_final(p.owner, &p);
+      return std::noop_coroutine();
     }
     void await_resume() const noexcept {}
   };
@@ -154,6 +179,7 @@ class [[nodiscard]] Task {
         return handle;
       }
       T await_resume() const {
+        if (!handle) return T{};  // awaiting a moved-from/empty task
         if (handle.promise().exception) {
           std::rethrow_exception(handle.promise().exception);
         }
@@ -162,6 +188,10 @@ class [[nodiscard]] Task {
     };
     return Awaiter{handle_};
   }
+
+  /// Release ownership of the frame (parity with Task<void>); the caller
+  /// becomes responsible for destroying the handle once done.
+  Handle release() { return std::exchange(handle_, nullptr); }
 
  private:
   void destroy() {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "block/payload.hpp"
 #include "obs/obs.hpp"
 #include "sim/random.hpp"
 #include "sim/sync.hpp"
@@ -34,8 +35,12 @@ sim::Task<> client_task(Shared& sh, int client_idx, std::uint64_t region_lba,
   const auto blocks_per_op =
       static_cast<std::uint32_t>(sh.config.bytes_per_op / bs);
   assert(blocks_per_op > 0);
-  std::vector<std::byte> buffer(
-      static_cast<std::size_t>(blocks_per_op) * bs);
+  const std::size_t op_bytes = static_cast<std::size_t>(blocks_per_op) * bs;
+  // Reads land in a real buffer; writes carry a zero-run payload -- the
+  // simulated timing depends only on sizes, and skipping the per-client
+  // gigabytes of host memory is what keeps the large sweeps fast.
+  std::vector<std::byte> buffer(sh.config.op == IoOp::kRead ? op_bytes : 0);
+  const block::Payload wpayload = block::Payload::zeros(op_bytes);
 
   // Draw the whole access sequence up front (pure RNG, no simulated time)
   // so warm passes replay exactly the LBAs the measured pass will touch.
@@ -74,7 +79,7 @@ sim::Task<> client_task(Shared& sh, int client_idx, std::uint64_t region_lba,
           co_await sh.engine.read(node, lba, blocks_per_op, buffer,
                                   op.ctx());
         } else {
-          co_await sh.engine.write(node, lba, buffer, op.ctx());
+          co_await sh.engine.write(node, lba, wpayload, op.ctx());
         }
       }
       if (measured) {

@@ -16,11 +16,12 @@ sim::Task<> roundtrip(CddFabric& fabric, int client, int disk,
                       std::vector<std::byte>* back) {
   const auto n = static_cast<std::uint32_t>(
       data.size() / fabric.cluster().geometry().block_bytes);
-  Reply w = co_await fabric.write(client, disk, offset, std::move(data));
+  Reply w = co_await fabric.write(client, disk, offset,
+                                  block::Payload(std::move(data)));
   EXPECT_TRUE(w.ok);
   Reply r = co_await fabric.read(client, disk, offset, n);
   EXPECT_TRUE(r.ok);
-  *back = std::move(r.data);
+  *back = r.data.to_vector();
 }
 
 TEST(CddFabric, LocalRequestsBypassTheNetwork) {
@@ -81,8 +82,8 @@ TEST(CddFabric, FailedDiskRepliesNotOk) {
       -> sim::Task<> {
     Reply r = co_await f.read(0, 2, 0, 1);
     *read_ok = r.ok;
-    std::vector<std::byte> data(f.cluster().geometry().block_bytes);
-    Reply w = co_await f.write(0, 2, 0, std::move(data));
+    Reply w = co_await f.write(
+        0, 2, 0, block::Payload::zeros(f.cluster().geometry().block_bytes));
     *write_ok = w.ok;
   };
   bool read_ok = true, write_ok = true;
@@ -107,8 +108,9 @@ TEST(CddFabric, RebuildWatermarkGatesReads) {
   rig.run(probe(rig.fabric, 5, &below));
   rig.run(probe(rig.fabric, 15, &above));
   auto wprobe = [](CddFabric& f, bool* ok) -> sim::Task<> {
-    std::vector<std::byte> data(f.cluster().geometry().block_bytes);
-    Reply r = co_await f.write(0, 2, 15, std::move(data));
+    Reply r = co_await f.write(
+        0, 2, 15,
+        block::Payload::zeros(f.cluster().geometry().block_bytes));
     *ok = r.ok;
   };
   rig.run(wprobe(rig.fabric, &write_ok));

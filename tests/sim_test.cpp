@@ -1,9 +1,42 @@
 // Unit tests for the discrete-event simulation engine.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
+#include <new>
+#include <random>
 #include <vector>
+
+// Counting allocator: every global operator-new in this binary bumps a
+// counter, so tests can assert that steady-state engine paths allocate
+// nothing.  Each test file links into its own executable, so the
+// replacement affects only sim_test.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// gcc pairs the malloc inside the replaced operator new with free calls at
+// delete sites and warns; the pairing is exactly what we intend.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+[[gnu::noinline]] void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+[[gnu::noinline]] void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 #include "sim/channel.hpp"
 #include "sim/event_queue.hpp"
@@ -413,6 +446,222 @@ TEST(JsonWriter, AddRawEmbedsVerbatim) {
   w.add("n", 1);
   w.add_raw("nested", "{\"a\":[1,2]}");
   EXPECT_EQ(w.str(), "{\"n\": 1, \"nested\": {\"a\":[1,2]}}");
+}
+
+Task<int> value_of(int v) { co_return v; }
+Task<> no_op() { co_return; }
+
+TEST(Task, ReleaseTransfersOwnershipOfValueTask) {
+  Task<int> t = value_of(7);
+  Task<int>::Handle h = t.release();
+  ASSERT_TRUE(h);
+  EXPECT_FALSE(t.valid());
+  // A second release yields null: ownership moved out exactly once.
+  EXPECT_FALSE(t.release());
+  h.resume();  // lazy start; runs to completion, parks at final_suspend
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(h.promise().value, 7);
+  h.destroy();
+}
+
+Task<> await_empty_tasks(int* out) {
+  Task<int> a = value_of(5);
+  Task<int> b = std::move(a);  // a is now empty
+  const int from_empty = co_await std::move(a);
+  const int from_real = co_await std::move(b);
+  Task<> v = no_op();
+  Task<> w = std::move(v);  // v is now empty
+  co_await std::move(v);
+  co_await std::move(w);
+  *out = from_empty * 100 + from_real;
+}
+
+TEST(Task, AwaitingMovedFromTaskIsSafe) {
+  // Null-handle guards: awaiting an empty Task<T> yields T{} instead of
+  // dereferencing a dead handle; an empty Task<void> await is a no-op.
+  Simulation sim;
+  int out = -1;
+  sim.spawn(await_empty_tasks(&out));
+  sim.run();
+  EXPECT_EQ(out, 5);
+}
+
+Task<> one_hop(Simulation& sim, Time d, std::vector<int>* order, int id) {
+  co_await sim.delay(d);
+  order->push_back(id);
+}
+
+Task<> collide_driver(Simulation& sim, Time d, std::vector<int>* order) {
+  co_await sim.delay(100);  // move off t=0 so spawn-start events are behind us
+  // All four events land on the same future timestamp now()+d.  Enqueue
+  // order: callback 1, the child's start event, callback 2, our own resume;
+  // the child's delay is enqueued only once its start event dispatches
+  // (still at the current instant, after we suspend), so its resume carries
+  // the largest sequence number and fires last.
+  sim.schedule(d, [order] { order->push_back(1); });
+  sim.spawn(one_hop(sim, d, order, 3));
+  sim.schedule(d, [order] { order->push_back(2); });
+  co_await sim.delay(d);
+  order->push_back(4);
+}
+
+TEST(Simulation, CollidingCallbacksAndResumesFireInEnqueueOrder) {
+  // Equal-timestamp ordering must hold at every wheel distance: same
+  // level-0 slot, the first two cascade boundaries, a mid-wheel level, and
+  // past the 2^48 ns horizon where events detour through the overflow heap.
+  const Time deltas[] = {1, 64, 4096, Time{1} << 30,
+                         (Time{1} << 48) + 12345};
+  for (Time d : deltas) {
+    Simulation sim;
+    std::vector<int> order;
+    sim.spawn(collide_driver(sim, d, &order));
+    sim.run();
+    ASSERT_EQ(order.size(), 4u) << "delta " << d;
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 3})) << "delta " << d;
+  }
+}
+
+// Randomized scheduler stress: a self-expanding cascade of callbacks whose
+// delays are drawn (deterministically per event id) from a mix that hits
+// same-instant appends, wheel-cascade boundaries, every wheel level, and the
+// far-future overflow horizon.  The exact firing sequence is checked against
+// a naive sorted-vector oracle that pops the minimum (at, seq) pair.
+Time stress_delay(int id) {
+  std::mt19937_64 r(0x9E3779B97F4A7C15ull ^
+                    (static_cast<std::uint64_t>(id) * 0xBF58476D1CE4E5B9ull));
+  auto pick = [&](std::uint64_t lo, std::uint64_t hi) {
+    return lo + r() % (hi - lo + 1);
+  };
+  switch (r() % 5) {
+    case 0:  // heavy collisions, including zero-delay same-instant appends
+      return static_cast<Time>(r() % 4);
+    case 1: {  // one off either side of a slot-cascade boundary
+      static constexpr std::uint64_t kBoundary[] = {64, 4096, 262144,
+                                                    16777216, 1073741824};
+      return static_cast<Time>(kBoundary[r() % 5] +
+                               static_cast<std::int64_t>(r() % 3) - 1);
+    }
+    case 2:  // short delays, lower wheel levels
+      return static_cast<Time>(pick(1, 1'000'000));
+    case 3:  // long delays, upper wheel levels
+      return static_cast<Time>(pick(1, std::uint64_t{1} << 40));
+    default:  // beyond the 2^48 prefix window: overflow heap + migration
+      return static_cast<Time>((std::uint64_t{1} << 48) +
+                               pick(0, std::uint64_t{1} << 49));
+  }
+}
+
+TEST(Simulation, RandomizedScheduleMatchesSortedVectorOracle) {
+  constexpr int kSeeds = 48;
+  constexpr int kTotal = 1500;
+
+  // Real engine: every fired event schedules up to two children until the
+  // id budget runs out.
+  struct Harness {
+    Simulation sim;
+    std::vector<int> fired;
+    int next_id = 0;
+    void fire(int id) {
+      fired.push_back(id);
+      for (int c = 0; c < 2 && next_id < kTotal; ++c) {
+        const int cid = next_id++;
+        sim.schedule(stress_delay(cid), [this, cid] { fire(cid); });
+      }
+    }
+  };
+  Harness h;
+  for (int i = 0; i < kSeeds; ++i) {
+    const int id = h.next_id++;
+    h.sim.schedule(stress_delay(id), [&h, id] { h.fire(id); });
+  }
+  h.sim.run();
+
+  // Oracle: unordered vector popped by minimum (at, seq); ties on `at`
+  // resolve to the earliest-enqueued event, exactly the engine's contract.
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    int id;
+  };
+  std::vector<Entry> queue;
+  std::vector<int> expected;
+  std::uint64_t next_seq = 0;
+  Time now = 0;
+  int next_id = 0;
+  for (int i = 0; i < kSeeds; ++i) {
+    const int id = next_id++;
+    queue.push_back({now + stress_delay(id), next_seq++, id});
+  }
+  while (!queue.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (queue[i].at < queue[best].at ||
+          (queue[i].at == queue[best].at && queue[i].seq < queue[best].seq)) {
+        best = i;
+      }
+    }
+    const Entry e = queue[best];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+    now = e.at;
+    expected.push_back(e.id);
+    for (int c = 0; c < 2 && next_id < kTotal; ++c) {
+      const int cid = next_id++;
+      queue.push_back({now + stress_delay(cid), next_seq++, cid});
+    }
+  }
+
+  ASSERT_EQ(h.fired.size(), static_cast<std::size_t>(kTotal));
+  EXPECT_EQ(h.fired, expected);
+  // The delay mix must actually have exercised the interesting machinery.
+  EXPECT_GT(h.sim.queue_stats().overflow_inserts, 0u);
+  EXPECT_GT(h.sim.queue_stats().cascaded_events, 0u);
+}
+
+Task<> steady_hopper(Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(1);
+}
+
+Task<> steady_contender(Simulation& sim, Resource& r, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto g = co_await r.acquire();
+    co_await sim.delay(1);
+  }
+}
+
+struct Rescheduler {
+  Simulation* sim;
+  int left;
+  void operator()() const {
+    if (left > 0) sim->schedule(1, Rescheduler{sim, left - 1});
+  }
+};
+
+TEST(Simulation, SteadyStateSchedulingDoesNotAllocate) {
+  Simulation sim;
+  Resource res(sim, 1);
+  // Two hoppers keep the queue non-empty, so every resume takes the full
+  // schedule/dispatch path rather than the symmetric-transfer shortcut; the
+  // rescheduling callback covers the inline-SBO schedule() path and the
+  // contenders churn the intrusive resource wait list.
+  sim.spawn(steady_hopper(sim, 14000));
+  sim.spawn(steady_hopper(sim, 14000));
+  sim.spawn(steady_contender(sim, res, 7000));
+  sim.spawn(steady_contender(sim, res, 7000));
+  sim.schedule(0, Rescheduler{&sim, 14000});
+  // Warm up past a full level-1 rotation (4096 ns) so every wheel slot the
+  // measured window can touch already has capacity, then measure a window
+  // that stays clear of the next level-2 boundary at 3 * 4096 = 12288.
+  ASSERT_FALSE(sim.run_until(9000));
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto pool_before = sim.frame_pool_stats();
+  ASSERT_FALSE(sim.run_until(12200));
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  const auto pool_after = sim.frame_pool_stats();
+  EXPECT_EQ(after - before, 0u);
+  // No coroutine frames were created or destroyed mid-flight either.
+  EXPECT_EQ(pool_after.allocations, pool_before.allocations);
+  EXPECT_EQ(pool_after.live, pool_before.live);
+  sim.run();  // drain to completion outside the measured window
 }
 
 TEST(TablePrinter, FmtNormalizesNonFinite) {
