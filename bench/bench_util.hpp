@@ -64,7 +64,12 @@ inline T smoke_pick(T full, T reduced) {
 /// v3: the obs registry snapshot gains the engine-internal counters
 /// `sim.queue.*` and `sim.frame_pool.*`; every v2 key is unchanged and
 /// every simulated result is bit-identical to v2.
-inline constexpr int kBenchSchemaVersion = 3;
+/// v4: obs snapshots may carry the recovery-orchestration keys (`ha.*`
+/// histograms/counters, `cdd.timeouts`/`cdd.retries*`/`cdd.late_replies`,
+/// `net.messages_dropped`) -- but only in worlds that configure an
+/// orchestrator or inject faults (the new bench/mttr report).  Fault-free
+/// benches emit the exact v3 key set with bit-identical values.
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

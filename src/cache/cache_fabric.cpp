@@ -96,6 +96,14 @@ sim::Task<bool> CacheFabric::read_block(int client, int cache_node,
       std::vector<int> clean;
       for (int holder : it->second) {
         if (holder == cache_node) continue;
+        // A holder whose node is partitioned/dead cannot answer a forward
+        // request; asking it would burn a full client-side timeout per
+        // read.  The link-state check models what the directory learns
+        // from its own failed forwards.
+        if (!cluster_.network().node_up(holder)) {
+          ++stats_.dead_holder_skips;
+          continue;
+        }
         const NodeCache& pc = cache(holder);
         if (pc.peek(lba).empty()) continue;
         if (pc.dirty(lba)) {
@@ -316,6 +324,18 @@ void CacheFabric::set_pinned_range(std::uint64_t lo, std::uint64_t hi) {
 void CacheFabric::drop_node(int node) {
   NodeCache& c = cache(node);
   assert(c.dirty_blocks() == 0 && "flush before dropping a cache");
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    auto& holders = it->second;
+    holders.erase(std::remove(holders.begin(), holders.end(), node),
+                  holders.end());
+    it = holders.empty() ? directory_.erase(it) : std::next(it);
+  }
+  c.clear();
+}
+
+void CacheFabric::on_node_down(int node) {
+  NodeCache& c = cache(node);
+  stats_.dirty_lost += c.dirty_blocks();
   for (auto it = directory_.begin(); it != directory_.end();) {
     auto& holders = it->second;
     holders.erase(std::remove(holders.begin(), holders.end(), node),

@@ -99,6 +99,10 @@ struct CacheStats {
   std::uint64_t invalidations = 0;   // peer copies killed by writes
   std::uint64_t flushes = 0;         // dirty blocks written back
   std::uint64_t evictions = 0;       // blocks retired for capacity
+  /// Fault-path counters (exported only when fault injection was used, so
+  /// fault-free runs keep their exact obs key set).
+  std::uint64_t dead_holder_skips = 0;  // forwards avoided: holder's node down
+  std::uint64_t dirty_lost = 0;         // dirty blocks on a node declared down
 
   std::uint64_t lookups() const { return hits + peer_hits + misses; }
   double hit_ratio() const {
@@ -230,6 +234,15 @@ class CacheFabric {
   /// Test/bench helper: forget a node's (clean!) contents so the next
   /// reads go to disk again.  Asserts there is nothing dirty to lose.
   void drop_node(int node);
+
+  /// Failure path (called by ha::Orchestrator when a node is declared
+  /// down): scrub the node's directory registrations and drop its cache
+  /// contents.  Unlike drop_node this tolerates -- and counts -- dirty
+  /// blocks: their only copy lived in the dead node's memory, so they are
+  /// lost (the redundancy layer still has the pre-write bytes; losing a
+  /// write-back cache loses unflushed writes, exactly as on real
+  /// hardware).
+  void on_node_down(int node);
 
  private:
   void directory_add(std::uint64_t lba, int node);

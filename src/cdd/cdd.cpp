@@ -38,16 +38,18 @@ sim::Task<> CddService::handle(Request req) {
         // the client's controller falls back to its degraded path.
         if (!d.readable(req.offset, req.nblocks)) {
           reply.ok = false;
+          if (d.failed()) fabric_.notify_disk_failure(req.disk);
         } else {
           co_await d.io(disk::IoKind::kRead, req.offset, req.nblocks,
                         req.prio, serve.ctx());
           reply.data = d.read_payload(req.offset, req.nblocks);
         }
-      } catch (const disk::DiskFailedError&) {
+      } catch (const disk::DiskFailedError& e) {
         reply.ok = false;
+        fabric_.notify_disk_failure(e.disk_id);
       }
-      co_await send_reply(req.from, req.op, req.reply, std::move(reply),
-                          serve.ctx());
+      co_await send_reply(req.from, req.op, req.rpc_id, req.reply,
+                          std::move(reply), serve.ctx());
       break;
     }
     case Request::Op::kWrite: {
@@ -61,11 +63,12 @@ sim::Task<> CddService::handle(Request req) {
         co_await d.io(disk::IoKind::kWrite, req.offset, req.nblocks,
                       req.prio, serve.ctx());
         d.write_data(req.offset, req.payload);
-      } catch (const disk::DiskFailedError&) {
+      } catch (const disk::DiskFailedError& e) {
         reply.ok = false;
+        fabric_.notify_disk_failure(e.disk_id);
       }
-      co_await send_reply(req.from, req.op, req.reply, std::move(reply),
-                          serve.ctx());
+      co_await send_reply(req.from, req.op, req.rpc_id, req.reply,
+                          std::move(reply), serve.ctx());
       break;
     }
     case Request::Op::kLock: {
@@ -86,7 +89,8 @@ sim::Task<> CddService::handle(Request req) {
               replicate_lock_state(g, req.lock_owner));
         }
       }
-      co_await send_reply(req.from, req.op, req.reply, Reply{}, serve.ctx());
+      co_await send_reply(req.from, req.op, req.rpc_id, req.reply, Reply{},
+                          serve.ctx());
       break;
     }
     case Request::Op::kUnlock: {
@@ -103,7 +107,8 @@ sim::Task<> CddService::handle(Request req) {
               replicate_lock_state(g, locks_.owner(g)));
         }
       }
-      co_await send_reply(req.from, req.op, req.reply, Reply{}, serve.ctx());
+      co_await send_reply(req.from, req.op, req.rpc_id, req.reply, Reply{},
+                          serve.ctx());
       break;
     }
     case Request::Op::kLockSync: {
@@ -115,19 +120,40 @@ sim::Task<> CddService::handle(Request req) {
       locks_.apply_replica_update(req.group, req.lock_owner);
       break;
     }
+    case Request::Op::kProbe: {
+      // Health query answered from device state: no media access, so a
+      // probe never perturbs the disk head or queues behind data traffic.
+      obs::Span serve = obs::trace_span(
+          cluster.sim(), req.ctx, "cdd.serve.probe", obs::Track::kServer,
+          node_, obs::SpanArgs{}.tag("node", node_).tag("disk", req.disk));
+      Reply reply;
+      co_await node.cpu_work(req.wire_bytes());
+      if (req.disk >= 0) reply.ok = !cluster.disk(req.disk).failed();
+      co_await send_reply(req.from, req.op, req.rpc_id, req.reply,
+                          std::move(reply), serve.ctx());
+      break;
+    }
   }
 }
 
 sim::Task<> CddService::send_reply(int to, Request::Op /*op*/,
+                                   std::uint64_t rpc_id,
                                    sim::Oneshot<Reply>* slot, Reply reply,
                                    obs::TraceContext ctx) {
-  assert(slot != nullptr);
   if (to != node_) {
     auto& cluster = fabric_.cluster();
     co_await cluster.node(node_).cpu_work(reply.wire_bytes());
-    co_await cluster.network().transmit(node_, to, reply.wire_bytes(), ctx);
+    const bool delivered = co_await cluster.network().transmit(
+        node_, to, reply.wire_bytes(), ctx);
+    // Reply lost to a partition: the client's watchdog owns the outcome.
+    if (!delivered) co_return;
   }
-  slot->set(std::move(reply));
+  if (rpc_id != 0) {
+    fabric_.deliver_reply(rpc_id, std::move(reply));
+  } else {
+    assert(slot != nullptr);
+    slot->set(std::move(reply));
+  }
 }
 
 sim::Task<> CddService::replicate_lock_state(std::uint64_t group,
@@ -145,14 +171,16 @@ sim::Task<> CddService::replicate_lock_state(std::uint64_t group,
     sync.group = group;
     sync.lock_owner = owner;
     sync.ctx = span.ctx();
-    co_await cluster.network().transmit(node_, peer, sync.wire_bytes(),
-                                        span.ctx());
-    fabric_.service(peer).mailbox().send(std::move(sync));
+    const bool delivered = co_await cluster.network().transmit(
+        node_, peer, sync.wire_bytes(), span.ctx());
+    // Replication is best-effort one-way traffic; a partitioned peer just
+    // misses the update (its replica is advisory, never authoritative).
+    if (delivered) fabric_.service(peer).mailbox().send(std::move(sync));
   }
 }
 
 CddFabric::CddFabric(cluster::Cluster& cluster, CddParams params)
-    : cluster_(cluster), params_(params) {
+    : cluster_(cluster), params_(params), backoff_rng_(params.backoff_seed) {
   services_.reserve(static_cast<std::size_t>(cluster.num_nodes()));
   for (int i = 0; i < cluster.num_nodes(); ++i) {
     services_.push_back(std::make_unique<CddService>(*this, i));
@@ -161,26 +189,123 @@ CddFabric::CddFabric(cluster::Cluster& cluster, CddParams params)
 }
 
 sim::Task<Reply> CddFabric::submit(int client, int target_node, Request req) {
-  sim::Oneshot<Reply> slot(cluster_.sim());
   req.from = client;
-  req.reply = &slot;
   const std::uint64_t request_bytes = req.wire_bytes();
-  const obs::TraceContext ctx = req.ctx;  // req is moved away below
+  const obs::TraceContext ctx = req.ctx;  // req may be moved away below
 
   if (target_node == client) {
     ++local_requests_;
+    sim::Oneshot<Reply> slot(cluster_.sim());
+    req.reply = &slot;
     service(client).mailbox().send(std::move(req));
     co_return co_await slot.wait();
   }
 
   ++remote_requests_;
-  co_await cluster_.node(client).cpu_work(request_bytes);
-  co_await cluster_.network().transmit(client, target_node, request_bytes,
-                                       ctx);
-  service(target_node).mailbox().send(std::move(req));
-  Reply reply = co_await slot.wait();
-  co_await cluster_.node(client).cpu_work(reply.wire_bytes());
-  co_return reply;
+
+  // Only data-path ops are safely retryable: reads and probes are
+  // idempotent, and block writes are idempotent at this layer (same
+  // payload to the same physical extent).  Lock traffic never times out
+  // (see CddParams), so its reply routes through the raw slot pointer.
+  const bool can_retry = req.op == Request::Op::kRead ||
+                         req.op == Request::Op::kWrite ||
+                         req.op == Request::Op::kProbe;
+  const sim::Time timeout =
+      can_retry ? (req.timeout > 0 ? req.timeout : params_.request_timeout)
+                : 0;
+
+  if (timeout <= 0) {
+    sim::Oneshot<Reply> slot(cluster_.sim());
+    req.reply = &slot;
+    co_await cluster_.node(client).cpu_work(request_bytes);
+    const bool delivered = co_await cluster_.network().transmit(
+        client, target_node, request_bytes, ctx);
+    if (delivered) service(target_node).mailbox().send(std::move(req));
+    // An undelivered request with no watchdog waits forever -- exactly the
+    // seed's semantics; chaos runs must configure request_timeout.
+    Reply reply = co_await slot.wait();
+    co_await cluster_.node(client).cpu_work(reply.wire_bytes());
+    co_return reply;
+  }
+
+  const int max_retries =
+      req.retries >= 0 ? req.retries : params_.max_retries;
+  for (int attempt = 0;; ++attempt) {
+    // Fresh slot and fresh rpc id per attempt: a reply to an abandoned
+    // attempt finds no map entry and is dropped, never double-delivered.
+    sim::Oneshot<Reply> slot(cluster_.sim());
+    const std::uint64_t id = ++rpc_seq_;
+    pending_.emplace(id, &slot);
+    Request wire = req;       // keep `req` for potential retries
+    wire.rpc_id = id;
+    wire.reply = nullptr;     // timed RPCs route through the pending map
+    co_await cluster_.node(client).cpu_work(request_bytes);
+    const bool delivered = co_await cluster_.network().transmit(
+        client, target_node, request_bytes, ctx);
+    if (delivered) service(target_node).mailbox().send(std::move(wire));
+    cluster_.sim().schedule(timeout, [this, id] { resolve_timeout(id); });
+    Reply reply = co_await slot.wait();
+    if (!reply.timed_out) {
+      co_await cluster_.node(client).cpu_work(reply.wire_bytes());
+      co_return reply;
+    }
+    ++timeouts_;
+    if (attempt >= max_retries) {
+      ++retries_exhausted_;
+      co_return reply;  // ok = false, timed_out = true
+    }
+    ++retries_;
+    co_await cluster_.sim().delay(backoff_delay(attempt));
+  }
+}
+
+void CddFabric::resolve_timeout(std::uint64_t rpc_id) {
+  auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) return;  // real reply won the race
+  sim::Oneshot<Reply>* slot = it->second;
+  pending_.erase(it);
+  Reply reply;
+  reply.ok = false;
+  reply.timed_out = true;
+  slot->set(std::move(reply));
+}
+
+bool CddFabric::deliver_reply(std::uint64_t rpc_id, Reply reply) {
+  auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) {
+    // The watchdog already abandoned this attempt; the waiter's slot is
+    // gone (possibly destroyed), so the late reply must be dropped.
+    ++late_replies_;
+    return false;
+  }
+  sim::Oneshot<Reply>* slot = it->second;
+  pending_.erase(it);
+  slot->set(std::move(reply));
+  return true;
+}
+
+sim::Time CddFabric::backoff_delay(int attempt) {
+  double d = static_cast<double>(params_.backoff_base);
+  for (int i = 0; i < attempt; ++i) d *= params_.backoff_multiplier;
+  if (params_.backoff_jitter > 0) {
+    d *= 1.0 + backoff_rng_.uniform_real(0.0, params_.backoff_jitter);
+  }
+  return static_cast<sim::Time>(d);
+}
+
+sim::Task<Reply> CddFabric::probe(int client, int node, int disk,
+                                  sim::Time timeout, obs::TraceContext ctx) {
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.probe", obs::Track::kRequest, client,
+      obs::SpanArgs{}.tag("client", client).tag("node", node).tag("disk",
+                                                                  disk));
+  Request req;
+  req.op = Request::Op::kProbe;
+  req.disk = disk;
+  req.timeout = timeout > 0 ? timeout : params_.request_timeout;
+  req.retries = 0;  // the prober's cadence is the retry policy
+  req.ctx = span.ctx();
+  co_return co_await submit(client, node, std::move(req));
 }
 
 sim::Task<Reply> CddFabric::read(int client, int disk_id, std::uint64_t offset,

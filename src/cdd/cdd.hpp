@@ -17,14 +17,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cdd/lock_table.hpp"
 #include "cdd/message.hpp"
 #include "cluster/cluster.hpp"
 #include "sim/channel.hpp"
+#include "sim/random.hpp"
 #include "sim/task.hpp"
 
 namespace raidx::cdd {
@@ -32,6 +35,23 @@ namespace raidx::cdd {
 struct CddParams {
   /// Mirror every lock grant/release to all peer consistency modules.
   bool replicate_lock_table = true;
+
+  /// Client-side timeout on remote read/write/probe RPCs; 0 (the default)
+  /// keeps the seed behavior of waiting forever, and leaves the request
+  /// path bit-identical to builds that predate recovery orchestration.
+  /// Lock traffic never times out: the home node is also where the data
+  /// lives, so a dead lock home fails the I/O itself, and retrying a
+  /// queued FIFO acquire would reorder writers.
+  sim::Time request_timeout = 0;
+  /// Retries after the first timeout before giving up (Reply.timed_out).
+  int max_retries = 3;
+  /// Exponential backoff between retries: base * multiplier^attempt,
+  /// stretched by a seeded jitter in [0, backoff_jitter] so synchronized
+  /// clients desynchronize deterministically.
+  sim::Time backoff_base = sim::milliseconds(1);
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.25;
+  std::uint64_t backoff_seed = 0x5eedb0ff;
 };
 
 class CddFabric;
@@ -53,8 +73,9 @@ class CddService {
 
   sim::Task<> server_loop();
   sim::Task<> handle(Request req);
-  sim::Task<> send_reply(int to, Request::Op op, sim::Oneshot<Reply>* slot,
-                         Reply reply, obs::TraceContext ctx = {});
+  sim::Task<> send_reply(int to, Request::Op op, std::uint64_t rpc_id,
+                         sim::Oneshot<Reply>* slot, Reply reply,
+                         obs::TraceContext ctx = {});
   sim::Task<> replicate_lock_state(std::uint64_t group, std::uint64_t owner);
 
   CddFabric& fabric_;
@@ -95,6 +116,35 @@ class CddFabric {
   sim::Task<> unlock_groups(int client, std::vector<std::uint64_t> groups,
                             std::uint64_t owner, obs::TraceContext ctx = {});
 
+  /// Health-check RPC: is `node` reachable, and (disk >= 0) is that disk
+  /// alive?  Answered from device state with no media access, so probes
+  /// never perturb disk heads or queue behind data traffic.  `timeout`
+  /// bounds the round trip (0 falls back to the fabric default); probes
+  /// are never retried -- the prober's own cadence is the retry policy.
+  sim::Task<Reply> probe(int client, int node, int disk = -1,
+                         sim::Time timeout = 0, obs::TraceContext ctx = {});
+
+  /// Called by a CddService when a media access hits a failed disk, so
+  /// detection can ride ordinary traffic instead of waiting for a probe
+  /// round.  The listener runs synchronously; it must be cheap and spawn
+  /// any real work (the ha::Orchestrator registers itself here).
+  void set_disk_failure_listener(std::function<void(int)> fn) {
+    disk_failure_listener_ = std::move(fn);
+  }
+  void notify_disk_failure(int disk) {
+    if (disk_failure_listener_) disk_failure_listener_(disk);
+  }
+
+  /// Deterministic backoff before retry number `attempt` (0-based), with
+  /// the seeded jitter applied.  Public so tests can pin the schedule.
+  sim::Time backoff_delay(int attempt);
+
+  bool timeouts_enabled() const { return params_.request_timeout > 0; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+  std::uint64_t late_replies() const { return late_replies_; }
+
   /// Mint a fresh lock-owner token (unique across the fabric's lifetime).
   std::uint64_t next_lock_owner() { return ++lock_owner_seq_; }
 
@@ -119,12 +169,32 @@ class CddFabric {
   /// reply has fully arrived back at the client.
   sim::Task<Reply> submit(int client, int target_node, Request req);
 
+  /// Watchdog fired for a pending RPC: resolve it with a timed-out reply
+  /// unless the real reply won the race (then the map entry is gone).
+  void resolve_timeout(std::uint64_t rpc_id);
+  /// Route a server reply to the pending slot; false (and counted) when
+  /// the watchdog already abandoned the RPC -- the late reply is dropped,
+  /// never delivered twice.
+  bool deliver_reply(std::uint64_t rpc_id, Reply reply);
+
   cluster::Cluster& cluster_;
   CddParams params_;
   std::vector<std::unique_ptr<CddService>> services_;
   std::uint64_t remote_requests_ = 0;
   std::uint64_t local_requests_ = 0;
   std::uint64_t lock_owner_seq_ = 0;
+  /// rpc_id -> reply slot of the attempt still waiting.  Entries are
+  /// erased by whichever of {server reply, timeout watchdog} gets there
+  /// first; the slot pointer lives in submit()'s frame, which the erasure
+  /// protocol keeps alive until the slot resolves.
+  std::unordered_map<std::uint64_t, sim::Oneshot<Reply>*> pending_;
+  std::uint64_t rpc_seq_ = 0;
+  sim::Rng backoff_rng_;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint64_t late_replies_ = 0;
+  std::function<void(int)> disk_failure_listener_;
 };
 
 }  // namespace raidx::cdd

@@ -12,14 +12,15 @@ bool LockGroupTable::try_acquire_now(std::uint64_t group,
     e.owner = owner;
     return true;
   }
-  return false;
+  // Idempotent re-acquire: a retried kLock whose original grant succeeded
+  // (the grant reply was lost) must not queue behind itself.
+  return e.owner == owner;
 }
 
 sim::Task<> LockGroupTable::acquire(std::uint64_t group,
                                     std::uint64_t owner) {
   if (try_acquire_now(group, owner)) co_return;
   Entry& e = table_[group];
-  assert(e.owner != owner && "lock groups are not re-entrant");
   auto trigger = std::make_unique<sim::Trigger>(sim_);
   sim::Trigger* waiting_on = trigger.get();
   e.queue.push_back(Waiter{owner, std::move(trigger)});
@@ -28,9 +29,9 @@ sim::Task<> LockGroupTable::acquire(std::uint64_t group,
 
 void LockGroupTable::release(std::uint64_t group, std::uint64_t owner) {
   auto it = table_.find(group);
-  assert(it != table_.end() && it->second.owner == owner &&
-         "release by non-owner");
-  (void)owner;
+  // Idempotent: releasing a group this owner does not hold (a duplicate
+  // unlock after a lost reply) is a no-op, never a steal.
+  if (it == table_.end() || it->second.owner != owner) return;
   Entry& e = it->second;
   if (e.queue.empty()) {
     table_.erase(it);

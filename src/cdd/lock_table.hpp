@@ -25,15 +25,20 @@ class LockGroupTable {
 
   /// Completes once `owner` holds the exclusive write lock on `group`.
   /// Owners are unique requester tokens (0 = free sentinel), not node ids:
-  /// two writers on one node must still exclude each other.
+  /// two writers on one node must still exclude each other.  Idempotent:
+  /// re-acquiring a group the owner already holds succeeds immediately, so
+  /// a retried kLock whose grant reply was lost never deadlocks on itself.
   sim::Task<> acquire(std::uint64_t group, std::uint64_t owner);
 
   /// Uncontended fast path: grab the lock without spinning up a coroutine
-  /// frame.  Returns false (and takes nothing) if the group is held or has
-  /// waiters; fall back to acquire() then.
+  /// frame.  Returns false (and takes nothing) if the group is held by
+  /// someone else or has waiters; fall back to acquire() then.  Returns
+  /// true when `owner` already holds the group (idempotent re-acquire).
   bool try_acquire_now(std::uint64_t group, std::uint64_t owner);
 
   /// Release; ownership passes atomically to the oldest waiter, if any.
+  /// Idempotent: releasing a group `owner` does not hold is a no-op (a
+  /// duplicate unlock after a lost reply must not steal the lock).
   void release(std::uint64_t group, std::uint64_t owner);
 
   bool held(std::uint64_t group) const;

@@ -16,6 +16,10 @@ inline constexpr std::uint64_t kHeaderBytes = 128;
 
 struct Reply {
   bool ok = true;
+  /// Set (with ok = false) when the client-side watchdog gave up on the
+  /// request: the server may be dead, partitioned, or just slow.  Never
+  /// set by a server -- a real reply always clears it.
+  bool timed_out = false;
   block::Payload data;  // read payload
 
   std::uint64_t wire_bytes() const { return kHeaderBytes + data.size(); }
@@ -28,6 +32,7 @@ struct Request {
     kLock,      // acquire a lock-group write lock (to its home manager)
     kUnlock,    // release it
     kLockSync,  // one-way lock-table replication update
+    kProbe,     // health query (node liveness / disk state); no media I/O
   };
 
   Op op = Op::kRead;
@@ -47,6 +52,16 @@ struct Request {
   /// "free" sentinel.
   std::uint64_t lock_owner = 0;
   sim::Oneshot<Reply>* reply = nullptr;  // null for one-way messages
+  /// Nonzero when the request runs under a client-side timeout: the reply
+  /// is then routed through the fabric's pending-RPC map (first of reply
+  /// and watchdog wins; a late reply is dropped) instead of the raw slot
+  /// pointer, which would dangle once the watchdog abandons the frame.
+  std::uint64_t rpc_id = 0;
+  /// Per-request overrides of CddParams request_timeout / max_retries;
+  /// timeout 0 = use the fabric default, retries -1 likewise.  Not
+  /// counted in wire_bytes(): policy lives on the client, not the wire.
+  sim::Time timeout = 0;
+  int retries = -1;
   /// Trace identity carried across the node boundary, so the server-side
   /// handling spans nest under the originating client request.  Not
   /// counted in wire_bytes(): trace ids ride in existing header slack.

@@ -1,0 +1,246 @@
+#include "ha/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "ha/ha.hpp"
+#include "sim/random.hpp"
+
+namespace raidx::ha {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("bad fault spec '" + spec + "': " + why);
+}
+
+/// "2.5s" / "150ms" / "40us" / "7ns" -> nanoseconds.
+sim::Time parse_time(const std::string& s, const std::string& spec) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    bad_spec(spec, "unparseable time '" + s + "'");
+  }
+  const std::string unit = s.substr(pos);
+  if (unit == "s") return sim::seconds(v);
+  if (unit == "ms") return sim::milliseconds(v);
+  if (unit == "us") return sim::microseconds(v);
+  if (unit == "ns") return static_cast<sim::Time>(v);
+  bad_spec(spec, "unknown time unit '" + unit + "' (use s|ms|us|ns)");
+}
+
+/// Split "a=1,b=2s" into key/value pairs.
+std::vector<std::pair<std::string, std::string>> parse_kv(
+    const std::string& body, const std::string& spec) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t end = body.find(',', start);
+    if (end == std::string::npos) end = body.size();
+    const std::string item = body.substr(start, end - start);
+    if (!item.empty()) {
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos) bad_spec(spec, "expected key=value in '" + item + "'");
+      out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      bad_spec(spec, "missing ':' in '" + item + "'");
+    }
+    const std::string verb = item.substr(0, colon);
+    std::string body = item.substr(colon + 1);
+
+    if (verb == "rand") {
+      std::uint64_t seed = 1;
+      int faults = 1;
+      sim::Time window = sim::seconds(1);
+      sim::Time heal = 0;
+      for (const auto& [k, v] : parse_kv(body, spec)) {
+        if (k == "seed") {
+          seed = std::stoull(v);
+        } else if (k == "faults") {
+          faults = std::stoi(v);
+        } else if (k == "window") {
+          window = parse_time(v, spec);
+        } else if (k == "heal") {
+          heal = parse_time(v, spec);
+        } else {
+          bad_spec(spec, "unknown rand key '" + k + "'");
+        }
+      }
+      FaultPlan r = random_plan(seed, total_disks, faults, window, heal);
+      for (const FaultEvent& ev : r.events_) plan.events_.push_back(ev);
+      continue;
+    }
+
+    // verb:target@time
+    const std::size_t at = body.find('@');
+    if (at == std::string::npos) bad_spec(spec, "missing '@time' in '" + item + "'");
+    const sim::Time when = parse_time(body.substr(at + 1), spec);
+    body = body.substr(0, at);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) bad_spec(spec, "expected disk=N or node=N in '" + item + "'");
+    const std::string kind = body.substr(0, eq);
+    int target = 0;
+    try {
+      target = std::stoi(body.substr(eq + 1));
+    } catch (const std::exception&) {
+      bad_spec(spec, "unparseable target in '" + item + "'");
+    }
+
+    FaultEvent ev;
+    ev.target = target;
+    ev.at = when;
+    if (verb == "fail" && kind == "disk") {
+      ev.kind = FaultEvent::Kind::kFailDisk;
+      if (target < 0 || target >= total_disks) {
+        bad_spec(spec, "disk " + std::to_string(target) + " out of range");
+      }
+    } else if (verb == "heal" && kind == "disk") {
+      ev.kind = FaultEvent::Kind::kHealDisk;
+      if (target < 0 || target >= total_disks) {
+        bad_spec(spec, "disk " + std::to_string(target) + " out of range");
+      }
+    } else if (verb == "part" && kind == "node") {
+      ev.kind = FaultEvent::Kind::kPartitionNode;
+    } else if (verb == "join" && kind == "node") {
+      ev.kind = FaultEvent::Kind::kJoinNode;
+    } else {
+      bad_spec(spec, "unknown event '" + verb + ":" + kind + "'");
+    }
+    plan.events_.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_plan(std::uint64_t seed, int targets, int faults,
+                                 sim::Time window, sim::Time heal_after) {
+  FaultPlan plan;
+  if (targets <= 0 || faults <= 0 || window <= 0) return plan;
+  sim::Rng rng(seed);
+
+  // Distinct uniform instants in [window/10, window], sorted: the leading
+  // tenth is kept quiet so every run has a clean warm-up.
+  std::vector<sim::Time> when;
+  when.reserve(static_cast<std::size_t>(faults));
+  for (int i = 0; i < faults; ++i) {
+    when.push_back(rng.uniform(window / 10, window));
+  }
+  std::sort(when.begin(), when.end());
+
+  // A disk still down (failed, not yet healed) is never re-failed: the
+  // plan exercises single-failure tolerance, not data loss.
+  std::vector<sim::Time> down_until(static_cast<std::size_t>(targets), 0);
+  for (int i = 0; i < faults; ++i) {
+    const sim::Time t = when[static_cast<std::size_t>(i)];
+    int disk = -1;
+    for (int tries = 0; tries < 8 * targets; ++tries) {
+      const int cand = static_cast<int>(rng.uniform(0, targets - 1));
+      const sim::Time until = down_until[static_cast<std::size_t>(cand)];
+      if (until == 0 || (heal_after > 0 && until <= t)) {
+        disk = cand;
+        break;
+      }
+    }
+    if (disk < 0) continue;  // everything still down; drop this fault
+    plan.events_.push_back(
+        FaultEvent{FaultEvent::Kind::kFailDisk, disk, t});
+    if (heal_after > 0) {
+      plan.events_.push_back(
+          FaultEvent{FaultEvent::Kind::kHealDisk, disk, t + heal_after});
+      down_until[static_cast<std::size_t>(disk)] = t + heal_after;
+    } else {
+      down_until[static_cast<std::size_t>(disk)] =
+          std::numeric_limits<sim::Time>::max();
+    }
+  }
+  return plan;
+}
+
+void FaultPlan::arm(cluster::Cluster& cluster, Orchestrator* orch) {
+  if (events_.empty()) return;
+  // Stable sort: same-instant events apply in spec order.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  cluster.sim().spawn(driver(cluster, orch));
+}
+
+sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch) {
+  for (const FaultEvent& ev : events_) {
+    const sim::Time now = cluster.sim().now();
+    if (ev.at > now) co_await cluster.sim().delay(ev.at - now);
+    switch (ev.kind) {
+      case FaultEvent::Kind::kFailDisk:
+        cluster.disk(ev.target).fail();
+        if (orch) orch->note_fault_injected(ev.target);
+        break;
+      case FaultEvent::Kind::kHealDisk:
+        if (orch) {
+          orch->note_disk_serviced(ev.target);
+        } else if (cluster.disk(ev.target).failed()) {
+          // No orchestrator: bare swap, caller rebuilds manually.
+          cluster.disk(ev.target).replace();
+        }
+        break;
+      case FaultEvent::Kind::kPartitionNode:
+        cluster.network().set_node_up(ev.target, false);
+        if (orch) orch->note_node_partitioned(ev.target);
+        break;
+      case FaultEvent::Kind::kJoinNode:
+        cluster.network().set_node_up(ev.target, true);
+        if (orch) orch->note_node_joined(ev.target);
+        break;
+    }
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[96];
+  for (const FaultEvent& ev : events_) {
+    const char* what = "";
+    const char* unit = "disk";
+    switch (ev.kind) {
+      case FaultEvent::Kind::kFailDisk: what = "fail"; break;
+      case FaultEvent::Kind::kHealDisk: what = "heal"; break;
+      case FaultEvent::Kind::kPartitionNode:
+        what = "part";
+        unit = "node";
+        break;
+      case FaultEvent::Kind::kJoinNode:
+        what = "join";
+        unit = "node";
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "%s %s %d @ %.3fs\n", what, unit,
+                  ev.target, sim::to_seconds(ev.at));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace raidx::ha

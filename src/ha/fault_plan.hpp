@@ -1,0 +1,82 @@
+// Deterministic chaos scheduler: a seeded list of fail/heal/partition
+// events applied at fixed simulated instants.
+//
+// A plan is data, not behavior: parse it from a spec string (the
+// `raidxsim --faults=<spec>` surface), or generate one from a seed, then
+// arm() it against a cluster.  Two runs with the same spec and seed inject
+// the exact same faults at the exact same simulated times, so chaos
+// results are reproducible and bisectable.
+//
+// Spec grammar (events separated by ';', times as FLOAT + s|ms|us|ns):
+//   fail:disk=3@2s        kill disk 3 at t=2s
+//   heal:disk=3@8s        operator services slot 3 at t=8s
+//   part:node=1@1s        partition node 1 off the network at t=1s
+//   join:node=1@4s        heal the partition at t=4s
+//   rand:seed=7,faults=2,window=10s[,heal=3s]
+//                         seeded random plan: 2 disk failures uniformly
+//                         inside [window/10, window], each healed
+//                         heal= later (omit heal= to leave them dead)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::cluster {
+class Cluster;
+}
+
+namespace raidx::ha {
+
+class Orchestrator;
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kFailDisk,
+    kHealDisk,
+    kPartitionNode,
+    kJoinNode,
+  };
+  Kind kind = Kind::kFailDisk;
+  int target = 0;  // disk id or node id
+  sim::Time at = 0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse a spec string; `total_disks` bounds targets and feeds the
+  /// rand: generator.  Throws std::invalid_argument on malformed specs.
+  static FaultPlan parse(const std::string& spec, int total_disks);
+
+  /// Seeded random plan: `faults` disk failures at distinct uniform times
+  /// in [window/10, window], targets drawn over [0, targets); when
+  /// heal_after > 0 every failure is serviced that much later, and a disk
+  /// is never re-failed while still down.
+  static FaultPlan random_plan(std::uint64_t seed, int targets, int faults,
+                               sim::Time window, sim::Time heal_after = 0);
+
+  void add(FaultEvent ev) { events_.push_back(ev); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Spawn the driver task: sleeps to each event's instant and applies it
+  /// (disk.fail(), network partition, ...), notifying `orch` when given so
+  /// detection latency is measured from the true injection time.  The
+  /// driver runs in the foreground; the plan object must outlive the run.
+  void arm(cluster::Cluster& cluster, Orchestrator* orch = nullptr);
+
+  /// Human-readable one-line-per-event rendering (CLI banner).
+  std::string describe() const;
+
+ private:
+  sim::Task<> driver(cluster::Cluster& cluster, Orchestrator* orch);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace raidx::ha

@@ -8,7 +8,8 @@ Network::Network(sim::Simulation& sim, NetParams params, int nodes)
     : sim_(sim),
       params_(params),
       bytes_sent_(static_cast<std::size_t>(nodes), 0),
-      msgs_sent_(static_cast<std::size_t>(nodes), 0) {
+      msgs_sent_(static_cast<std::size_t>(nodes), 0),
+      up_(static_cast<std::size_t>(nodes), 1) {
   assert(nodes > 0);
   tx_.reserve(static_cast<std::size_t>(nodes));
   rx_.reserve(static_cast<std::size_t>(nodes));
@@ -20,13 +21,21 @@ Network::Network(sim::Simulation& sim, NetParams params, int nodes)
   rx_rec_.resize(static_cast<std::size_t>(nodes));
 }
 
-sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
-                              obs::TraceContext ctx) {
+void Network::set_node_up(int node, bool up) {
+  assert(node >= 0 && node < nodes());
+  fault_injection_used_ = true;
+  up_[static_cast<std::size_t>(node)] = up ? 1 : 0;
+}
+
+sim::Task<bool> Network::transmit(int from, int to, std::uint64_t bytes,
+                                  obs::TraceContext ctx) {
   assert(from >= 0 && from < nodes());
   assert(to >= 0 && to < nodes());
   bytes_sent_[static_cast<std::size_t>(from)] += bytes;
   ++msgs_sent_[static_cast<std::size_t>(from)];
-  if (from == to) co_return;
+  // Loopback never touches the wire, so a partition cannot cut a node off
+  // from its own disks.
+  if (from == to) co_return true;
 
   obs::Span msg = obs::trace_span(
       sim_, ctx, "net.transmit", obs::Track::kRequest, from,
@@ -49,6 +58,14 @@ sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
         sim_, obs::Track::kNetTx, from, grant, sim_.now());
   }
   co_await sim_.delay(params_.switch_latency);
+  // Partition check at the switch, after the sender has paid its TX cost:
+  // the frame left the NIC, the switch has no live port to forward it to.
+  // Checked once per message (not per phase) so the drop point is
+  // deterministic.
+  if (!node_up(from) || !node_up(to)) {
+    ++dropped_;
+    co_return false;
+  }
   {
     auto rx = co_await rx_[static_cast<std::size_t>(to)]->acquire();
     const sim::Time grant = sim_.now();
@@ -61,6 +78,7 @@ sim::Task<> Network::transmit(int from, int to, std::uint64_t bytes,
     rx_rec_[static_cast<std::size_t>(to)].record(
         sim_, obs::Track::kNetRx, to, grant, sim_.now());
   }
+  co_return true;
 }
 
 }  // namespace raidx::net

@@ -42,9 +42,25 @@ class Network {
 
   /// Move `bytes` from node `from` to node `to`; completes when the last
   /// byte has drained from the receiver's port.  from == to is free (the
-  /// loopback path never touches the wire).
-  sim::Task<> transmit(int from, int to, std::uint64_t bytes,
-                       obs::TraceContext ctx = {});
+  /// loopback path never touches the wire).  Returns true when the message
+  /// was delivered; false when either endpoint was partitioned away
+  /// (set_node_up) -- the sender still pays its TX serialization (the NIC
+  /// transmits into a dead link), the message is dropped at the switch,
+  /// and the caller must not deliver the payload.  With every node up the
+  /// event sequence is bit-identical to the pre-fault-injection model.
+  sim::Task<bool> transmit(int from, int to, std::uint64_t bytes,
+                           obs::TraceContext ctx = {});
+
+  /// Fault injection: mark a node's link up/down (down drops every message
+  /// to or from it at the switch).  Nodes start up.
+  void set_node_up(int node, bool up);
+  bool node_up(int node) const {
+    return up_[static_cast<std::size_t>(node)] != 0;
+  }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  /// True once set_node_up has ever been called: obs export gates the
+  /// drop counter on this so fault-free runs keep their exact key set.
+  bool fault_injection_used() const { return fault_injection_used_; }
 
   int nodes() const { return static_cast<int>(tx_.size()); }
   const NetParams& params() const { return params_; }
@@ -63,6 +79,9 @@ class Network {
   std::vector<obs::BusyRecorder> rx_rec_;
   std::vector<std::uint64_t> bytes_sent_;
   std::vector<std::uint64_t> msgs_sent_;
+  std::vector<char> up_;
+  std::uint64_t dropped_ = 0;
+  bool fault_injection_used_ = false;
 };
 
 }  // namespace raidx::net

@@ -6,6 +6,8 @@
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "cluster/cluster.hpp"
+#include "ha/ha.hpp"
+#include "sim/token_bucket.hpp"
 
 namespace raidx::obs {
 
@@ -21,7 +23,8 @@ std::string key(const char* layer, int idx, const char* metric) {
 
 void collect_cluster(Registry& reg, cluster::Cluster& cluster,
                      const cdd::CddFabric* fabric,
-                     const cache::CacheFabric* cache) {
+                     const cache::CacheFabric* cache,
+                     const ha::Orchestrator* orch) {
   sim::Simulation& sim = cluster.sim();
   const double elapsed = static_cast<double>(sim.now());
 
@@ -75,9 +78,21 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
                            : 0.0);
   }
 
+  // Dropped-message count only exists once someone partitioned a node;
+  // gating on fault_injection_used keeps fault-free key sets unchanged.
+  if (net.fault_injection_used()) {
+    reg.counter("net.messages_dropped").inc(net.messages_dropped());
+  }
+
   if (fabric != nullptr) {
     reg.counter("cdd.local_requests").inc(fabric->local_requests());
     reg.counter("cdd.remote_requests").inc(fabric->remote_requests());
+    if (fabric->timeouts_enabled()) {
+      reg.counter("cdd.timeouts").inc(fabric->timeouts());
+      reg.counter("cdd.retries").inc(fabric->retries());
+      reg.counter("cdd.retries_exhausted").inc(fabric->retries_exhausted());
+      reg.counter("cdd.late_replies").inc(fabric->late_replies());
+    }
   }
 
   if (cache != nullptr && cache->enabled()) {
@@ -91,6 +106,37 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
     reg.counter("cache.flushes").inc(s.flushes);
     reg.counter("cache.evictions").inc(s.evictions);
     reg.gauge("cache.hit_ratio").set(s.hit_ratio());
+    if (net.fault_injection_used()) {
+      reg.counter("cache.dead_holder_skips").inc(s.dead_holder_skips);
+      reg.counter("cache.dirty_lost").inc(s.dirty_lost);
+    }
+  }
+
+  if (orch != nullptr) {
+    const ha::HaStats& s = orch->stats();
+    reg.counter("ha.detections").inc(s.detections);
+    reg.counter("ha.detections_by_traffic").inc(s.detections_by_traffic);
+    reg.counter("ha.detections_by_probe").inc(s.detections_by_probe);
+    reg.counter("ha.failovers").inc(s.failovers);
+    reg.counter("ha.spare_exhausted").inc(s.spare_exhausted);
+    reg.counter("ha.rebuilds_completed").inc(s.rebuilds_completed);
+    reg.counter("ha.rebuilds_failed").inc(s.rebuilds_failed);
+    reg.counter("ha.nodes_declared_down").inc(s.nodes_declared_down);
+    reg.counter("ha.nodes_recovered").inc(s.nodes_recovered);
+    reg.counter("ha.probes_sent").inc(s.probes_sent);
+    reg.counter("ha.spares_available")
+        .inc(static_cast<std::uint64_t>(orch->spares().total_available()));
+    for (sim::Time t : s.detection_ns) {
+      reg.histogram("ha.detection_ns").observe(static_cast<std::uint64_t>(t));
+    }
+    for (sim::Time t : s.mttr_ns) {
+      reg.histogram("ha.mttr_ns").observe(static_cast<std::uint64_t>(t));
+    }
+    if (const sim::TokenBucket* tb = orch->throttle()) {
+      reg.counter("ha.rebuild_throttled_ns")
+          .inc(static_cast<std::uint64_t>(tb->throttled_ns()));
+      reg.counter("ha.rebuild_granted_bytes").inc(tb->granted_tokens());
+    }
   }
 }
 

@@ -15,14 +15,22 @@ class CddFabric;
 namespace raidx::cache {
 class CacheFabric;
 }
+namespace raidx::ha {
+class Orchestrator;
+}
 
 namespace raidx::obs {
 
 /// Fill `reg` with the cluster's per-resource counters and utilization
-/// gauges.  `fabric` and `cache` are optional (null skips their section).
-/// Utilization gauges divide busy time by the simulation's current time.
+/// gauges.  `fabric`, `cache` and `orch` are optional (null skips their
+/// section).  Utilization gauges divide busy time by the simulation's
+/// current time.  Fault-path keys (net.messages_dropped, cdd timeout and
+/// cache fault counters, every ha.* key) appear only when the matching
+/// feature was actually configured or exercised, so fault-free runs keep
+/// the pre-orchestration key set bit-identical.
 void collect_cluster(Registry& reg, cluster::Cluster& cluster,
                      const cdd::CddFabric* fabric,
-                     const cache::CacheFabric* cache);
+                     const cache::CacheFabric* cache,
+                     const ha::Orchestrator* orch = nullptr);
 
 }  // namespace raidx::obs

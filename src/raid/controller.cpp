@@ -983,6 +983,15 @@ sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
   cdd::Reply r = co_await fabric_.read(client, first.disk, first.offset, 1,
                                        disk::IoPriority::kForeground, ctx);
   if (!r.ok) {
+    // Falling back to the image: an in-flight deferred flush is fresher
+    // than the image disk.  (The data-copy fallback needs no such check;
+    // data blocks are written in the foreground, under locks.)
+    if (second.disk == image_pb.disk && second.offset == image_pb.offset) {
+      if (const block::Payload* p = pending_image(lba)) {
+        p->copy_to(out);
+        co_return;
+      }
+    }
     r = co_await fabric_.read(client, second.disk, second.offset, 1,
                               disk::IoPriority::kForeground, ctx);
   }
@@ -1001,6 +1010,20 @@ sim::Task<> RaidxController::flush_stripe_images(
   const std::uint64_t first = layout_.stripe_first_lba(stripe);
 
   if (params_.clustered_images) {
+    // Buffer every image in this stripe while the clustered run is in
+    // flight; degraded reads serve from here instead of the stale disk.
+    const std::uint64_t seq = ++pending_image_seq_;
+    for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+      const std::uint64_t l = imgs.clustered_lbas[i];
+      pending_images_[l] = PendingImage{
+          seq, stripe_data.slice(static_cast<std::size_t>(l - first) * bs,
+                                 bs)};
+    }
+    pending_images_[imgs.neighbor_lba] = PendingImage{
+        seq,
+        stripe_data.slice(
+            static_cast<std::size_t>(imgs.neighbor_lba - first) * bs, bs)};
+
     // One long sequential write of the n-1 clustered images...
     sim::Joiner join(sim());
     auto write_run = [](RaidxController* self, int c, block::PhysExtent e,
@@ -1029,6 +1052,16 @@ sim::Task<> RaidxController::flush_stripe_images(
             static_cast<std::size_t>(imgs.neighbor_lba - first) * bs, bs),
         ctx));
     co_await join.wait();
+
+    for (std::uint32_t i = 0; i <= imgs.clustered.nblocks; ++i) {
+      const std::uint64_t l = i < imgs.clustered.nblocks
+                                  ? imgs.clustered_lbas[i]
+                                  : imgs.neighbor_lba;
+      const auto it = pending_images_.find(l);
+      if (it != pending_images_.end() && it->second.seq == seq) {
+        pending_images_.erase(it);
+      }
+    }
   } else {
     // Ablation: scatter n individual image writes (declustering-style).
     sim::Joiner join(sim());
@@ -1047,8 +1080,14 @@ sim::Task<> RaidxController::flush_block_image(int client, std::uint64_t lba,
                                                block::Payload data,
                                                obs::TraceContext ctx) {
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
+  const std::uint64_t seq = ++pending_image_seq_;
+  pending_images_[lba] = PendingImage{seq, data};
   co_await fabric_.write(client, img.disk, img.offset, std::move(data),
                          disk::IoPriority::kBackground, ctx);
+  const auto it = pending_images_.find(lba);
+  if (it != pending_images_.end() && it->second.seq == seq) {
+    pending_images_.erase(it);
+  }
 }
 
 sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
@@ -1125,6 +1164,8 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
 
 sim::Task<block::Payload> RaidxController::degraded_read_block(
     int client, std::uint64_t lba, obs::TraceContext ctx) {
+  // An in-flight deferred flush holds fresher bytes than the image disk.
+  if (const block::Payload* p = pending_image(lba)) co_return *p;
   const block::PhysBlock img = layout_.mirror_locations(lba)[0];
   cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,
                                        disk::IoPriority::kForeground, ctx);

@@ -18,6 +18,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "block/payload.hpp"
@@ -32,6 +33,10 @@
 #include "raid/raidx.hpp"
 #include "sim/join.hpp"
 #include "sim/task.hpp"
+
+namespace raidx::sim {
+class TokenBucket;  // sim/token_bucket.hpp; only rebuild sweeps touch it
+}
 
 namespace raidx::raid {
 
@@ -157,6 +162,23 @@ class ArrayController : public IoEngine {
   /// for RAID-x with background mirroring.
   int background_in_flight() const { return background_in_flight_; }
 
+  /// Restore a replaced disk's contents from redundancy.  Levels with a
+  /// rebuild path (RAID-1/5/10/x) override; the base (RAID-0 has no
+  /// redundancy) fails with IoError.  `max_offset` bounds the sweep in the
+  /// level's own geometry units; the default covers the whole disk.
+  virtual sim::Task<> rebuild_disk(int client, int disk_id,
+                                   std::uint64_t max_offset = ~0ull);
+
+  /// Cap rebuild-sweep write bandwidth with a token bucket (tokens are
+  /// bytes).  Null (the default) removes the cap and leaves the sweep's
+  /// event sequence bit-identical to pre-throttle builds.  The bucket is
+  /// borrowed, not owned; the caller keeps it alive across the sweep.
+  void set_rebuild_throttle(sim::TokenBucket* bucket) {
+    rebuild_throttle_ = bucket;
+  }
+  /// Bytes written by rebuild sweeps over this controller's lifetime.
+  std::uint64_t rebuild_bytes_written() const { return rebuild_bytes_; }
+
   /// Place data (and redundancy) directly into the disks' byte stores with
   /// no simulated time -- test/benchmark setup, not an I/O path.
   virtual void preload(std::uint64_t lba, std::span<const std::byte> data);
@@ -217,6 +239,10 @@ class ArrayController : public IoEngine {
   /// Charge client CPU for XOR work over `bytes`.
   sim::Task<> xor_cpu(int client, std::uint64_t bytes);
 
+  /// Account `bytes` of rebuild writes and, when a throttle is attached,
+  /// wait for that many tokens.  Called by every sweep before each write.
+  sim::Task<> rebuild_throttle_gate(std::uint64_t bytes);
+
   /// Read a contiguous physical extent, retrying per-block through
   /// degraded_read_block on disk failure.  Results land in `out` at the
   /// positions given by the extent's logical blocks relative to chunk_lba.
@@ -231,6 +257,8 @@ class ArrayController : public IoEngine {
   cdd::CddFabric& fabric_;
   EngineParams params_;
   int background_in_flight_ = 0;
+  sim::TokenBucket* rebuild_throttle_ = nullptr;
+  std::uint64_t rebuild_bytes_ = 0;
   cache::CacheFabric* cache_ = nullptr;
   /// Per-node "a flusher task is running" flags (write-back draining).
   std::vector<char> flusher_active_;
@@ -271,7 +299,7 @@ class Raid5Controller : public ArrayController {
   /// `max_offset` bounds the sweep (physical stripes rebuilt); the default
   /// covers the whole disk.
   sim::Task<> rebuild_disk(int client, int disk_id,
-                           std::uint64_t max_offset = ~0ull);
+                           std::uint64_t max_offset = ~0ull) override;
 
   /// Direct placement must also keep parity consistent.
   void preload(std::uint64_t lba, std::span<const std::byte> data) override;
@@ -313,7 +341,7 @@ class Raid10Controller : public ArrayController {
   /// Re-copy a replaced disk's primary and mirror zones from the chained
   /// neighbors.  `max_offset` bounds the data-zone rows swept.
   sim::Task<> rebuild_disk(int client, int disk_id,
-                           std::uint64_t max_offset = ~0ull);
+                           std::uint64_t max_offset = ~0ull) override;
 
  protected:
   /// With balance_mirror_reads, alternate extents between the primary and
@@ -350,7 +378,7 @@ class Raid1Controller : public ArrayController {
 
   /// Re-copy a replaced disk from its pair partner.
   sim::Task<> rebuild_disk(int client, int disk_id,
-                           std::uint64_t max_offset = ~0ull);
+                           std::uint64_t max_offset = ~0ull) override;
 
  protected:
   sim::Task<> read_chunk(int client, std::uint64_t lba, std::uint32_t nblocks,
@@ -376,7 +404,7 @@ class RaidxController : public ArrayController {
   /// from the surviving data blocks.  `max_offset` bounds the data-zone
   /// rows (q) swept.
   sim::Task<> rebuild_disk(int client, int disk_id,
-                           std::uint64_t max_offset = ~0ull);
+                           std::uint64_t max_offset = ~0ull) override;
 
  protected:
   /// With balance_mirror_reads, single-block reads alternate between the
@@ -402,6 +430,29 @@ class RaidxController : public ArrayController {
   sim::Task<> flush_block_image(int client, std::uint64_t lba,
                                 block::Payload data,
                                 obs::TraceContext ctx = {});
+
+  /// The image bytes of `lba` still in flight to the image disk, or null.
+  ///
+  /// Deferred image flushes (the OSM trick) run at background priority
+  /// AFTER the client's write has returned and released its locks, so the
+  /// on-disk image trails the data copy by up to one write.  Healthy reads
+  /// never notice -- they read data copies -- but the failure paths
+  /// (degraded reads, the rebuild sweep's data-zone restore) read images
+  /// and MUST prefer this buffer, or a client that just wrote a block can
+  /// read its previous contents back through the degraded path.  Healthy
+  /// paths deliberately do not consult it: serving a disk read from memory
+  /// would shift fault-free timings (and the committed baselines).
+  const block::Payload* pending_image(std::uint64_t lba) const {
+    const auto it = pending_images_.find(lba);
+    return it == pending_images_.end() ? nullptr : &it->second.data;
+  }
+
+  struct PendingImage {
+    std::uint64_t seq;  // newest write wins; stale flushes don't erase
+    block::Payload data;
+  };
+  std::unordered_map<std::uint64_t, PendingImage> pending_images_;
+  std::uint64_t pending_image_seq_ = 0;
 
   RaidxLayout layout_;
 };

@@ -1,8 +1,12 @@
 // Rebuild engines: restore a replaced disk's contents from redundancy.
 //
 // Rebuilds run at background disk priority so foreground traffic keeps its
-// latency while redundancy is being re-established.  Each level's sweep
-// follows its own geometry:
+// latency while redundancy is being re-established.  Each restore step is
+// a read-reconstruct-write over a stripe's surviving blocks, so it takes
+// the same lock groups a client write of those logical blocks would:
+// without the lock, a sweep that has read its sources can lose the CPU to
+// a foreground write of the same stripe and then stomp it with the stale
+// reconstruction.  Each level's sweep follows its own geometry:
 //  * RAID-5: every physical offset of the lost disk (data or parity alike)
 //    is the XOR of the other N-1 disks' blocks at the same offset.
 //  * RAID-10: primary zone re-copied from the chained mirror, mirror zone
@@ -12,6 +16,7 @@
 #include <algorithm>
 
 #include "raid/controller.hpp"
+#include "sim/token_bucket.hpp"
 
 namespace raidx::raid {
 
@@ -19,20 +24,44 @@ namespace {
 
 // Marks the target disk as rebuilding for the duration of the sweep; the
 // watermark rises as rows complete, so reads of not-yet-restored regions
-// keep falling back to the degraded path.  RAII: the rebuilding flag
-// clears even if the sweep throws (e.g. a second failure).
+// keep falling back to the degraded path.  A sweep must call complete()
+// after its last row; if it unwinds instead (e.g. a second failure aborts
+// it mid-sweep), the disk STAYS rebuilding at the frozen watermark --
+// clearing the flag would declare the unrestored tail readable and serve
+// zeros where data belongs.  An aborted rebuild can be resumed later:
+// begin_rebuild() restarts the sweep state from scratch.
 class RebuildScope {
  public:
   explicit RebuildScope(disk::Disk& d) : disk_(d) { disk_.begin_rebuild(); }
-  ~RebuildScope() { disk_.finish_rebuild(); }
+  ~RebuildScope() {
+    if (completed_) disk_.finish_rebuild();
+  }
   RebuildScope(const RebuildScope&) = delete;
   RebuildScope& operator=(const RebuildScope&) = delete;
   void advance(std::uint64_t watermark) { disk_.advance_rebuild(watermark); }
+  void complete() { completed_ = true; }
 
  private:
   disk::Disk& disk_;
+  bool completed_ = false;
 };
 }  // namespace
+
+sim::Task<> ArrayController::rebuild_disk(int /*client*/, int disk_id,
+                                          std::uint64_t /*max_offset*/) {
+  // Suspend once so the IoError surfaces at the caller's co_await like
+  // every other sweep failure, not synchronously out of the call.
+  co_await sim().delay(0);
+  throw IoError(name() + ": no rebuild path for disk " +
+                std::to_string(disk_id));
+}
+
+sim::Task<> ArrayController::rebuild_throttle_gate(std::uint64_t bytes) {
+  rebuild_bytes_ += bytes;
+  if (rebuild_throttle_ != nullptr) {
+    co_await rebuild_throttle_->acquire(bytes);
+  }
+}
 
 sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
                                           std::uint64_t max_offset) {
@@ -47,37 +76,59 @@ sim::Task<> Raid5Controller::rebuild_disk(int client, int disk_id,
 
   for (std::uint64_t off = 0; off < limit; ++off) {
     scope.advance(off);
-    // The missing block (data or parity) is the XOR of its stripe peers.
-    std::vector<cdd::Reply> peers;
-    peers.reserve(static_cast<std::size_t>(total - 1));
-    bool all_zero = true;
-    for (int d = 0; d < total; ++d) {
-      if (d == disk_id) continue;
-      cdd::Reply r = co_await fabric_.read(client, d, off, 1,
-                                           disk::IoPriority::kBackground, span.ctx());
-      if (!r.ok) {
-        throw IoError("RAID-5 rebuild: second failure on disk " +
-                      std::to_string(d));
+    // Physical offset `off` is stripe `off`; its writers all lock the
+    // stripe group, so holding it freezes data and parity alike.
+    std::vector<std::uint64_t> groups{off};
+    const std::uint64_t owner =
+        params_.use_locks ? fabric_.next_lock_owner() : 0;
+    if (params_.use_locks) {
+      co_await fabric_.lock_groups(client, groups, owner, span.ctx());
+    }
+    std::exception_ptr err;
+    try {
+      // The missing block (data or parity) is the XOR of its stripe peers.
+      std::vector<cdd::Reply> peers;
+      peers.reserve(static_cast<std::size_t>(total - 1));
+      bool all_zero = true;
+      for (int d = 0; d < total; ++d) {
+        if (d == disk_id) continue;
+        cdd::Reply r = co_await fabric_.read(client, d, off, 1,
+                                             disk::IoPriority::kBackground,
+                                             span.ctx());
+        if (!r.ok) {
+          throw IoError("RAID-5 rebuild: second failure on disk " +
+                        std::to_string(d));
+        }
+        if (!r.data.is_zeros()) all_zero = false;
+        peers.push_back(std::move(r));
       }
-      if (!r.data.is_zeros()) all_zero = false;
-      peers.push_back(std::move(r));
+      block::Payload rebuilt;
+      if (all_zero) {
+        rebuilt = block::Payload::zeros(bs);
+      } else {
+        std::vector<std::byte> acc(bs, std::byte{0});
+        for (const cdd::Reply& r : peers) block::xor_into(acc, r.data);
+        rebuilt = block::Payload(std::move(acc));
+      }
+      co_await xor_cpu(client, static_cast<std::uint64_t>(total - 1) * bs);
+      co_await rebuild_throttle_gate(bs);
+      cdd::Reply w = co_await fabric_.write(client, disk_id, off,
+                                            std::move(rebuilt),
+                                            disk::IoPriority::kBackground,
+                                            span.ctx());
+      if (!w.ok) {
+        throw IoError("RAID-5 rebuild: replacement disk failed");
+      }
+    } catch (...) {
+      err = std::current_exception();
     }
-    block::Payload rebuilt;
-    if (all_zero) {
-      rebuilt = block::Payload::zeros(bs);
-    } else {
-      std::vector<std::byte> acc(bs, std::byte{0});
-      for (const cdd::Reply& r : peers) block::xor_into(acc, r.data);
-      rebuilt = block::Payload(std::move(acc));
+    if (params_.use_locks) {
+      co_await fabric_.unlock_groups(client, std::move(groups), owner,
+                                     span.ctx());
     }
-    co_await xor_cpu(client, static_cast<std::uint64_t>(total - 1) * bs);
-    cdd::Reply w = co_await fabric_.write(client, disk_id, off,
-                                          std::move(rebuilt),
-                                          disk::IoPriority::kBackground, span.ctx());
-    if (!w.ok) {
-      throw IoError("RAID-5 rebuild: replacement disk failed");
-    }
+    if (err) std::rethrow_exception(err);
   }
+  scope.complete();
 }
 
 sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
@@ -99,31 +150,59 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
     const std::uint64_t stripe =
         off * static_cast<std::uint64_t>(geo.disks_per_node) +
         static_cast<std::uint64_t>(row);
-    // Primary zone: block `lba` lived here; its copy is on the next node.
     const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
-    if (lba < logical_blocks()) {
-      const int mirror_disk = geo.disk_id(row, (node + 1) % n);
-      cdd::Reply r =
-          co_await fabric_.read(client, mirror_disk,
-                                lay.mirror_zone_base() + off, 1,
-                                disk::IoPriority::kBackground, span.ctx());
-      if (!r.ok) throw IoError("RAID-10 rebuild: mirror copy unavailable");
-      co_await fabric_.write(client, disk_id, off, std::move(r.data),
-                             disk::IoPriority::kBackground, span.ctx());
-    }
-    // Mirror zone: this disk backs the previous node's primaries.
     const std::uint64_t backed_lba =
         stripe * nk + static_cast<std::uint64_t>((node + n - 1) % n);
+
+    // Writers lock per logical block; this row restores the primary of
+    // `lba` and the mirror of `backed_lba`.
+    std::vector<std::uint64_t> groups;
+    if (lba < logical_blocks()) groups.push_back(lock_group_of(lba));
     if (backed_lba < logical_blocks()) {
-      const int primary_disk = geo.disk_id(row, (node + n - 1) % n);
-      cdd::Reply r = co_await fabric_.read(client, primary_disk, off, 1,
-                                           disk::IoPriority::kBackground, span.ctx());
-      if (!r.ok) throw IoError("RAID-10 rebuild: primary copy unavailable");
-      co_await fabric_.write(client, disk_id, lay.mirror_zone_base() + off,
-                             std::move(r.data),
-                             disk::IoPriority::kBackground, span.ctx());
+      groups.push_back(lock_group_of(backed_lba));
     }
+    std::sort(groups.begin(), groups.end());
+    const std::uint64_t owner =
+        params_.use_locks ? fabric_.next_lock_owner() : 0;
+    if (params_.use_locks && !groups.empty()) {
+      co_await fabric_.lock_groups(client, groups, owner, span.ctx());
+    }
+    std::exception_ptr err;
+    try {
+      // Primary zone: block `lba` lived here; its copy is on the next node.
+      if (lba < logical_blocks()) {
+        const int mirror_disk = geo.disk_id(row, (node + 1) % n);
+        cdd::Reply r =
+            co_await fabric_.read(client, mirror_disk,
+                                  lay.mirror_zone_base() + off, 1,
+                                  disk::IoPriority::kBackground, span.ctx());
+        if (!r.ok) throw IoError("RAID-10 rebuild: mirror copy unavailable");
+        co_await rebuild_throttle_gate(block_bytes());
+        co_await fabric_.write(client, disk_id, off, std::move(r.data),
+                               disk::IoPriority::kBackground, span.ctx());
+      }
+      // Mirror zone: this disk backs the previous node's primaries.
+      if (backed_lba < logical_blocks()) {
+        const int primary_disk = geo.disk_id(row, (node + n - 1) % n);
+        cdd::Reply r = co_await fabric_.read(client, primary_disk, off, 1,
+                                             disk::IoPriority::kBackground,
+                                             span.ctx());
+        if (!r.ok) throw IoError("RAID-10 rebuild: primary copy unavailable");
+        co_await rebuild_throttle_gate(block_bytes());
+        co_await fabric_.write(client, disk_id, lay.mirror_zone_base() + off,
+                               std::move(r.data),
+                               disk::IoPriority::kBackground, span.ctx());
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (params_.use_locks && !groups.empty()) {
+      co_await fabric_.unlock_groups(client, std::move(groups), owner,
+                                     span.ctx());
+    }
+    if (err) std::rethrow_exception(err);
   }
+  scope.complete();
 }
 
 sim::Task<> Raid1Controller::rebuild_disk(int client, int disk_id,
@@ -137,14 +216,35 @@ sim::Task<> Raid1Controller::rebuild_disk(int client, int disk_id,
   const int partner = (disk_id % 2 == 0) ? disk_id + 1 : disk_id - 1;
   RebuildScope scope(fabric_.cluster().disk(disk_id));
 
+  const auto pairs = static_cast<std::uint64_t>(geo.total_disks() / 2);
   for (std::uint64_t off = 0; off < limit; ++off) {
     scope.advance(off);
-    cdd::Reply r = co_await fabric_.read(client, partner, off, 1,
-                                         disk::IoPriority::kBackground, span.ctx());
-    if (!r.ok) throw IoError("RAID-1 rebuild: partner copy unavailable");
-    co_await fabric_.write(client, disk_id, off, std::move(r.data),
-                           disk::IoPriority::kBackground, span.ctx());
+    // Offset `off` of pair p holds logical block off*pairs + p.
+    const std::uint64_t lba =
+        off * pairs + static_cast<std::uint64_t>(disk_id / 2);
+    const bool lock = params_.use_locks && lba < logical_blocks();
+    std::vector<std::uint64_t> groups{lock_group_of(lba)};
+    const std::uint64_t owner = lock ? fabric_.next_lock_owner() : 0;
+    if (lock) co_await fabric_.lock_groups(client, groups, owner, span.ctx());
+    std::exception_ptr err;
+    try {
+      cdd::Reply r = co_await fabric_.read(client, partner, off, 1,
+                                           disk::IoPriority::kBackground,
+                                           span.ctx());
+      if (!r.ok) throw IoError("RAID-1 rebuild: partner copy unavailable");
+      co_await rebuild_throttle_gate(block_bytes());
+      co_await fabric_.write(client, disk_id, off, std::move(r.data),
+                             disk::IoPriority::kBackground, span.ctx());
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (lock) {
+      co_await fabric_.unlock_groups(client, std::move(groups), owner,
+                                     span.ctx());
+    }
+    if (err) std::rethrow_exception(err);
   }
+  scope.complete();
 }
 
 sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
@@ -167,65 +267,114 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
     const std::uint64_t stripe =
         q * static_cast<std::uint64_t>(geo.disks_per_node) +
         static_cast<std::uint64_t>(row);
-
-    // Data zone: restore this disk's data block from its image.
     const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
-    {
-      const block::PhysBlock img = layout_.mirror_locations(lba)[0];
-      cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset, 1,
-                                           disk::IoPriority::kBackground, span.ctx());
-      if (!r.ok) throw IoError("RAID-x rebuild: image unavailable");
-      co_await fabric_.write(client, disk_id, q, std::move(r.data),
-                             disk::IoPriority::kBackground, span.ctx());
-    }
+    const bool clusters = layout_.image_node(stripe) == node;
+    const bool strays = (layout_.image_node(stripe) + 1) % n == node;
 
-    // Clustered zone: if this disk clusters stripe `stripe`'s images,
-    // regenerate the run from the surviving data blocks.
-    if (layout_.image_node(stripe) == node) {
+    // Lock every logical block this row touches: the restored data block,
+    // plus -- when this disk holds the stripe's images -- the data blocks
+    // whose images get regenerated.
+    std::vector<std::uint64_t> groups{lock_group_of(lba)};
+    if (clusters || strays) {
       const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
-      std::vector<cdd::Reply> blocks;
-      blocks.reserve(imgs.clustered.nblocks);
-      bool all_zero = true;
-      for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
-        const block::PhysBlock src =
-            layout_.data_location(imgs.clustered_lbas[i]);
-        cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
-                                             disk::IoPriority::kBackground, span.ctx());
-        if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
-        if (!r.data.is_zeros()) all_zero = false;
-        blocks.push_back(std::move(r));
-      }
-      block::Payload run;
-      if (all_zero) {
-        run = block::Payload::zeros(
-            static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
-      } else {
-        std::vector<std::byte> buf(
-            static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+      if (clusters) {
         for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
-          blocks[i].data.copy_to(
-              std::span<std::byte>(buf).subspan(
-                  static_cast<std::size_t>(i) * bs, bs));
+          groups.push_back(lock_group_of(imgs.clustered_lbas[i]));
         }
-        run = block::Payload(std::move(buf));
       }
-      co_await fabric_.write(client, imgs.clustered.disk,
-                             imgs.clustered.offset, std::move(run),
-                             disk::IoPriority::kBackground, span.ctx());
+      if (strays) groups.push_back(lock_group_of(imgs.neighbor_lba));
     }
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    const std::uint64_t owner =
+        params_.use_locks ? fabric_.next_lock_owner() : 0;
+    if (params_.use_locks) {
+      co_await fabric_.lock_groups(client, groups, owner, span.ctx());
+    }
+    std::exception_ptr err;
+    try {
+      // Data zone: restore this disk's data block from its image.  A
+      // deferred image flush still in flight is fresher than the image
+      // disk; restoring from the disk would freeze the previous write
+      // into the spare.
+      {
+        block::Payload restored;
+        if (const block::Payload* p = pending_image(lba)) {
+          restored = *p;
+        } else {
+          const block::PhysBlock img = layout_.mirror_locations(lba)[0];
+          cdd::Reply r = co_await fabric_.read(client, img.disk, img.offset,
+                                               1, disk::IoPriority::kBackground,
+                                               span.ctx());
+          if (!r.ok) throw IoError("RAID-x rebuild: image unavailable");
+          restored = std::move(r.data);
+        }
+        co_await rebuild_throttle_gate(bs);
+        co_await fabric_.write(client, disk_id, q, std::move(restored),
+                               disk::IoPriority::kBackground, span.ctx());
+      }
 
-    // Neighbor zone: if this disk holds the stray image of stripe `stripe`.
-    if ((layout_.image_node(stripe) + 1) % n == node) {
-      const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
-      const block::PhysBlock src = layout_.data_location(imgs.neighbor_lba);
-      cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
-                                           disk::IoPriority::kBackground, span.ctx());
-      if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
-      co_await fabric_.write(client, imgs.neighbor.disk, imgs.neighbor.offset,
-                             std::move(r.data),
-                             disk::IoPriority::kBackground, span.ctx());
+      // Clustered zone: if this disk clusters stripe `stripe`'s images,
+      // regenerate the run from the surviving data blocks.
+      if (clusters) {
+        const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+        std::vector<cdd::Reply> blocks;
+        blocks.reserve(imgs.clustered.nblocks);
+        bool all_zero = true;
+        for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+          const block::PhysBlock src =
+              layout_.data_location(imgs.clustered_lbas[i]);
+          cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset,
+                                               1, disk::IoPriority::kBackground,
+                                               span.ctx());
+          if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
+          if (!r.data.is_zeros()) all_zero = false;
+          blocks.push_back(std::move(r));
+        }
+        block::Payload run;
+        if (all_zero) {
+          run = block::Payload::zeros(
+              static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+        } else {
+          std::vector<std::byte> buf(
+              static_cast<std::size_t>(imgs.clustered.nblocks) * bs);
+          for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
+            blocks[i].data.copy_to(
+                std::span<std::byte>(buf).subspan(
+                    static_cast<std::size_t>(i) * bs, bs));
+          }
+          run = block::Payload(std::move(buf));
+        }
+        co_await rebuild_throttle_gate(
+            static_cast<std::uint64_t>(imgs.clustered.nblocks) * bs);
+        co_await fabric_.write(client, imgs.clustered.disk,
+                               imgs.clustered.offset, std::move(run),
+                               disk::IoPriority::kBackground, span.ctx());
+      }
+
+      // Neighbor zone: if this disk holds the stray image of `stripe`.
+      if (strays) {
+        const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+        const block::PhysBlock src = layout_.data_location(imgs.neighbor_lba);
+        cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
+                                             disk::IoPriority::kBackground,
+                                             span.ctx());
+        if (!r.ok) throw IoError("RAID-x rebuild: data block unavailable");
+        co_await rebuild_throttle_gate(bs);
+        co_await fabric_.write(client, imgs.neighbor.disk,
+                               imgs.neighbor.offset, std::move(r.data),
+                               disk::IoPriority::kBackground, span.ctx());
+      }
+    } catch (...) {
+      err = std::current_exception();
     }
+    if (params_.use_locks) {
+      co_await fabric_.unlock_groups(client, std::move(groups), owner,
+                                     span.ctx());
+    }
+    if (err) std::rethrow_exception(err);
   }
+  scope.complete();
 }
 
 }  // namespace raidx::raid

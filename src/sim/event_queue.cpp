@@ -182,6 +182,7 @@ void Simulation::drain_slot(Time t) {
       const Event ev = slot[i];  // user code may grow the vector
       ++i;
       --size_;
+      if (!ev.daemon) --foreground_;
       dispatch(ev);
       if (!finished_.empty()) drain_finished();
       if (pending_exception_) break;
@@ -225,7 +226,11 @@ void Simulation::run() {
     ~DrainGuard() { *flag = false; }
   } guard{&unbounded_drain_};
   Time t;
-  while (next_event(std::numeric_limits<Time>::max(), &t)) {
+  // Stop once only daemon events remain: they stay parked for a later
+  // run() (or die with the queue), so watchdog loops never hold a finished
+  // workload open.
+  while (foreground_ > 0 &&
+         next_event(std::numeric_limits<Time>::max(), &t)) {
     drain_slot(t);
     if (pending_exception_) break;
   }

@@ -88,12 +88,16 @@ class Simulation {
   }
 
   /// Schedule resumption of a suspended coroutine `delay` ns from now.
-  void schedule_resume(Time delay, std::coroutine_handle<> h) {
+  /// A daemon resumption never keeps the simulation alive by itself: run()
+  /// stops once only daemon events remain (see daemon_delay()).
+  void schedule_resume(Time delay, std::coroutine_handle<> h,
+                       bool daemon = false) {
     assert(delay >= 0 && "cannot schedule into the past");
     Event ev;
     ev.at = now_ + delay;
     ev.seq = next_seq_++;
     ev.kind = Event::Kind::kResume;
+    ev.daemon = daemon;
     ev.resume_addr = h.address();
     push(ev);
   }
@@ -115,6 +119,31 @@ class Simulation {
     };
     return Awaiter{this, d};
   }
+
+  /// Awaitable like delay(), but the wakeup is a *daemon* event: it fires
+  /// in timestamp order while foreground work keeps the simulation going,
+  /// yet never keeps run() alive by itself -- once only daemon events
+  /// remain, run() returns and leaves them parked.  Monitor/heartbeat
+  /// loops sleep on this so a finished workload is never held open by its
+  /// own watchdogs.  Always takes the queue (no symmetric-transfer fast
+  /// path): a lone daemon would otherwise spin the clock forever.
+  auto daemon_delay(Time d) {
+    struct Awaiter {
+      Simulation* sim;
+      Time d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) noexcept {
+        sim->schedule_resume(d < 0 ? 0 : d, h, /*daemon=*/true);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Pending events that are not daemons -- the count run() drains to zero.
+  /// Daemon loops use this to tell "the workload is still running" from
+  /// "only we are left" and skip their work in the latter case.
+  std::size_t foreground_pending() const { return foreground_; }
 
   /// Run until no events remain.  Rethrows the first exception raised by a
   /// top-level process (after draining is aborted).
@@ -168,6 +197,11 @@ class Simulation {
     std::uint64_t seq;
     enum class Kind : std::uint8_t { kResume, kInline, kHeap };
     Kind kind;
+    /// Daemon events ride the queue like any other (exact timestamp order)
+    /// but do not count toward foreground_, so run() can stop with them
+    /// still parked.  Lives in padding after `kind`: the event stays 48
+    /// bytes.
+    bool daemon = false;
     union {
       // coroutine_handle<> stored by address: its user-provided constexpr
       // ctor would otherwise delete the union's default constructor.
@@ -195,6 +229,7 @@ class Simulation {
   /// Route an event into the wheel or the far-future overflow heap.
   void push(const Event& ev) {
     ++size_;
+    if (!ev.daemon) ++foreground_;
     if (size_ > queue_stats_.peak_pending) queue_stats_.peak_pending = size_;
     if ((static_cast<std::uint64_t>(ev.at) >> kPrefixShift) !=
         (static_cast<std::uint64_t>(now_) >> kPrefixShift)) {
@@ -265,6 +300,7 @@ class Simulation {
   std::uint64_t events_processed_ = 0;
   std::uint64_t dispatched_ = 0;  // queue round trips (excludes fast resumes)
   std::size_t size_ = 0;
+  std::size_t foreground_ = 0;  // size_ minus parked daemon events
   bool unbounded_drain_ = false;
   QueueStats queue_stats_;
   std::array<std::vector<Event>, kSlots * kLevels> wheel_;

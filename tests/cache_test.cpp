@@ -380,6 +380,76 @@ INSTANTIATE_TEST_SUITE_P(
 
 // ------------------------------------------------------- degraded mode --
 
+// ------------------------------------------------------- fault handling --
+
+TEST(CacheFaults, DeadHolderIsSkippedAndTheReadFallsBackToDisk) {
+  // lba 1 maps to disk 1 (node 1) under RAID-0, so node 3's cached copy is
+  // the ONLY thing on node 3 this read depends on: partitioning node 3
+  // must divert the read to disk, not hang it on a dead forward.
+  CacheRig cr(cache_params(WritePolicy::kWriteThrough, 256,
+                           /*cooperative=*/true));
+  raid::Raid0Controller eng(cr.rig.fabric);
+  eng.attach_cache(&cr.cache);
+
+  cr.rig.run(do_write(&eng, 3, 1, 1, /*salt=*/4));  // clean copy at node 3
+  ASSERT_EQ(cr.cache.dirty_blocks(3), 0u);
+
+  cr.rig.cluster.network().set_node_up(3, false);
+  std::vector<std::byte> got;
+  cr.rig.run(do_read(&eng, 1, 1, 1, &got));
+  EXPECT_EQ(got, pattern_run(1, 1, eng.block_bytes(), 4));
+  EXPECT_EQ(cr.cache.stats().dead_holder_skips, 1u);
+  EXPECT_EQ(cr.cache.stats().peer_hits, 0u);
+  EXPECT_EQ(cr.cache.stats().misses, 1u);
+}
+
+TEST(CacheFaults, ForwardingPrefersTheNextLiveHolder) {
+  CacheRig cr(cache_params(WritePolicy::kWriteThrough, 256,
+                           /*cooperative=*/true));
+  raid::Raid0Controller eng(cr.rig.fabric);
+  eng.attach_cache(&cr.cache);
+
+  cr.rig.run(do_write(&eng, 3, 1, 1, /*salt=*/6));
+  std::vector<std::byte> got;
+  cr.rig.run(do_read(&eng, 2, 1, 1, &got));  // peer hit: holders now {3, 2}
+  ASSERT_EQ(cr.cache.stats().peer_hits, 1u);
+
+  cr.rig.cluster.network().set_node_up(3, false);
+  cr.rig.run(do_read(&eng, 1, 1, 1, &got));
+  EXPECT_EQ(got, pattern_run(1, 1, eng.block_bytes(), 6));
+  // Node 3's copy was skipped, node 2's served -- no disk access needed.
+  EXPECT_EQ(cr.cache.stats().dead_holder_skips, 1u);
+  EXPECT_EQ(cr.cache.stats().peer_hits, 2u);
+  EXPECT_EQ(cr.cache.stats().misses, 0u);
+}
+
+TEST(CacheFaults, NodeDownScrubCountsLostDirtyBlocksAndUnwiresTheNode) {
+  CacheRig cr(cache_params(WritePolicy::kWriteBack));
+  raid::Raid0Controller eng(cr.rig.fabric);
+  eng.attach_cache(&cr.cache);
+  const std::uint32_t bs = eng.block_bytes();
+
+  // Get salt-1 bytes onto the disks, then overwrite with salt-9 bytes that
+  // stay dirty in node 0's memory only.
+  cr.rig.run(do_write(&eng, 0, 0, 8, /*salt=*/1));
+  cr.rig.run(eng.flush_cache());
+  for (int n = 0; n < cr.rig.cluster.num_nodes(); ++n) cr.cache.drop_node(n);
+  cr.rig.run(do_write(&eng, 0, 0, 8, /*salt=*/9));
+  ASSERT_EQ(cr.cache.dirty_blocks(0), 8u);
+
+  cr.cache.on_node_down(0);
+  EXPECT_EQ(cr.cache.stats().dirty_lost, 8u);
+  EXPECT_EQ(cr.cache.dirty_blocks(0), 0u);
+  EXPECT_FALSE(cr.cache.cache(0).contains(0));
+
+  // The unflushed salt-9 writes died with the node: readers see the disks'
+  // salt-1 bytes (write-back semantics, exactly as on real hardware), and
+  // nothing hangs on a directory entry pointing at the scrubbed node.
+  std::vector<std::byte> got;
+  cr.rig.run(do_read(&eng, 1, 0, 8, &got));
+  EXPECT_EQ(got, pattern_run(0, 8, bs, 1));
+}
+
 TEST(CacheDegraded, DirtyBlocksSurviveFailHealCycle) {
   CacheRig cr(cache_params(WritePolicy::kWriteBack));
   raid::Raid0Controller eng(cr.rig.fabric);

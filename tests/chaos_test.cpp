@@ -1,0 +1,232 @@
+// Chaos soak: seeded random fault storms against RAID-5, RAID-10 and
+// RAID-x with the recovery orchestrator live and client traffic running
+// through the storm.  The property under test is the tentpole end-to-end
+// claim: every fault is detected, failed over, and rebuilt automatically,
+// and when the dust settles every byte reads back exactly as written.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "ha/fault_plan.hpp"
+#include "ha/ha.hpp"
+#include "obs/collect.hpp"
+#include "raid/controller.hpp"
+#include "test_util.hpp"
+
+namespace raidx {
+namespace {
+
+using test::pattern_run;
+using test::Rig;
+
+enum class Kind { kRaid5, kRaid10, kRaidX };
+
+std::unique_ptr<raid::ArrayController> make_engine(Kind kind,
+                                                   cdd::CddFabric& fabric) {
+  switch (kind) {
+    case Kind::kRaid5:
+      return std::make_unique<raid::Raid5Controller>(fabric);
+    case Kind::kRaid10:
+      return std::make_unique<raid::Raid10Controller>(fabric);
+    case Kind::kRaidX:
+      return std::make_unique<raid::RaidxController>(fabric);
+  }
+  return nullptr;
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRaid5: return "raid5";
+    case Kind::kRaid10: return "raid10";
+    case Kind::kRaidX: return "raidx";
+  }
+  return "?";
+}
+
+bool smoke() { return std::getenv("RAIDX_BENCH_SMOKE") != nullptr; }
+
+constexpr int kClients = 4;
+constexpr std::uint32_t kSliceBlocks = 16;
+constexpr std::uint32_t kRegionBlocks = kClients * kSliceBlocks;
+
+std::uint8_t round_salt(int round, int client) {
+  return static_cast<std::uint8_t>(round * kClients + client + 1);
+}
+
+// Each client owns a disjoint slice and rewrites/rereads it every round,
+// pausing between rounds so the traffic stretches across the fault
+// window.  Reads inside the storm must already be byte-exact: degraded
+// paths, swap windows and rebuild sweeps are all invisible to clients.
+sim::Task<> client_traffic(sim::Simulation* sim,
+                           raid::ArrayController* eng, int client,
+                           int rounds) {
+  const std::uint64_t lba = static_cast<std::uint64_t>(client) * kSliceBlocks;
+  const std::uint32_t bs = eng->block_bytes();
+  std::vector<std::byte> got;
+  for (int r = 0; r < rounds; ++r) {
+    const auto data = pattern_run(lba, kSliceBlocks, bs, round_salt(r, client));
+    co_await eng->write(client, lba, data);
+    got.assign(static_cast<std::size_t>(kSliceBlocks) * bs, std::byte{0});
+    co_await eng->read(client, lba, kSliceBlocks, got);
+    EXPECT_EQ(got, data) << "client " << client << " round " << r;
+    co_await sim->delay(sim::milliseconds(600));
+  }
+}
+
+using SoakParam = std::tuple<Kind, std::uint64_t /*seed*/>;
+
+class ChaosSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(ChaosSoak, FaultStormUnderTrafficConvergesByteExact) {
+  const auto [kind, seed] = GetParam();
+  Rig rig(test::small_cluster(4, 1, /*blocks_per_disk=*/240));
+  auto eng = make_engine(kind, rig.fabric);
+  const int rounds = smoke() ? 4 : 8;
+
+  // Preload the whole region so round-0 reads of a mid-storm failure have
+  // real data behind them.
+  auto preload = [](raid::ArrayController* e) -> sim::Task<> {
+    for (int c = 0; c < kClients; ++c) {
+      const std::uint64_t lba =
+          static_cast<std::uint64_t>(c) * kSliceBlocks;
+      co_await e->write(0, lba,
+                        pattern_run(lba, kSliceBlocks, e->block_bytes(),
+                                    round_salt(0, c)));
+    }
+  };
+  rig.run(preload(eng.get()));
+
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.global_spares = 1;
+  ha::Orchestrator orch(*eng, hp);
+
+  // One seeded random failure early in the run, plus a second failure on a
+  // different disk after the first recovery has finished -- two full
+  // lifecycles per storm without ever violating single-failure tolerance.
+  // The rebuild sweep's length varies widely by layout (RAID-5
+  // reconstruction reads every surviving disk per block), so the second
+  // fault is sequenced off the first recovery completing instead of a
+  // fixed clock time.
+  const int disks = rig.cluster.total_disks();
+  ha::FaultPlan plan = ha::FaultPlan::random_plan(
+      seed, disks, /*faults=*/1, sim::milliseconds(60),
+      /*heal_after=*/sim::milliseconds(80));
+  ASSERT_EQ(plan.events().size(), 2u);
+  const int second = (plan.events().front().target + 1) % disks;
+  plan.arm(rig.cluster, &orch);
+
+  auto second_lifecycle = [](sim::Simulation* sim, ha::Orchestrator* orch,
+                             cluster::Cluster* cl, int disk) -> sim::Task<> {
+    // Bounded polls, so a stuck first recovery fails assertions instead of
+    // hanging the run forever.
+    for (int i = 0; i < 10'000 && orch->stats().rebuilds_completed < 1; ++i) {
+      co_await sim->delay(sim::milliseconds(50));
+    }
+    co_await sim->delay(sim::milliseconds(100));  // brief calm between storms
+    cl->disk(disk).fail();
+    orch->note_fault_injected(disk);
+    for (int i = 0; i < 10'000 && orch->stats().rebuilds_completed < 2; ++i) {
+      co_await sim->delay(sim::milliseconds(50));
+    }
+    orch->note_disk_serviced(disk);  // the operator restocks the rack
+  };
+  rig.sim.spawn(second_lifecycle(&rig.sim, &orch, &rig.cluster, second));
+
+  for (int c = 0; c < kClients; ++c) {
+    rig.sim.spawn(client_traffic(&rig.sim, eng.get(), c, rounds));
+  }
+  rig.sim.run();
+
+  SCOPED_TRACE(std::string(kind_name(kind)) + " seed " +
+               std::to_string(seed));
+  EXPECT_EQ(orch.recoveries_in_flight(), 0);
+  const ha::HaStats& s = orch.stats();
+  EXPECT_EQ(s.detections, 2u);
+  EXPECT_EQ(s.failovers, 2u);
+  EXPECT_EQ(s.rebuilds_completed, 2u);
+  EXPECT_EQ(s.rebuilds_failed, 0u);
+  EXPECT_EQ(s.spare_exhausted, 0u);
+  EXPECT_EQ(s.mttr_ns.size(), 2u);
+  for (int d = 0; d < disks; ++d) {
+    EXPECT_FALSE(rig.cluster.disk(d).failed()) << "disk " << d;
+    EXPECT_FALSE(rig.cluster.disk(d).rebuilding()) << "disk " << d;
+    EXPECT_EQ(orch.disk_state(d), ha::DiskState::kHealthy) << "disk " << d;
+  }
+
+  // Quiescent verification: every slice holds its last round's pattern.
+  auto verify = [](raid::ArrayController* e, int rounds) -> sim::Task<> {
+    const std::uint32_t bs = e->block_bytes();
+    std::vector<std::byte> got(
+        static_cast<std::size_t>(kRegionBlocks) * bs);
+    co_await e->read(0, 0, kRegionBlocks, got);
+    for (int c = 0; c < kClients; ++c) {
+      const std::uint64_t lba =
+          static_cast<std::uint64_t>(c) * kSliceBlocks;
+      const auto want =
+          pattern_run(lba, kSliceBlocks, bs, round_salt(rounds - 1, c));
+      const std::vector<std::byte> slice(
+          got.begin() + static_cast<std::ptrdiff_t>(lba * bs),
+          got.begin() +
+              static_cast<std::ptrdiff_t>((lba + kSliceBlocks) * bs));
+      EXPECT_EQ(slice, want) << "client " << c << " slice diverged";
+    }
+  };
+  rig.run(verify(eng.get(), rounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ChaosSoak,
+    ::testing::Combine(::testing::Values(Kind::kRaid5, Kind::kRaid10,
+                                         Kind::kRaidX),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::string(kind_name(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The obs contract the committed baselines rely on: without an
+// orchestrator (and without fault injection) none of the ha.* / fault-path
+// keys exist; with one they all do.
+TEST(ChaosObs, HaKeysExportOnlyWhenOrchestrationIsConfigured) {
+  Rig rig(test::small_cluster(4, 1, 200));
+  raid::RaidxController eng(rig.fabric);
+  auto io = [](raid::ArrayController* e) -> sim::Task<> {
+    co_await e->write(0, 0,
+                      pattern_run(0, 16, e->block_bytes(), 1));
+  };
+  rig.run(io(&eng));
+
+  obs::Registry plain;
+  obs::collect_cluster(plain, rig.cluster, &rig.fabric, nullptr);
+  const std::string plain_json = plain.snapshot_json();
+  EXPECT_EQ(plain_json.find("ha."), std::string::npos);
+  EXPECT_EQ(plain_json.find("net.messages_dropped"), std::string::npos);
+  EXPECT_EQ(plain_json.find("cdd.timeouts"), std::string::npos);
+
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.rebuild_mbs = 8.0;
+  ha::Orchestrator orch(eng, hp);
+  rig.cluster.disk(1).fail();
+  orch.note_fault_injected(1);
+  rig.sim.run();
+  ASSERT_EQ(orch.stats().rebuilds_completed, 1u);
+
+  obs::Registry with;
+  obs::collect_cluster(with, rig.cluster, &rig.fabric, nullptr, &orch);
+  EXPECT_EQ(with.counter("ha.detections").value(), 1u);
+  EXPECT_EQ(with.counter("ha.failovers").value(), 1u);
+  EXPECT_EQ(with.histogram("ha.mttr_ns").count(), 1u);
+  EXPECT_EQ(with.histogram("ha.detection_ns").count(), 1u);
+  EXPECT_GT(with.counter("ha.rebuild_granted_bytes").value(), 0u);
+}
+
+}  // namespace
+}  // namespace raidx

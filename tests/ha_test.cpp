@@ -1,0 +1,561 @@
+// Recovery-orchestration tests: token-bucket rate limiting, CDD request
+// timeouts/retries/backoff, probe RPCs, the failure-detection ->
+// hot-spare failover -> throttled auto-rebuild lifecycle, heartbeat
+// node-down declaration, and the deterministic chaos FaultPlan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/cache_fabric.hpp"
+#include "ha/fault_plan.hpp"
+#include "ha/ha.hpp"
+#include "raid/controller.hpp"
+#include "sim/token_bucket.hpp"
+#include "test_util.hpp"
+
+namespace raidx {
+namespace {
+
+using test::pattern_block;
+using test::pattern_run;
+using test::Rig;
+
+// ----------------------------------------------------------- TokenBucket --
+
+TEST(TokenBucket, SaturatedAcquiresEmitAtTheConfiguredRate) {
+  sim::Simulation s;
+  sim::TokenBucket tb(s, /*tokens_per_second=*/1000.0, /*burst=*/100.0);
+  std::vector<sim::Time> at;
+  auto task = [](sim::Simulation* s, sim::TokenBucket* tb,
+                 std::vector<sim::Time>* at) -> sim::Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await tb->acquire(100);
+      at->push_back(s->now());
+    }
+  };
+  s.spawn(task(&s, &tb, &at));
+  s.run();
+
+  // Bucket starts full: the first grant is free, then each 100-token
+  // acquire must wait out 100ms of refill (+1ns of integer rounding).
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 0);
+  EXPECT_GE(at[1], sim::milliseconds(100));
+  EXPECT_LE(at[1], sim::milliseconds(100) + 10);
+  EXPECT_GE(at[2], sim::milliseconds(200));
+  EXPECT_LE(at[2], sim::milliseconds(200) + 10);
+  EXPECT_EQ(tb.granted_tokens(), 300u);
+  EXPECT_EQ(tb.grants(), 3u);
+  EXPECT_GE(tb.throttled_ns(), sim::milliseconds(200));
+}
+
+TEST(TokenBucket, OversizeRequestsDrainTheBucketButStillComplete) {
+  sim::Simulation s;
+  sim::TokenBucket tb(s, 1000.0, /*burst=*/100.0);
+  std::vector<sim::Time> at;
+  auto task = [](sim::Simulation* s, sim::TokenBucket* tb,
+                 std::vector<sim::Time>* at) -> sim::Task<> {
+    co_await tb->acquire(250);  // larger than the burst
+    at->push_back(s->now());
+    co_await tb->acquire(100);
+    at->push_back(s->now());
+  };
+  s.spawn(task(&s, &tb, &at));
+  s.run();
+
+  // The oversize acquire waits only for a full bucket (which it had), is
+  // granted whole, and leaves the bucket empty -- the long-run rate holds
+  // because the next acquire pays the full refill.
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 0);
+  EXPECT_GE(at[1], sim::milliseconds(100));
+  EXPECT_EQ(tb.granted_tokens(), 350u);
+}
+
+TEST(TokenBucket, IdenticalRunsAreBitIdentical) {
+  auto run_once = [] {
+    sim::Simulation s;
+    sim::TokenBucket tb(s, 12'345.0, 1'000.0);
+    auto task = [](sim::TokenBucket* tb) -> sim::Task<> {
+      for (int i = 0; i < 20; ++i) co_await tb->acquire(700);
+    };
+    s.spawn(task(&tb));
+    s.run();
+    return std::pair{s.now(), tb.throttled_ns()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ------------------------------------------------- CDD timeouts & backoff --
+
+cdd::CddParams timeout_params(sim::Time timeout, int retries) {
+  cdd::CddParams p;
+  p.request_timeout = timeout;
+  p.max_retries = retries;
+  return p;
+}
+
+TEST(CddBackoff, ScheduleIsSeededDeterministicAndMonotone) {
+  Rig a(test::small_cluster(), timeout_params(sim::milliseconds(2), 3));
+  Rig b(test::small_cluster(), timeout_params(sim::milliseconds(2), 3));
+  sim::Time prev = 0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const sim::Time da = a.fabric.backoff_delay(attempt);
+    const sim::Time db = b.fabric.backoff_delay(attempt);
+    // Same seed, same draw order -> identical jittered schedule.
+    EXPECT_EQ(da, db) << "attempt " << attempt;
+    // base * 2^attempt with <= 25% jitter never overlaps the next step.
+    EXPECT_GE(da, sim::milliseconds(1) << attempt);
+    EXPECT_GT(da, prev);
+    prev = da;
+  }
+}
+
+TEST(CddTimeout, ExhaustsRetriesAgainstAPartitionedNode) {
+  Rig rig(test::small_cluster(),
+          timeout_params(sim::milliseconds(2), /*retries=*/2));
+  rig.cluster.network().set_node_up(1, false);  // disk 1 lives on node 1
+
+  cdd::Reply got;
+  auto task = [](Rig* r, cdd::Reply* out) -> sim::Task<> {
+    *out = co_await r->fabric.read(0, /*disk=*/1, 0, 1);
+  };
+  rig.run(task(&rig, &got));
+
+  EXPECT_TRUE(got.timed_out);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(rig.fabric.timeouts(), 3u);  // initial attempt + 2 retries
+  EXPECT_EQ(rig.fabric.retries(), 2u);
+  EXPECT_EQ(rig.fabric.retries_exhausted(), 1u);
+  EXPECT_EQ(rig.fabric.late_replies(), 0u);  // nothing ever got through
+  // Three timeout windows plus two backoff gaps must have elapsed.
+  EXPECT_GE(rig.sim.now(), 3 * sim::milliseconds(2));
+}
+
+TEST(CddTimeout, LateRepliesAreDroppedNeverDeliveredTwice) {
+  // A timeout far below the real round trip: every attempt is abandoned
+  // by the watchdog first, and every server reply arrives late.  The
+  // pending-RPC map must drop them instead of resolving a dead slot.
+  Rig rig(test::small_cluster(),
+          timeout_params(sim::microseconds(20), /*retries=*/1));
+
+  cdd::Reply got;
+  auto task = [](Rig* r, cdd::Reply* out) -> sim::Task<> {
+    *out = co_await r->fabric.read(0, /*disk=*/1, 0, 1);
+  };
+  rig.run(task(&rig, &got));  // run() drains the straggling replies too
+
+  EXPECT_TRUE(got.timed_out);
+  EXPECT_EQ(rig.fabric.timeouts(), 2u);
+  EXPECT_EQ(rig.fabric.retries_exhausted(), 1u);
+  EXPECT_EQ(rig.fabric.late_replies(), 2u);  // both attempts answered late
+}
+
+TEST(CddTimeout, RetriesRecoverOnceThePartitionHeals) {
+  // The timeout must exceed the real service time (a remote single-block
+  // read is dominated by the disk seek) or every delivered attempt would
+  // be abandoned before its reply lands.  20ms is comfortably above it.
+  Rig rig(test::small_cluster(),
+          timeout_params(sim::milliseconds(20), /*retries=*/8));
+  const auto want = pattern_block(0, 512, /*salt=*/4);
+
+  auto write = [](Rig* r, std::vector<std::byte> data) -> sim::Task<> {
+    co_await r->fabric.write(0, /*disk=*/1, 0,
+                             block::Payload::own(std::move(data)));
+  };
+  rig.run(write(&rig, want));
+
+  rig.cluster.network().set_node_up(1, false);
+  rig.sim.schedule(sim::milliseconds(10), [&rig] {
+    rig.cluster.network().set_node_up(1, true);
+  });
+  cdd::Reply got;
+  auto read = [](Rig* r, cdd::Reply* out) -> sim::Task<> {
+    *out = co_await r->fabric.read(0, /*disk=*/1, 0, 1);
+  };
+  rig.run(read(&rig, &got));
+
+  EXPECT_FALSE(got.timed_out);
+  EXPECT_TRUE(got.ok);
+  EXPECT_EQ(got.data.to_vector(), want);
+  EXPECT_GT(rig.fabric.retries(), 0u);
+  EXPECT_EQ(rig.fabric.retries_exhausted(), 0u);
+  EXPECT_EQ(rig.fabric.late_replies(), 0u);
+}
+
+TEST(CddProbe, ReportsNodeLivenessAndDiskHealthWithoutRetrying) {
+  Rig rig(test::small_cluster());  // fabric default timeout stays 0
+
+  std::vector<cdd::Reply> got(3);
+  auto probes = [](Rig* r, std::vector<cdd::Reply>* out) -> sim::Task<> {
+    (*out)[0] = co_await r->fabric.probe(0, 1, -1, sim::milliseconds(2));
+    r->cluster.disk(1).fail();
+    (*out)[1] = co_await r->fabric.probe(0, 1, 1, sim::milliseconds(2));
+    r->cluster.network().set_node_up(1, false);
+    (*out)[2] = co_await r->fabric.probe(0, 1, -1, sim::milliseconds(2));
+  };
+  rig.run(probes(&rig, &got));
+
+  EXPECT_TRUE(got[0].ok);
+  EXPECT_FALSE(got[0].timed_out);
+  EXPECT_FALSE(got[1].ok);  // node answered: the disk is dead
+  EXPECT_FALSE(got[1].timed_out);
+  EXPECT_TRUE(got[2].timed_out);  // node unreachable: silence
+  // Probes are never retried -- the prober's cadence is the retry policy.
+  EXPECT_EQ(rig.fabric.retries(), 0u);
+}
+
+// ----------------------------------------------------------- Orchestrator --
+
+sim::Task<> write_all(raid::ArrayController* eng, std::uint64_t lba,
+                      std::uint32_t nblocks, std::uint8_t salt = 0) {
+  const auto data = pattern_run(lba, nblocks, eng->block_bytes(), salt);
+  co_await eng->write(0, lba, data);
+}
+
+sim::Task<> read_all(raid::ArrayController* eng, std::uint64_t lba,
+                     std::uint32_t nblocks, std::vector<std::byte>* got,
+                     int client = 1) {
+  got->assign(static_cast<std::size_t>(nblocks) * eng->block_bytes(),
+              std::byte{0});
+  co_await eng->read(client, lba, nblocks, *got);
+}
+
+ha::HaParams fast_ha(double rebuild_mbs = 0.0) {
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.rebuild_mbs = rebuild_mbs;
+  return hp;
+}
+
+TEST(Orchestrator, TrafficSourcedDetectionFailsOverAndRebuilds) {
+  Rig rig(test::small_cluster(4, 1, /*blocks_per_disk=*/200));
+  raid::RaidxController eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, /*salt=*/5));
+
+  // Park the prober so only traffic can possibly make the detection: the
+  // first probe round would otherwise beat a windowed read to the later
+  // extents of the stripe.
+  ha::HaParams hp = fast_ha();
+  hp.probe_interval = sim::seconds(10);
+  ha::Orchestrator orch(eng, hp);
+  rig.cluster.disk(2).fail();  // silent failure; no note_fault_injected
+
+  // The very read that survives the failure is also the detection event:
+  // the CDD that hit the dead disk reports it, and the orchestrator takes
+  // over from there.
+  std::vector<std::byte> got;
+  rig.run(read_all(&eng, 0, 64, &got));
+  EXPECT_EQ(got, pattern_run(0, 64, eng.block_bytes(), 5));
+
+  EXPECT_EQ(orch.recoveries_in_flight(), 0);
+  EXPECT_EQ(orch.disk_state(2), ha::DiskState::kHealthy);
+  EXPECT_FALSE(rig.cluster.disk(2).failed());
+  EXPECT_FALSE(rig.cluster.disk(2).rebuilding());
+  const ha::HaStats& s = orch.stats();
+  EXPECT_EQ(s.detections, 1u);
+  EXPECT_EQ(s.detections_by_traffic, 1u);
+  EXPECT_EQ(s.failovers, 1u);
+  EXPECT_EQ(s.rebuilds_completed, 1u);
+  ASSERT_EQ(s.mttr_ns.size(), 1u);
+  EXPECT_GE(s.mttr_ns[0], sim::milliseconds(10));  // at least the swap
+
+  // The failure consumed node 2's rack spare; servicing the dead drive
+  // restocks it.
+  EXPECT_EQ(orch.spares().available(2), 0);
+  orch.note_disk_serviced(2);
+  EXPECT_EQ(orch.spares().available(2), 1);
+
+  std::vector<std::byte> again;
+  rig.run(read_all(&eng, 0, 64, &again, 3));
+  EXPECT_EQ(again, pattern_run(0, 64, eng.block_bytes(), 5));
+}
+
+TEST(Orchestrator, ProbesDetectASilentFailureInAQuietCluster) {
+  Rig rig(test::small_cluster(4, 1, 200));
+  raid::Raid5Controller eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 48, /*salt=*/6));
+
+  ha::Orchestrator orch(eng, fast_ha());
+  rig.cluster.disk(1).fail();
+  orch.note_fault_injected(1);  // chaos hook: no traffic will find this
+  rig.sim.run();                // attention loop probes until detection
+
+  const ha::HaStats& s = orch.stats();
+  EXPECT_EQ(s.detections, 1u);
+  EXPECT_EQ(s.detections_by_probe, 1u);
+  EXPECT_EQ(s.detections_by_traffic, 0u);
+  ASSERT_EQ(s.detection_ns.size(), 1u);
+  EXPECT_GT(s.detection_ns[0], 0);
+  EXPECT_EQ(s.failovers, 1u);
+  EXPECT_EQ(s.rebuilds_completed, 1u);
+  ASSERT_EQ(s.mttr_ns.size(), 1u);
+  EXPECT_GT(s.mttr_ns[0], s.detection_ns[0]);
+  EXPECT_EQ(orch.disk_state(1), ha::DiskState::kHealthy);
+
+  std::vector<std::byte> got;
+  rig.run(read_all(&eng, 0, 48, &got));
+  EXPECT_EQ(got, pattern_run(0, 48, eng.block_bytes(), 6));
+}
+
+TEST(Orchestrator, SpareExhaustionDegradesUntilTheSlotIsServiced) {
+  Rig rig(test::small_cluster(4, 1, 200));
+  raid::RaidxController eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, /*salt=*/7));
+
+  ha::HaParams hp = fast_ha();
+  hp.spares_per_node = 0;
+  hp.global_spares = 0;
+  ha::Orchestrator orch(eng, hp);
+  rig.cluster.disk(2).fail();
+  orch.note_fault_injected(2);
+  rig.sim.run();
+
+  // Nothing to fail over to: the slot parks degraded and the array keeps
+  // serving through its redundancy path.
+  EXPECT_EQ(orch.disk_state(2), ha::DiskState::kDegraded);
+  EXPECT_EQ(orch.stats().spare_exhausted, 1u);
+  EXPECT_EQ(orch.stats().failovers, 0u);
+  std::vector<std::byte> degraded;
+  rig.run(read_all(&eng, 0, 64, &degraded));
+  EXPECT_EQ(degraded, pattern_run(0, 64, eng.block_bytes(), 7));
+
+  // The operator shows up with a fresh drive: it is wired in directly and
+  // rebuilt, no pool spare needed.
+  orch.note_disk_serviced(2);
+  rig.sim.run();
+  EXPECT_EQ(orch.disk_state(2), ha::DiskState::kHealthy);
+  EXPECT_EQ(orch.stats().failovers, 1u);
+  EXPECT_EQ(orch.stats().rebuilds_completed, 1u);
+  EXPECT_EQ(orch.spares().total_available(), 0);
+
+  std::vector<std::byte> got;
+  rig.run(read_all(&eng, 0, 64, &got, 3));
+  EXPECT_EQ(got, pattern_run(0, 64, eng.block_bytes(), 7));
+}
+
+TEST(Orchestrator, RebuildThrottleSlowsRecoveryAndMetersEveryByte) {
+  auto mttr_with = [](double rebuild_mbs, std::uint64_t* bytes,
+                      std::uint64_t* granted) {
+    Rig rig(test::small_cluster(4, 1, 200));
+    raid::RaidxController eng(rig.fabric);
+    auto setup = [](raid::ArrayController* e) -> sim::Task<> {
+      co_await write_all(e, 0, 64, 9);
+    };
+    rig.run(setup(&eng));
+    ha::Orchestrator orch(eng, fast_ha(rebuild_mbs));
+    rig.cluster.disk(1).fail();
+    orch.note_fault_injected(1);
+    rig.sim.run();
+    EXPECT_EQ(orch.stats().rebuilds_completed, 1u);
+    *bytes = eng.rebuild_bytes_written();
+    *granted =
+        orch.throttle() != nullptr ? orch.throttle()->granted_tokens() : 0;
+    return orch.stats().mttr_ns.at(0);
+  };
+
+  // The natural sweep rate is seek- and lock-RPC-dominated (tens of KB/s),
+  // so the cap must sit far below it to actually bite: 2KB/s.
+  constexpr double kCapMbs = 0.002;
+  std::uint64_t free_bytes = 0, free_granted = 0;
+  std::uint64_t capped_bytes = 0, capped_granted = 0;
+  const sim::Time unthrottled = mttr_with(0.0, &free_bytes, &free_granted);
+  const sim::Time throttled =
+      mttr_with(kCapMbs, &capped_bytes, &capped_granted);
+
+  // The cap sits far below the natural rate, so recovery must get much
+  // slower -- an exact bytes/rate bound does not hold because oversize
+  // acquires (multi-block image runs) are clamped to the burst but granted
+  // whole.
+  EXPECT_GT(throttled, 2 * unthrottled);
+  EXPECT_EQ(free_granted, 0u);          // no bucket when uncapped
+  EXPECT_EQ(capped_bytes, free_bytes);  // same sweep, same bytes
+  EXPECT_EQ(capped_granted, capped_bytes);  // every byte went through it
+}
+
+TEST(Orchestrator, ManualModeWiresTheSpareButLeavesTheSweepToTheCaller) {
+  Rig rig(test::small_cluster(4, 1, 200));
+  raid::RaidxController eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, /*salt=*/2));
+
+  ha::HaParams hp = fast_ha();
+  hp.auto_rebuild = false;
+  ha::Orchestrator orch(eng, hp);
+  rig.cluster.disk(2).fail();
+  orch.note_fault_injected(2);
+  rig.sim.run();
+
+  // Failover happened, but the spare is a blank still marked rebuilding at
+  // watermark 0: reads fall back to the degraded path instead of serving
+  // the blank's zeros.
+  EXPECT_EQ(orch.disk_state(2), ha::DiskState::kRebuilding);
+  EXPECT_TRUE(rig.cluster.disk(2).rebuilding());
+  EXPECT_EQ(orch.stats().rebuilds_completed, 0u);
+  std::vector<std::byte> got;
+  rig.run(read_all(&eng, 0, 64, &got));
+  EXPECT_EQ(got, pattern_run(0, 64, eng.block_bytes(), 2));
+
+  auto sweep = [](raid::ArrayController* e) -> sim::Task<> {
+    co_await e->rebuild_disk(0, 2);
+  };
+  rig.run(sweep(&eng));
+  EXPECT_FALSE(rig.cluster.disk(2).rebuilding());
+  rig.run(read_all(&eng, 0, 64, &got, 3));
+  EXPECT_EQ(got, pattern_run(0, 64, eng.block_bytes(), 2));
+}
+
+TEST(Orchestrator, HeartbeatMissesDeclareANodeDownAndScrubItsCache) {
+  Rig rig(test::small_cluster());
+  cache::CacheParams cp;
+  cp.capacity_blocks = 64;
+  cp.cooperative = true;
+  cache::CacheFabric cache(rig.cluster, cp);
+  raid::Raid0Controller eng(rig.fabric);
+  eng.attach_cache(&cache);
+  rig.run(write_all(&eng, 0, 8, /*salt=*/3));
+
+  // Warm node 2's cache so the scrub has something to drop.
+  std::vector<std::byte> warm;
+  rig.run(read_all(&eng, 0, 8, &warm, /*client=*/2));
+  ASSERT_TRUE(cache.cache(2).contains(0));
+
+  ha::HaParams hp = fast_ha();
+  hp.heartbeat_misses = 3;
+  ha::Orchestrator orch(eng, hp);
+  rig.cluster.network().set_node_up(2, false);
+  orch.note_node_partitioned(2);
+  rig.sim.run();  // attention loop probes until the declaration
+
+  EXPECT_TRUE(orch.node_down(2));
+  EXPECT_EQ(orch.stats().nodes_declared_down, 1u);
+  EXPECT_FALSE(cache.cache(2).contains(0));  // directory + contents scrubbed
+
+  // The partition heals: the next probe rounds notice and lift the
+  // declaration.  (A foreground delay keeps the daemon watch loop ticking.)
+  rig.cluster.network().set_node_up(2, true);
+  orch.note_node_joined(2);
+  auto idle = [](Rig* r) -> sim::Task<> {
+    co_await r->sim.delay(sim::milliseconds(50));
+  };
+  rig.run(idle(&rig));
+  EXPECT_FALSE(orch.node_down(2));
+  EXPECT_EQ(orch.stats().nodes_recovered, 1u);
+}
+
+TEST(Orchestrator, PartitionHealedBeforeDetectionReleasesTheMonitor) {
+  Rig rig(test::small_cluster());
+  raid::Raid0Controller eng(rig.fabric);
+  ha::HaParams hp = fast_ha();
+  hp.heartbeat_misses = 50;  // far more rounds than the blip lasts
+  ha::Orchestrator orch(eng, hp);
+
+  rig.cluster.network().set_node_up(1, false);
+  orch.note_node_partitioned(1);
+  rig.sim.schedule(sim::milliseconds(8), [&] {
+    rig.cluster.network().set_node_up(1, true);
+    orch.note_node_joined(1);
+  });
+  // Without the joined-note releasing the undetected count this would spin
+  // forever; run() returning at all is the assertion.
+  rig.sim.run();
+  EXPECT_FALSE(orch.node_down(1));
+  EXPECT_EQ(orch.stats().nodes_declared_down, 0u);
+}
+
+// -------------------------------------------------------------- FaultPlan --
+
+TEST(FaultPlan, ParsesEverySpecVerbAndDescribesThem) {
+  const ha::FaultPlan plan = ha::FaultPlan::parse(
+      "fail:disk=3@2s;heal:disk=3@8s;part:node=1@150ms;join:node=1@4s",
+      /*total_disks=*/4);
+  ASSERT_EQ(plan.events().size(), 4u);
+  EXPECT_EQ(plan.events()[0].kind, ha::FaultEvent::Kind::kFailDisk);
+  EXPECT_EQ(plan.events()[0].target, 3);
+  EXPECT_EQ(plan.events()[0].at, sim::seconds(2));
+  EXPECT_EQ(plan.events()[1].kind, ha::FaultEvent::Kind::kHealDisk);
+  EXPECT_EQ(plan.events()[2].kind, ha::FaultEvent::Kind::kPartitionNode);
+  EXPECT_EQ(plan.events()[2].at, sim::milliseconds(150));
+  EXPECT_EQ(plan.events()[3].kind, ha::FaultEvent::Kind::kJoinNode);
+
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("fail disk 3 @ 2.000s"), std::string::npos);
+  EXPECT_NE(text.find("part node 1 @ 0.150s"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  const auto bad = [](const std::string& spec) {
+    EXPECT_THROW(ha::FaultPlan::parse(spec, 4), std::invalid_argument)
+        << spec;
+  };
+  bad("fail:disk=9@2s");       // disk out of range
+  bad("melt:disk=1@1s");       // unknown verb
+  bad("fail:disk=1");          // missing @time
+  bad("fail:disk=1@2weeks");   // unknown unit
+  bad("fail:disk@2s");         // missing =N
+  bad("rand:seed=1,bogus=2");  // unknown rand key
+}
+
+TEST(FaultPlan, RandomPlansAreSeedDeterministicAndBounded) {
+  const sim::Time window = sim::seconds(10);
+  const ha::FaultPlan a =
+      ha::FaultPlan::random_plan(42, /*targets=*/8, /*faults=*/4, window,
+                                 /*heal_after=*/sim::seconds(1));
+  const ha::FaultPlan b =
+      ha::FaultPlan::random_plan(42, 8, 4, window, sim::seconds(1));
+  ASSERT_EQ(a.events().size(), b.events().size());
+  ASSERT_EQ(a.events().size(), 8u);  // 4 failures, each with its heal
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+  }
+  for (std::size_t i = 0; i < a.events().size(); i += 2) {
+    const ha::FaultEvent& fail = a.events()[i];
+    const ha::FaultEvent& heal = a.events()[i + 1];
+    EXPECT_EQ(fail.kind, ha::FaultEvent::Kind::kFailDisk);
+    EXPECT_GE(fail.at, window / 10);  // warm-up tenth stays quiet
+    EXPECT_LE(fail.at, window);
+    EXPECT_GE(fail.target, 0);
+    EXPECT_LT(fail.target, 8);
+    EXPECT_EQ(heal.kind, ha::FaultEvent::Kind::kHealDisk);
+    EXPECT_EQ(heal.target, fail.target);
+    EXPECT_EQ(heal.at, fail.at + sim::seconds(1));
+  }
+
+  const ha::FaultPlan c =
+      ha::FaultPlan::random_plan(43, 8, 4, window, sim::seconds(1));
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = c.events()[i].at != a.events()[i].at ||
+              c.events()[i].target != a.events()[i].target;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the same plan";
+}
+
+TEST(FaultPlan, ArmedPlanDrivesTheFullFailoverLifecycle) {
+  Rig rig(test::small_cluster(4, 1, 200));
+  raid::RaidxController eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, /*salt=*/8));
+
+  ha::Orchestrator orch(eng, fast_ha());
+  ha::FaultPlan plan = ha::FaultPlan::parse("fail:disk=2@5ms", 4);
+  plan.arm(rig.cluster, &orch);
+  rig.sim.run();
+
+  EXPECT_EQ(orch.disk_state(2), ha::DiskState::kHealthy);
+  EXPECT_EQ(orch.stats().detections, 1u);
+  EXPECT_EQ(orch.stats().rebuilds_completed, 1u);
+  ASSERT_EQ(orch.stats().detection_ns.size(), 1u);
+  ASSERT_EQ(orch.stats().mttr_ns.size(), 1u);
+
+  std::vector<std::byte> got;
+  rig.run(read_all(&eng, 0, 64, &got));
+  EXPECT_EQ(got, pattern_run(0, 64, eng.block_bytes(), 8));
+}
+
+}  // namespace
+}  // namespace raidx

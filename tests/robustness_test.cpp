@@ -87,6 +87,82 @@ TEST(RebuildUnderLoad, RaidxServesReadsWhileRebuilding) {
   EXPECT_EQ(got3, pattern_run(0, 64, eng.block_bytes(), 5));
 }
 
+// A second failure mid-sweep must abort the rebuild *cleanly*: IoError
+// surfaces to the caller, and the half-rebuilt spare stays marked
+// rebuilding at a frozen watermark.  The regression this guards: if the
+// abort path ever marks the rebuild finished, the unrestored tail of the
+// spare silently serves blank blocks instead of failing or degrading.
+TEST(RebuildAbort, SecondFailureFreezesTheWatermarkOnRaid5) {
+  Rig rig(test::small_cluster(4, 1, /*blocks_per_disk=*/200));
+  raid::Raid5Controller eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, 6));
+  rig.cluster.disk(2).fail();
+  rig.cluster.disk(2).replace();
+
+  bool aborted = false;
+  auto rebuild = [](raid::Raid5Controller* e, bool* aborted) -> sim::Task<> {
+    try {
+      co_await e->rebuild_disk(2, 2);
+    } catch (const raid::IoError&) {
+      *aborted = true;
+    }
+  };
+  rig.sim.spawn(rebuild(&eng, &aborted));
+  // Let the sweep restore part of the disk, then kill one of its sources.
+  rig.sim.run_until(rig.sim.now() + sim::milliseconds(30));
+  rig.cluster.disk(0).fail();
+  rig.sim.run();
+
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(rig.cluster.disk(2).rebuilding());
+  const std::uint64_t frozen = rig.cluster.disk(2).rebuild_watermark();
+  EXPECT_GT(frozen, 0u);
+  EXPECT_LT(frozen, 200u);
+  rig.sim.run();
+  EXPECT_EQ(rig.cluster.disk(2).rebuild_watermark(), frozen);
+
+  // With disk 0 dead and disk 2 only partially restored, a read that
+  // needs the unrestored tail must fail -- never serve the blank spare.
+  bool read_failed = false;
+  std::vector<std::byte> got;
+  auto tail_read = [](raid::Raid5Controller* e, std::vector<std::byte>* got,
+                      bool* failed) -> sim::Task<> {
+    try {
+      got->assign(64 * e->block_bytes(), std::byte{0});
+      co_await e->read(1, 0, 64, *got);
+    } catch (const raid::IoError&) {
+      *failed = true;
+    }
+  };
+  rig.run(tail_read(&eng, &got, &read_failed));
+  EXPECT_TRUE(read_failed);
+}
+
+TEST(RebuildAbort, SecondFailureFreezesTheWatermarkOnRaidx) {
+  Rig rig(test::small_cluster(4, 1, /*blocks_per_disk=*/200));
+  raid::RaidxController eng(rig.fabric);
+  rig.run(write_all(&eng, 0, 64, 7));
+  rig.cluster.disk(1).fail();
+  rig.cluster.disk(1).replace();
+
+  bool aborted = false;
+  auto rebuild = [](raid::RaidxController* e, bool* aborted) -> sim::Task<> {
+    try {
+      co_await e->rebuild_disk(1, 1);
+    } catch (const raid::IoError&) {
+      *aborted = true;
+    }
+  };
+  rig.sim.spawn(rebuild(&eng, &aborted));
+  rig.sim.run_until(rig.sim.now() + sim::milliseconds(30));
+  rig.cluster.disk(3).fail();
+  rig.sim.run();
+
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(rig.cluster.disk(1).rebuilding());
+  EXPECT_LT(rig.cluster.disk(1).rebuild_watermark(), 200u);
+}
+
 TEST(MixedTraffic, ReadersAndWritersOnDisjointRangesStayCorrect) {
   Rig rig(test::small_cluster());
   raid::RaidxController eng(rig.fabric);

@@ -58,6 +58,11 @@ def main():
         help="skip keys matching this regex (repeatable); "
              "schema_version and *_wall_ms are always skipped")
     parser.add_argument(
+        "--require", action="append", default=[], metavar="REGEX",
+        help="fail (exit 1) unless at least one candidate key matches this "
+             "regex (repeatable, each must match); guards against a bench "
+             "silently dropping a key family, e.g. --require 'ha\\.'")
+    parser.add_argument(
         "--quiet", action="store_true",
         help="print only differing keys and the summary line")
     args = parser.parse_args()
@@ -116,11 +121,21 @@ def main():
           f"{len(shared) - identical} differ (worst {worst:.4g}%); "
           f"{len(added)} added, {len(removed)} removed")
 
+    failed = False
+    for pattern in args.require:
+        # Match the raw candidate key set: --require is about presence, so
+        # --ignore must not be able to hide a missing family from it.
+        regex = re.compile(pattern)
+        if not any(regex.search(k) for k in cand):
+            print(f"FAIL: no candidate key matches required pattern "
+                  f"{pattern!r}", file=sys.stderr)
+            failed = True
+
     if args.threshold is not None and violations:
         print(f"FAIL: {len(violations)} key(s) moved more than "
               f"{args.threshold}%", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -20,10 +20,13 @@
 
 #include "cache/cache_fabric.hpp"
 #include "cluster/cluster.hpp"
+#include "ha/fault_plan.hpp"
+#include "ha/ha.hpp"
 #include "nfs/nfs.hpp"
 #include "obs/collect.hpp"
 #include "obs/obs.hpp"
 #include "sim/stats.hpp"
+#include "workload/andrew.hpp"
 #include "workload/engines.hpp"
 #include "workload/parallel_io.hpp"
 #include "workload/trace.hpp"
@@ -56,6 +59,22 @@ namespace {
       "  --cache-evict E    lru|2q eviction (default lru)\n"
       "  --coop-cache       serve misses from peer memory (cooperative)\n"
       "  --warm N           unmeasured warm passes before the measured run\n"
+      "  --workload W       io|andrew: synthetic parallel I/O (default) or\n"
+      "                     the 5-phase Andrew benchmark (stores real bytes)\n"
+      "  --faults SPEC      chaos plan, e.g. 'fail:disk=3@2s;heal:disk=3@8s'\n"
+      "                     or 'rand:seed=7,faults=2,window=10s,heal=3s';\n"
+      "                     implies --ha unless --no-ha is given\n"
+      "  --ha               enable recovery orchestration (detector, hot\n"
+      "                     spares, auto-rebuild)\n"
+      "  --no-ha            inject --faults without any orchestration\n"
+      "  --spares N         hot spares per node (default 1)\n"
+      "  --global-spares N  shared overflow spare pool (default 0)\n"
+      "  --rebuild-mbs X    cap auto-rebuild writes at X MB/s (default 0 = "
+      "uncapped)\n"
+      "  --timeout-ms X     client-side CDD timeout on remote read/write "
+      "RPCs\n"
+      "                     (default 0 = wait forever; required with "
+      "part: faults)\n"
       "  --seed S           workload seed (default 42)\n"
       "  --replay FILE      replay a block trace instead of the synthetic "
       "workload\n"
@@ -114,6 +133,11 @@ int main(int argc, char** argv) {
   std::string cache_evict = "lru";
   bool coop_cache = false;
   int warm = 0;
+  std::string workload_kind = "io";
+  std::string faults_spec;
+  bool ha_on = false, no_ha = false;
+  int spares = 1, global_spares = 0;
+  double rebuild_mbs = 0.0, timeout_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -163,6 +187,14 @@ int main(int argc, char** argv) {
     else if (a == "--cache-evict") cache_evict = next();
     else if (a == "--coop-cache") coop_cache = true;
     else if (a == "--warm") warm = std::atoi(next().c_str());
+    else if (a == "--workload") workload_kind = next();
+    else if (a == "--faults") faults_spec = next();
+    else if (a == "--ha") ha_on = true;
+    else if (a == "--no-ha") no_ha = true;
+    else if (a == "--spares") spares = std::atoi(next().c_str());
+    else if (a == "--global-spares") global_spares = std::atoi(next().c_str());
+    else if (a == "--rebuild-mbs") rebuild_mbs = std::atof(next().c_str());
+    else if (a == "--timeout-ms") timeout_ms = std::atof(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--replay") replay_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
@@ -197,6 +229,28 @@ int main(int argc, char** argv) {
   if (coop_cache && !cache_on) {
     std::fprintf(stderr,
                  "%s: --coop-cache requires a cache; add --cache-mb\n",
+                 argv[0]);
+    return 2;
+  }
+  if (workload_kind != "io" && workload_kind != "andrew") {
+    std::fprintf(stderr, "%s: unknown workload '%s' (io|andrew)\n", argv[0],
+                 workload_kind.c_str());
+    return 2;
+  }
+  if (ha_on && no_ha) {
+    std::fprintf(stderr, "%s: --ha and --no-ha conflict\n", argv[0]);
+    return 2;
+  }
+  if (spares < 0 || global_spares < 0 || rebuild_mbs < 0 ||
+      timeout_ms < 0) {
+    std::fprintf(stderr,
+                 "%s: --spares/--global-spares/--rebuild-mbs/--timeout-ms "
+                 "must be >= 0\n",
+                 argv[0]);
+    return 2;
+  }
+  if (workload_kind == "andrew" && !replay_file.empty()) {
+    std::fprintf(stderr, "%s: --workload andrew and --replay conflict\n",
                  argv[0]);
     return 2;
   }
@@ -240,7 +294,9 @@ int main(int argc, char** argv) {
   params.geometry.disks_per_node = disks;
   params.geometry.block_bytes = block;
   params.geometry.blocks_per_disk = (10ull << 30) / block;
-  params.disk.store_data = false;
+  // Andrew builds a real file system and verifies its bytes, so the disks
+  // must store data; the synthetic sweeps only measure timing.
+  params.disk.store_data = workload_kind == "andrew";
 
   sim::Simulation sim;
   obs::Hub hub;
@@ -249,7 +305,38 @@ int main(int argc, char** argv) {
     sim.set_hub(&hub);
   }
   cluster::Cluster cluster(sim, params);
-  cdd::CddFabric fabric(cluster);
+  cdd::CddParams cddp;
+  if (timeout_ms > 0) cddp.request_timeout = sim::milliseconds(timeout_ms);
+  cdd::CddFabric fabric(cluster, cddp);
+
+  // Chaos plan: parse before anything expensive runs so a bad spec fails
+  // in milliseconds.  Partition events need a CDD timeout, or any request
+  // in flight across the partition waits forever.
+  ha::FaultPlan plan;
+  if (!faults_spec.empty()) {
+    try {
+      plan = ha::FaultPlan::parse(faults_spec, cluster.total_disks());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+    for (const ha::FaultEvent& ev : plan.events()) {
+      if (ev.kind == ha::FaultEvent::Kind::kPartitionNode &&
+          timeout_ms <= 0) {
+        std::fprintf(stderr,
+                     "%s: part: faults need --timeout-ms, or requests at "
+                     "the partitioned node block forever\n",
+                     argv[0]);
+        return 2;
+      }
+      if ((ev.kind == ha::FaultEvent::Kind::kPartitionNode ||
+           ev.kind == ha::FaultEvent::Kind::kJoinNode) &&
+          (ev.target < 0 || ev.target >= nodes)) {
+        std::fprintf(stderr, "%s: no such node: %d\n", argv[0], ev.target);
+        return 2;
+      }
+    }
+  }
 
   raid::EngineParams ep;
   ep.background_mirrors = bg_mirrors;
@@ -288,6 +375,42 @@ int main(int argc, char** argv) {
     cluster.disk(f).fail();
   }
 
+  // Recovery orchestration: on when asked for explicitly, or implied by a
+  // fault plan (chaos without recovery needs --no-ha).
+  std::unique_ptr<ha::Orchestrator> orch;
+  if (ha_on || (!faults_spec.empty() && !no_ha)) {
+    ha::HaParams hp;
+    hp.spares_per_node = spares;
+    hp.global_spares = global_spares;
+    hp.rebuild_mbs = rebuild_mbs;
+    orch = std::make_unique<ha::Orchestrator>(*engine, hp);
+  }
+  if (!plan.empty()) {
+    std::printf("fault plan (%s):\n%s", orch ? "orchestrated" : "raw",
+                plan.describe().c_str());
+    plan.arm(cluster, orch.get());
+  }
+
+  auto print_ha_summary = [&]() {
+    if (!orch) return;
+    const ha::HaStats& hs = orch->stats();
+    std::printf("ha                  : %llu detections (%llu traffic, %llu "
+                "probe), %llu failovers, %llu rebuilds, %d spares left\n",
+                static_cast<unsigned long long>(hs.detections),
+                static_cast<unsigned long long>(hs.detections_by_traffic),
+                static_cast<unsigned long long>(hs.detections_by_probe),
+                static_cast<unsigned long long>(hs.failovers),
+                static_cast<unsigned long long>(hs.rebuilds_completed),
+                orch->spares().total_available());
+    if (!hs.mttr_ns.empty()) {
+      double sum = 0;
+      for (sim::Time t : hs.mttr_ns) sum += static_cast<double>(t);
+      std::printf("ha mttr             : %8.3f s mean over %zu recoveries\n",
+                  sum / static_cast<double>(hs.mttr_ns.size()) * 1e-9,
+                  hs.mttr_ns.size());
+    }
+  };
+
   auto export_obs = [&]() -> int {
     if (!trace_out.empty()) {
       std::string err;
@@ -299,7 +422,8 @@ int main(int argc, char** argv) {
                   hub.tracer().spans().size(), trace_out.c_str());
     }
     if (!metrics_out.empty()) {
-      obs::collect_cluster(hub.registry(), cluster, &fabric, &block_cache);
+      obs::collect_cluster(hub.registry(), cluster, &fabric, &block_cache,
+                           orch.get());
       std::ofstream out(metrics_out);
       out << hub.registry().snapshot_json() << "\n";
       if (!out) {
@@ -339,6 +463,38 @@ int main(int argc, char** argv) {
     std::printf("write latency       : mean %.2f ms, p95 %.2f ms\n",
                 tr.write_latency.mean() / 1e6,
                 sim::to_milliseconds(tr.write_latency.percentile(0.95)));
+    print_ha_summary();
+    return export_obs();
+  }
+
+  if (workload_kind == "andrew") {
+    workload::AndrewConfig acfg;
+    acfg.clients = clients;
+    acfg.seed = seed;
+    if (auto* srv = dynamic_cast<nfs::NfsEngine*>(engine.get())) {
+      acfg.exclude_node = srv->server_node();
+    }
+    std::printf("raidxsim: Andrew benchmark on %s, %d clients\n",
+                engine->name().c_str(), clients);
+    workload::AndrewResult ar;
+    try {
+      ar = workload::run_andrew(*engine, acfg);
+    } catch (const std::exception& e) {
+      std::printf("run failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\nMakeDir             : %8.3f s\n",
+                sim::to_seconds(ar.make_dir));
+    std::printf("Copy                : %8.3f s\n",
+                sim::to_seconds(ar.copy_files));
+    std::printf("ScanDir             : %8.3f s\n",
+                sim::to_seconds(ar.scan_dir));
+    std::printf("ReadAll             : %8.3f s\n",
+                sim::to_seconds(ar.read_all));
+    std::printf("Compile             : %8.3f s\n",
+                sim::to_seconds(ar.compile));
+    std::printf("total               : %8.3f s\n", sim::to_seconds(ar.total()));
+    print_ha_summary();
     return export_obs();
   }
 
@@ -424,5 +580,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fabric.local_requests()),
                 static_cast<unsigned long long>(fabric.remote_requests()));
   }
+  print_ha_summary();
   return export_obs();
 }
