@@ -69,7 +69,15 @@ inline T smoke_pick(T full, T reduced) {
 /// `net.messages_dropped`) -- but only in worlds that configure an
 /// orchestrator or inject faults (the new bench/mttr report).  Fault-free
 /// benches emit the exact v3 key set with bit-identical values.
-inline constexpr int kBenchSchemaVersion = 4;
+/// v5: obs snapshots may carry the integrity keys (`integrity.*` counters,
+/// the `integrity.mttd_ns` histogram, scrub-throttle counters) -- but only
+/// in worlds that attach an IntegrityPlane (the new bench/scrub report).
+/// Integrity-free benches emit the exact v4 key set and every simulated
+/// result is bit-identical to v4; only the engine-internal
+/// `sim.frame_pool.{fresh,reuses}` counters shift (coroutine frames grew
+/// with the verify-on-read branch, moving a few frames across pool size
+/// classes).
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.
@@ -84,10 +92,13 @@ inline sim::JsonWriter bench_json(const std::string& bench) {
 /// Embed one world's metrics-registry snapshot and utilization/queue-depth
 /// timelines under "<key>" -- per-disk and per-link counters, histogram
 /// percentiles, and windowed busy fractions, all from the shared registry.
-inline void add_obs(sim::JsonWriter& w, const std::string& key,
-                    World& world) {
+/// Pass an orchestrator and/or integrity plane to include their gated key
+/// sections (`ha.*`, `integrity.*`).
+inline void add_obs(sim::JsonWriter& w, const std::string& key, World& world,
+                    const ha::Orchestrator* orch = nullptr,
+                    const integrity::IntegrityPlane* integrity = nullptr) {
   obs::collect_cluster(world.hub.registry(), world.cluster, &world.fabric,
-                       &world.cache);
+                       &world.cache, orch, integrity);
   w.add_raw(key, "{\"registry\":" + world.hub.registry().snapshot_json() +
                      ",\"timelines\":" + world.hub.timelines().json() +
                      "}");

@@ -59,11 +59,16 @@ class Payload {
   bool is_zeros() const { return base_ == nullptr; }
 
   /// O(1) sub-range sharing the same storage (or the same zero-run).
+  /// Zero-run slices stay canonical (offset 0, no storage): a zero-run
+  /// has no buffer for the offset to index into, and carrying a stale
+  /// nonzero offset invites any consumer that mixes is_zeros() checks
+  /// with offset arithmetic -- the checksum plane does both -- to compute
+  /// different answers for a sliced zero-run and its materialized bytes.
   Payload slice(std::size_t off, std::size_t len) const {
     assert(off + len <= len_);
     Payload p;
     p.base_ = base_;
-    p.off_ = off_ + off;
+    p.off_ = base_ != nullptr ? off_ + off : 0;
     p.len_ = len;
     return p;
   }

@@ -333,6 +333,26 @@ void CacheFabric::drop_node(int node) {
   c.clear();
 }
 
+void CacheFabric::invalidate_for_repair(std::uint64_t lba) {
+  if (!params_.enabled()) return;
+  // Epoch bump first: a reader already at the disks when the repair wrote
+  // the block must not fill() whatever bytes it saw.
+  ++write_epoch_[lba];
+  auto it = directory_.find(lba);
+  if (it == directory_.end()) return;
+  const int home = home_of(lba);
+  std::vector<int> clean;
+  for (int holder : it->second) {
+    if (!cache(holder).dirty(lba)) clean.push_back(holder);
+  }
+  for (int holder : clean) {
+    cache(holder).invalidate(lba);
+    directory_remove(lba, holder);
+    ++stats_.invalidations;
+    post_notice(home, holder);
+  }
+}
+
 void CacheFabric::on_node_down(int node) {
   NodeCache& c = cache(node);
   stats_.dirty_lost += c.dirty_blocks();

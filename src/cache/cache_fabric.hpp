@@ -235,6 +235,15 @@ class CacheFabric {
   /// reads go to disk again.  Asserts there is nothing dirty to lose.
   void drop_node(int node);
 
+  /// Repair path (called by the array controllers after src/integrity
+  /// rewrote a block's on-disk bytes from redundancy): drop every CLEAN
+  /// cached copy of `lba` and bump its write epoch, so a copy warmed from
+  /// an unverified read of the corrupt block -- or a racing reader's fill
+  /// of pre-repair disk bytes -- can never keep serving after the repair.
+  /// Dirty copies are deliberately kept: they hold a *newer* write than
+  /// the disk, and the ordinary flush protocol will land them.
+  void invalidate_for_repair(std::uint64_t lba);
+
   /// Failure path (called by ha::Orchestrator when a node is declared
   /// down): scrub the node's directory registrations and drop its cache
   /// contents.  Unlike drop_node this tolerates -- and counts -- dirty

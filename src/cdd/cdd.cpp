@@ -43,6 +43,24 @@ sim::Task<> CddService::handle(Request req) {
           co_await d.io(disk::IoKind::kRead, req.offset, req.nblocks,
                         req.prio, serve.ctx());
           reply.data = d.read_payload(req.offset, req.nblocks);
+          IntegrityHooks* integ = fabric_.integrity();
+          if (integ != nullptr && (req.verify || integ->verify_reads())) {
+            co_await node.compute(integ->checksum_cost(
+                static_cast<std::uint64_t>(req.nblocks) *
+                d.params().block_bytes));
+            d.verify_blocks(req.offset, req.nblocks, reply.bad_blocks);
+            for (std::uint64_t b : reply.bad_blocks) {
+              integ->on_corruption_found(req.disk, b, req.verify);
+            }
+            if (!reply.bad_blocks.empty() && !req.verify) {
+              // An ordinary read must never deliver bytes that failed
+              // verification: fail the reply so the client's controller
+              // re-fetches through its degraded/redundancy path (and the
+              // bad bytes can never be installed in a cache).
+              reply.ok = false;
+              reply.data = {};
+            }
+          }
         }
       } catch (const disk::DiskFailedError& e) {
         reply.ok = false;
@@ -60,6 +78,13 @@ sim::Task<> CddService::handle(Request req) {
       co_await node.cpu_work(req.wire_bytes());
       try {
         auto& d = cluster.disk(req.disk);
+        // With an integrity plane attached, the CDD computes the blocks'
+        // checksums before they hit the media (write_data stores them).
+        if (IntegrityHooks* integ = fabric_.integrity()) {
+          co_await node.compute(integ->checksum_cost(
+              static_cast<std::uint64_t>(req.nblocks) *
+              d.params().block_bytes));
+        }
         co_await d.io(disk::IoKind::kWrite, req.offset, req.nblocks,
                       req.prio, serve.ctx());
         d.write_data(req.offset, req.payload);
@@ -325,6 +350,28 @@ sim::Task<Reply> CddFabric::read(int client, int disk_id, std::uint64_t offset,
   req.offset = offset;
   req.nblocks = nblocks;
   req.prio = prio;
+  req.ctx = span.ctx();
+  co_return co_await submit(client, target, std::move(req));
+}
+
+sim::Task<Reply> CddFabric::scrub_read(int client, int disk_id,
+                                       std::uint64_t offset,
+                                       std::uint32_t nblocks,
+                                       obs::TraceContext ctx) {
+  const int target = cluster_.geometry().node_of(disk_id);
+  obs::Span span = obs::trace_span(
+      cluster_.sim(), ctx, "cdd.scrub_read", obs::Track::kRequest, client,
+      obs::SpanArgs{}
+          .tag("client", client)
+          .tag("disk", disk_id)
+          .tag("remote", target != client ? 1 : 0));
+  Request req;
+  req.op = Request::Op::kRead;
+  req.disk = disk_id;
+  req.offset = offset;
+  req.nblocks = nblocks;
+  req.prio = disk::IoPriority::kBackground;
+  req.verify = true;
   req.ctx = span.ctx();
   co_return co_await submit(client, target, std::move(req));
 }

@@ -56,6 +56,22 @@ struct CddParams {
 
 class CddFabric;
 
+/// Hooks the CDD data path calls when an integrity plane (src/integrity)
+/// is attached.  An abstract interface rather than the concrete plane so
+/// the CDD layer does not depend on the subsystem that drives repairs.
+class IntegrityHooks {
+ public:
+  virtual ~IntegrityHooks() = default;
+  /// Verify every ordinary read at the CDD boundary (--verify-reads).
+  virtual bool verify_reads() const = 0;
+  /// Simulated CPU cost of checksumming `bytes` at the serving node.
+  virtual sim::Time checksum_cost(std::uint64_t bytes) const = 0;
+  /// A block failed verification.  Runs synchronously inside the CDD
+  /// handler; must be cheap and spawn any real work (repair, escalation).
+  virtual void on_corruption_found(int disk, std::uint64_t offset,
+                                   bool by_scrub) = 0;
+};
+
 class CddService {
  public:
   CddService(CddFabric& fabric, int node_id);
@@ -115,6 +131,20 @@ class CddFabric {
                           std::uint64_t owner, obs::TraceContext ctx = {});
   sim::Task<> unlock_groups(int client, std::vector<std::uint64_t> groups,
                             std::uint64_t owner, obs::TraceContext ctx = {});
+
+  /// Scrub read: like read(), but with per-block checksum verification
+  /// forced at the serving CDD.  Mismatching blocks come back listed in
+  /// Reply.bad_blocks (ok stays true -- the scrubber wants the report,
+  /// not a degraded fallback).  Runs at background priority so sweeps
+  /// yield to foreground traffic.
+  sim::Task<Reply> scrub_read(int client, int disk_id, std::uint64_t offset,
+                              std::uint32_t nblocks,
+                              obs::TraceContext ctx = {});
+
+  /// Attach/detach the integrity plane.  Null (the default) keeps every
+  /// read bit-identical to a build that predates the checksum plane.
+  void set_integrity(IntegrityHooks* hooks) { integrity_ = hooks; }
+  IntegrityHooks* integrity() const { return integrity_; }
 
   /// Health-check RPC: is `node` reachable, and (disk >= 0) is that disk
   /// alive?  Answered from device state with no media access, so probes
@@ -195,6 +225,7 @@ class CddFabric {
   std::uint64_t retries_exhausted_ = 0;
   std::uint64_t late_replies_ = 0;
   std::function<void(int)> disk_failure_listener_;
+  IntegrityHooks* integrity_ = nullptr;
 };
 
 }  // namespace raidx::cdd

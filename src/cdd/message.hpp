@@ -21,6 +21,11 @@ struct Reply {
   /// set by a server -- a real reply always clears it.
   bool timed_out = false;
   block::Payload data;  // read payload
+  /// Physical blocks that failed checksum verification (scrub reads: the
+  /// data still ships, ok stays true, and the bad offsets are reported
+  /// here for the repair machinery).  Not counted in wire_bytes(): a real
+  /// driver packs per-block status bits into existing header slack.
+  std::vector<std::uint64_t> bad_blocks;
 
   std::uint64_t wire_bytes() const { return kHeaderBytes + data.size(); }
 };
@@ -41,6 +46,12 @@ struct Request {
   std::uint64_t offset = 0;      // physical block offset on that disk
   std::uint32_t nblocks = 0;
   disk::IoPriority prio = disk::IoPriority::kForeground;
+  /// Force checksum verification of this read regardless of the fabric's
+  /// verify-reads policy (the scrub daemon's sweep reads).  A verify-only
+  /// mismatch is reported in Reply.bad_blocks with ok left true; ordinary
+  /// reads that fail verification come back ok = false instead, so the
+  /// client's degraded path re-fetches from redundancy.
+  bool verify = false;
   block::Payload payload;  // write data
   /// Lock groups covered by one request -- the paper's "record in the
   /// lock-group table": a set of block groups granted to one client

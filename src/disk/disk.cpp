@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "integrity/checksum.hpp"
+
 namespace raidx::disk {
 
 Disk::Disk(sim::Simulation& sim, DiskParams params, int id, ScsiBus* bus)
@@ -98,10 +100,22 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
 }
 
 void Disk::write_data(std::uint64_t block, std::span<const std::byte> data) {
-  if (!params_.store_data) return;
   assert(data.size() % params_.block_bytes == 0);
   const std::uint32_t n =
       static_cast<std::uint32_t>(data.size() / params_.block_bytes);
+  // Checksum maintenance runs even on pure-timing disks: the sums and the
+  // latent-error marks are the only state corruption detection has there,
+  // and a rewrite (repair, rebuild, ordinary traffic) must always restore
+  // a block to a verified-good state.
+  if (integrity_enabled_) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      sums_[block + i] = integrity::crc32c(data.subspan(
+          static_cast<std::size_t>(i) * params_.block_bytes,
+          params_.block_bytes));
+      corrupted_.erase(block + i);
+    }
+  }
+  if (!params_.store_data) return;
   for (std::uint32_t i = 0; i < n; ++i) {
     auto& blk = blocks_[block + i];
     blk.assign(data.begin() + static_cast<std::ptrdiff_t>(i) *
@@ -112,10 +126,19 @@ void Disk::write_data(std::uint64_t block, std::span<const std::byte> data) {
 }
 
 void Disk::write_data(std::uint64_t block, const block::Payload& data) {
-  if (!params_.store_data) return;
   assert(data.size() % params_.block_bytes == 0);
   const std::uint32_t n =
       static_cast<std::uint32_t>(data.size() / params_.block_bytes);
+  if (integrity_enabled_) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Zero-run payloads checksum in O(log n) -- no materialization.
+      sums_[block + i] = integrity::crc_of(data.slice(
+          static_cast<std::size_t>(i) * params_.block_bytes,
+          params_.block_bytes));
+      corrupted_.erase(block + i);
+    }
+  }
+  if (!params_.store_data) return;
   for (std::uint32_t i = 0; i < n; ++i) {
     auto& blk = blocks_[block + i];
     blk.resize(params_.block_bytes);
@@ -157,6 +180,52 @@ void Disk::replace() {
   failed_ = false;
   blocks_.clear();
   head_pos_ = 0;
+  // A blank replacement has no history: no sums, no latent errors.
+  sums_.clear();
+  corrupted_.clear();
+}
+
+void Disk::enable_integrity() {
+  if (integrity_enabled_) return;
+  integrity_enabled_ = true;
+  zero_block_crc_ = static_cast<std::uint32_t>(
+      integrity::crc32c_zeros(params_.block_bytes));
+  // Snapshot blocks stored before the plane attached (preloads).
+  for (const auto& [blk, bytes] : blocks_) {
+    sums_[blk] = integrity::crc32c(bytes);
+  }
+}
+
+void Disk::corrupt(std::uint64_t block) {
+  assert(block < params_.total_blocks);
+  corrupted_.insert(block);
+  if (!params_.store_data) return;
+  // Flip one stored bit so reads really return wrong bytes.  A block that
+  // was never written materializes first: its expected content is zeros,
+  // and the rot must make the read disagree with that expectation.
+  auto& blk = blocks_[block];
+  blk.resize(params_.block_bytes);
+  blk[static_cast<std::size_t>(block % params_.block_bytes)] ^= std::byte{1};
+}
+
+void Disk::verify_blocks(std::uint64_t block, std::uint32_t nblocks,
+                         std::vector<std::uint64_t>& bad) const {
+  if (!integrity_enabled_) return;
+  for (std::uint32_t i = 0; i < nblocks; ++i) {
+    const std::uint64_t b = block + i;
+    if (corrupted_.count(b) != 0) {
+      bad.push_back(b);
+      continue;
+    }
+    if (!params_.store_data) continue;
+    const auto sum = sums_.find(b);
+    const std::uint32_t expected =
+        sum != sums_.end() ? sum->second : zero_block_crc_;
+    const auto it = blocks_.find(b);
+    const std::uint32_t actual =
+        it != blocks_.end() ? integrity::crc32c(it->second) : zero_block_crc_;
+    if (actual != expected) bad.push_back(b);
+  }
 }
 
 }  // namespace raidx::disk

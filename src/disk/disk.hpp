@@ -18,6 +18,7 @@
 #include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "block/payload.hpp"
@@ -93,6 +94,41 @@ class Disk {
   void replace();
   bool failed() const { return failed_; }
 
+  // ------------------------------------------------------------------ //
+  // Integrity plane (src/integrity): per-block checksums kept beside the
+  // data, plus a latent-error model for silent corruption.  All purely
+  // functional -- no simulated time -- so a build that never enables
+  // integrity is bit-identical to one that predates it.
+
+  /// Start keeping CRC32C sums for this disk's blocks.  Blocks already
+  /// stored (preload before the plane attaches) are summed now; later
+  /// write_data calls maintain the sums incrementally.  Idempotent.
+  void enable_integrity();
+  bool integrity_enabled() const { return integrity_enabled_; }
+
+  /// Inject silent corruption into one block: mark its media as rotten
+  /// and, when bytes are stored, flip one of them so reads really return
+  /// wrong data.  The checksum is NOT updated -- that is the point.
+  void corrupt(std::uint64_t block);
+  bool corrupted(std::uint64_t block) const {
+    return corrupted_.count(block) != 0;
+  }
+  std::size_t corrupted_blocks() const { return corrupted_.size(); }
+
+  /// True when the block has been written since integrity was enabled (a
+  /// stored sum exists).  Absent sums mean "never written": the expected
+  /// content is zeros, so repair can restore it without redundancy.
+  bool has_checksum(std::uint64_t block) const {
+    return sums_.count(block) != 0;
+  }
+
+  /// Verify [block, block+n): append every block whose bytes do not match
+  /// its checksum to `bad`.  Pure-timing disks (store_data=false) have no
+  /// bytes to hash, so detection rides the latent-error marks alone.
+  /// No-op until enable_integrity().
+  void verify_blocks(std::uint64_t block, std::uint32_t nblocks,
+                     std::vector<std::uint64_t>& bad) const;
+
   /// Rebuild frontier: while a rebuild sweep is active, blocks at or above
   /// the watermark have not been restored yet and must not serve reads
   /// (the CDD routes them to the degraded path instead).  Writes are
@@ -151,6 +187,12 @@ class Disk {
   std::uint64_t rebuild_watermark_ = 0;
 
   std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+
+  /// Integrity state (populated only after enable_integrity()).
+  bool integrity_enabled_ = false;
+  std::uint32_t zero_block_crc_ = 0;  // CRC32C of one all-zero block
+  std::unordered_map<std::uint64_t, std::uint32_t> sums_;
+  std::unordered_set<std::uint64_t> corrupted_;
 
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

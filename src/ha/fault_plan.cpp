@@ -7,36 +7,41 @@
 
 #include "cluster/cluster.hpp"
 #include "ha/ha.hpp"
+#include "integrity/integrity.hpp"
 #include "sim/random.hpp"
 
 namespace raidx::ha {
 
 namespace {
 
-[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
-  throw std::invalid_argument("bad fault spec '" + spec + "': " + why);
+/// Diagnostics cite the offending CLAUSE (one ';'-separated event), not
+/// the whole spec: a long chaos recipe with one typo points straight at
+/// it, and `raidxsim --faults` prints exactly this message before exit 2.
+[[noreturn]] void bad_clause(const std::string& clause,
+                             const std::string& why) {
+  throw std::invalid_argument("bad fault clause '" + clause + "': " + why);
 }
 
 /// "2.5s" / "150ms" / "40us" / "7ns" -> nanoseconds.
-sim::Time parse_time(const std::string& s, const std::string& spec) {
+sim::Time parse_time(const std::string& s, const std::string& clause) {
   std::size_t pos = 0;
   double v = 0;
   try {
     v = std::stod(s, &pos);
   } catch (const std::exception&) {
-    bad_spec(spec, "unparseable time '" + s + "'");
+    bad_clause(clause, "unparseable time '" + s + "'");
   }
   const std::string unit = s.substr(pos);
   if (unit == "s") return sim::seconds(v);
   if (unit == "ms") return sim::milliseconds(v);
   if (unit == "us") return sim::microseconds(v);
   if (unit == "ns") return static_cast<sim::Time>(v);
-  bad_spec(spec, "unknown time unit '" + unit + "' (use s|ms|us|ns)");
+  bad_clause(clause, "unknown time unit '" + unit + "' (use s|ms|us|ns)");
 }
 
 /// Split "a=1,b=2s" into key/value pairs.
 std::vector<std::pair<std::string, std::string>> parse_kv(
-    const std::string& body, const std::string& spec) {
+    const std::string& body, const std::string& clause) {
   std::vector<std::pair<std::string, std::string>> out;
   std::size_t start = 0;
   while (start <= body.size()) {
@@ -45,7 +50,9 @@ std::vector<std::pair<std::string, std::string>> parse_kv(
     const std::string item = body.substr(start, end - start);
     if (!item.empty()) {
       const std::size_t eq = item.find('=');
-      if (eq == std::string::npos) bad_spec(spec, "expected key=value in '" + item + "'");
+      if (eq == std::string::npos) {
+        bad_clause(clause, "expected key=value in '" + item + "'");
+      }
       out.emplace_back(item.substr(0, eq), item.substr(eq + 1));
     }
     start = end + 1;
@@ -53,9 +60,19 @@ std::vector<std::pair<std::string, std::string>> parse_kv(
   return out;
 }
 
+std::uint64_t parse_u64(const std::string& s, const std::string& what,
+                        const std::string& clause) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    bad_clause(clause, "unparseable " + what + " '" + s + "'");
+  }
+}
+
 }  // namespace
 
-FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
+FaultPlan FaultPlan::parse(const std::string& spec, int total_disks,
+                           std::uint64_t blocks_per_disk) {
   FaultPlan plan;
   std::size_t start = 0;
   while (start <= spec.size()) {
@@ -67,7 +84,7 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
 
     const std::size_t colon = item.find(':');
     if (colon == std::string::npos) {
-      bad_spec(spec, "missing ':' in '" + item + "'");
+      bad_clause(item, "missing ':'");
     }
     const std::string verb = item.substr(0, colon);
     std::string body = item.substr(colon + 1);
@@ -77,17 +94,17 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
       int faults = 1;
       sim::Time window = sim::seconds(1);
       sim::Time heal = 0;
-      for (const auto& [k, v] : parse_kv(body, spec)) {
+      for (const auto& [k, v] : parse_kv(body, item)) {
         if (k == "seed") {
-          seed = std::stoull(v);
+          seed = parse_u64(v, "seed", item);
         } else if (k == "faults") {
-          faults = std::stoi(v);
+          faults = static_cast<int>(parse_u64(v, "fault count", item));
         } else if (k == "window") {
-          window = parse_time(v, spec);
+          window = parse_time(v, item);
         } else if (k == "heal") {
-          heal = parse_time(v, spec);
+          heal = parse_time(v, item);
         } else {
-          bad_spec(spec, "unknown rand key '" + k + "'");
+          bad_clause(item, "unknown rand key '" + k + "'");
         }
       }
       FaultPlan r = random_plan(seed, total_disks, faults, window, heal);
@@ -95,19 +112,83 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
       continue;
     }
 
+    if (verb == "rot") {
+      if (blocks_per_disk == 0) {
+        bad_clause(item, "corruption needs a disk geometry to draw from");
+      }
+      std::uint64_t seed = 1;
+      int errors = 1;
+      sim::Time window = sim::seconds(1);
+      for (const auto& [k, v] : parse_kv(body, item)) {
+        if (k == "seed") {
+          seed = parse_u64(v, "seed", item);
+        } else if (k == "errors") {
+          errors = static_cast<int>(parse_u64(v, "error count", item));
+        } else if (k == "window") {
+          window = parse_time(v, item);
+        } else {
+          bad_clause(item, "unknown rot key '" + k + "'");
+        }
+      }
+      FaultPlan r =
+          random_rot(seed, total_disks, blocks_per_disk, errors, window);
+      for (const FaultEvent& ev : r.events_) plan.events_.push_back(ev);
+      continue;
+    }
+
+    if (verb == "corrupt") {
+      if (blocks_per_disk == 0) {
+        bad_clause(item, "corruption needs a disk geometry to draw from");
+      }
+      const std::size_t at = body.find('@');
+      if (at == std::string::npos) bad_clause(item, "missing '@time'");
+      FaultEvent ev;
+      ev.kind = FaultEvent::Kind::kCorruptBlock;
+      ev.at = parse_time(body.substr(at + 1), item);
+      bool have_disk = false;
+      bool have_block = false;
+      for (const auto& [k, v] : parse_kv(body.substr(0, at), item)) {
+        if (k == "disk") {
+          ev.target = static_cast<int>(parse_u64(v, "disk", item));
+          have_disk = true;
+        } else if (k == "block") {
+          ev.block = parse_u64(v, "block", item);
+          have_block = true;
+        } else {
+          bad_clause(item, "unknown corrupt key '" + k + "'");
+        }
+      }
+      if (!have_disk || !have_block) {
+        bad_clause(item, "corrupt needs disk=D,block=B");
+      }
+      if (ev.target < 0 || ev.target >= total_disks) {
+        bad_clause(item, "disk " + std::to_string(ev.target) +
+                             " out of range");
+      }
+      if (ev.block >= blocks_per_disk) {
+        bad_clause(item, "block " + std::to_string(ev.block) +
+                             " out of range (disk has " +
+                             std::to_string(blocks_per_disk) + " blocks)");
+      }
+      plan.events_.push_back(ev);
+      continue;
+    }
+
     // verb:target@time
     const std::size_t at = body.find('@');
-    if (at == std::string::npos) bad_spec(spec, "missing '@time' in '" + item + "'");
-    const sim::Time when = parse_time(body.substr(at + 1), spec);
+    if (at == std::string::npos) bad_clause(item, "missing '@time'");
+    const sim::Time when = parse_time(body.substr(at + 1), item);
     body = body.substr(0, at);
     const std::size_t eq = body.find('=');
-    if (eq == std::string::npos) bad_spec(spec, "expected disk=N or node=N in '" + item + "'");
+    if (eq == std::string::npos) {
+      bad_clause(item, "expected disk=N or node=N");
+    }
     const std::string kind = body.substr(0, eq);
     int target = 0;
     try {
       target = std::stoi(body.substr(eq + 1));
     } catch (const std::exception&) {
-      bad_spec(spec, "unparseable target in '" + item + "'");
+      bad_clause(item, "unparseable target");
     }
 
     FaultEvent ev;
@@ -116,19 +197,19 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks) {
     if (verb == "fail" && kind == "disk") {
       ev.kind = FaultEvent::Kind::kFailDisk;
       if (target < 0 || target >= total_disks) {
-        bad_spec(spec, "disk " + std::to_string(target) + " out of range");
+        bad_clause(item, "disk " + std::to_string(target) + " out of range");
       }
     } else if (verb == "heal" && kind == "disk") {
       ev.kind = FaultEvent::Kind::kHealDisk;
       if (target < 0 || target >= total_disks) {
-        bad_spec(spec, "disk " + std::to_string(target) + " out of range");
+        bad_clause(item, "disk " + std::to_string(target) + " out of range");
       }
     } else if (verb == "part" && kind == "node") {
       ev.kind = FaultEvent::Kind::kPartitionNode;
     } else if (verb == "join" && kind == "node") {
       ev.kind = FaultEvent::Kind::kJoinNode;
     } else {
-      bad_spec(spec, "unknown event '" + verb + ":" + kind + "'");
+      bad_clause(item, "unknown event '" + verb + ":" + kind + "'");
     }
     plan.events_.push_back(ev);
   }
@@ -165,11 +246,12 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, int targets, int faults,
       }
     }
     if (disk < 0) continue;  // everything still down; drop this fault
-    plan.events_.push_back(
-        FaultEvent{FaultEvent::Kind::kFailDisk, disk, t});
+    plan.events_.push_back(FaultEvent{
+        .kind = FaultEvent::Kind::kFailDisk, .target = disk, .at = t});
     if (heal_after > 0) {
-      plan.events_.push_back(
-          FaultEvent{FaultEvent::Kind::kHealDisk, disk, t + heal_after});
+      plan.events_.push_back(FaultEvent{.kind = FaultEvent::Kind::kHealDisk,
+                                        .target = disk,
+                                        .at = t + heal_after});
       down_until[static_cast<std::size_t>(disk)] = t + heal_after;
     } else {
       down_until[static_cast<std::size_t>(disk)] =
@@ -179,17 +261,65 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, int targets, int faults,
   return plan;
 }
 
-void FaultPlan::arm(cluster::Cluster& cluster, Orchestrator* orch) {
+FaultPlan FaultPlan::random_rot(std::uint64_t seed, int targets,
+                                std::uint64_t blocks_per_disk, int errors,
+                                sim::Time window) {
+  FaultPlan plan;
+  if (targets <= 0 || blocks_per_disk == 0 || errors <= 0 || window <= 0) {
+    return plan;
+  }
+  sim::Rng rng(seed);
+
+  // Distinct (disk, block) victims: the storm measures detection and
+  // repair coverage, and a block rotting twice would make "repaired ==
+  // injected" unreachable bookkeeping rather than a real miss.
+  std::vector<std::pair<int, std::uint64_t>> victims;
+  victims.reserve(static_cast<std::size_t>(errors));
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(targets) * blocks_per_disk;
+  for (int i = 0; i < errors; ++i) {
+    for (int tries = 0; tries < 64; ++tries) {
+      const int disk = static_cast<int>(rng.uniform(0, targets - 1));
+      const std::uint64_t block = rng.uniform_u64(0, blocks_per_disk - 1);
+      const auto hit = std::make_pair(disk, block);
+      if (std::find(victims.begin(), victims.end(), hit) == victims.end()) {
+        victims.push_back(hit);
+        break;
+      }
+      if (victims.size() >= capacity) break;  // array smaller than storm
+    }
+  }
+  for (const auto& [disk, block] : victims) {
+    FaultEvent ev;
+    ev.kind = FaultEvent::Kind::kCorruptBlock;
+    ev.target = disk;
+    ev.block = block;
+    ev.at = rng.uniform(window / 10, window);
+    plan.events_.push_back(ev);
+  }
+  return plan;
+}
+
+bool FaultPlan::has_corruption() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const FaultEvent& ev) {
+                       return ev.kind == FaultEvent::Kind::kCorruptBlock;
+                     });
+}
+
+void FaultPlan::arm(cluster::Cluster& cluster, Orchestrator* orch,
+                    integrity::IntegrityPlane* plane) {
   if (events_.empty()) return;
   // Stable sort: same-instant events apply in spec order.
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
-  cluster.sim().spawn(driver(cluster, orch));
+  cluster.sim().spawn(driver(cluster, orch, plane));
 }
 
-sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch) {
+sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch,
+                              integrity::IntegrityPlane* plane) {
   for (const FaultEvent& ev : events_) {
     const sim::Time now = cluster.sim().now();
     if (ev.at > now) co_await cluster.sim().delay(ev.at - now);
@@ -214,6 +344,14 @@ sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch) {
         cluster.network().set_node_up(ev.target, true);
         if (orch) orch->note_node_joined(ev.target);
         break;
+      case FaultEvent::Kind::kCorruptBlock:
+        // Silent by construction: the media decays, the disk's status
+        // stays clean, and nothing downstream is told -- except the
+        // integrity plane's bookkeeping, which timestamps the injection
+        // so MTTD is measured from the true decay instant.
+        cluster.disk(ev.target).corrupt(ev.block);
+        if (plane) plane->note_corruption_injected(ev.target, ev.block);
+        break;
     }
   }
 }
@@ -222,6 +360,14 @@ std::string FaultPlan::describe() const {
   std::string out;
   char buf[96];
   for (const FaultEvent& ev : events_) {
+    if (ev.kind == FaultEvent::Kind::kCorruptBlock) {
+      std::snprintf(buf, sizeof(buf),
+                    "corrupt disk %d block %llu @ %.3fs\n", ev.target,
+                    static_cast<unsigned long long>(ev.block),
+                    sim::to_seconds(ev.at));
+      out += buf;
+      continue;
+    }
     const char* what = "";
     const char* unit = "disk";
     switch (ev.kind) {
@@ -235,6 +381,8 @@ std::string FaultPlan::describe() const {
         what = "join";
         unit = "node";
         break;
+      case FaultEvent::Kind::kCorruptBlock:
+        break;  // handled above
     }
     std::snprintf(buf, sizeof(buf), "%s %s %d @ %.3fs\n", what, unit,
                   ev.target, sim::to_seconds(ev.at));

@@ -16,6 +16,17 @@
 //                         seeded random plan: 2 disk failures uniformly
 //                         inside [window/10, window], each healed
 //                         heal= later (omit heal= to leave them dead)
+//   corrupt:disk=3,block=17@2s
+//                         silently flip block 17 of disk 3 at t=2s: the
+//                         disk keeps answering reads with a clean status,
+//                         only a checksum (src/integrity) can tell
+//   rot:seed=7,errors=5,window=10s
+//                         seeded bit-rot storm: 5 corruptions on distinct
+//                         (disk, block) pairs at uniform instants inside
+//                         [window/10, window]
+//
+// Parse errors cite the offending *clause*, not the whole spec, so a long
+// chaos recipe with one typo points straight at it.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +40,10 @@ namespace raidx::cluster {
 class Cluster;
 }
 
+namespace raidx::integrity {
+class IntegrityPlane;
+}
+
 namespace raidx::ha {
 
 class Orchestrator;
@@ -39,9 +54,11 @@ struct FaultEvent {
     kHealDisk,
     kPartitionNode,
     kJoinNode,
+    kCorruptBlock,
   };
   Kind kind = Kind::kFailDisk;
   int target = 0;  // disk id or node id
+  std::uint64_t block = 0;  // kCorruptBlock: physical block on that disk
   sim::Time at = 0;
 };
 
@@ -50,8 +67,12 @@ class FaultPlan {
   FaultPlan() = default;
 
   /// Parse a spec string; `total_disks` bounds targets and feeds the
-  /// rand: generator.  Throws std::invalid_argument on malformed specs.
-  static FaultPlan parse(const std::string& spec, int total_disks);
+  /// rand: generator; `blocks_per_disk` bounds corrupt:/rot: block
+  /// addresses and feeds the rot: generator (0 = corruption clauses
+  /// rejected -- the caller has no geometry to validate against).
+  /// Throws std::invalid_argument naming the offending clause.
+  static FaultPlan parse(const std::string& spec, int total_disks,
+                         std::uint64_t blocks_per_disk = 0);
 
   /// Seeded random plan: `faults` disk failures at distinct uniform times
   /// in [window/10, window], targets drawn over [0, targets); when
@@ -60,21 +81,34 @@ class FaultPlan {
   static FaultPlan random_plan(std::uint64_t seed, int targets, int faults,
                                sim::Time window, sim::Time heal_after = 0);
 
+  /// Seeded bit-rot storm: `errors` corruptions on distinct (disk, block)
+  /// pairs at uniform instants in [window/10, window].
+  static FaultPlan random_rot(std::uint64_t seed, int targets,
+                              std::uint64_t blocks_per_disk, int errors,
+                              sim::Time window);
+
   void add(FaultEvent ev) { events_.push_back(ev); }
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
+  /// Does the plan inject silent corruption (so callers know an integrity
+  /// plane is needed to ever notice)?
+  bool has_corruption() const;
 
   /// Spawn the driver task: sleeps to each event's instant and applies it
   /// (disk.fail(), network partition, ...), notifying `orch` when given so
-  /// detection latency is measured from the true injection time.  The
-  /// driver runs in the foreground; the plan object must outlive the run.
-  void arm(cluster::Cluster& cluster, Orchestrator* orch = nullptr);
+  /// detection latency is measured from the true injection time, and
+  /// `plane` of silent corruptions so detection latency (MTTD) is measured
+  /// from the true decay time.  The driver runs in the foreground; the
+  /// plan object must outlive the run.
+  void arm(cluster::Cluster& cluster, Orchestrator* orch = nullptr,
+           integrity::IntegrityPlane* plane = nullptr);
 
   /// Human-readable one-line-per-event rendering (CLI banner).
   std::string describe() const;
 
  private:
-  sim::Task<> driver(cluster::Cluster& cluster, Orchestrator* orch);
+  sim::Task<> driver(cluster::Cluster& cluster, Orchestrator* orch,
+                     integrity::IntegrityPlane* plane);
 
   std::vector<FaultEvent> events_;
 };

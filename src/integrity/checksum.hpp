@@ -1,0 +1,46 @@
+// CRC32C (Castagnoli) block checksums for the integrity plane.
+//
+// Two properties matter to the simulator:
+//   * determinism -- the checksum of a block is a pure function of its
+//     bytes, so every run computes identical sums and corruption detection
+//     is bit-reproducible;
+//   * an O(1)/O(log n) fast path for zero-run payloads -- pure-timing
+//     sweeps (store_data=false) move gigabytes of logically-zero data as
+//     block::Payload zero-runs with no storage behind them, and checksum
+//     maintenance must not materialize those bytes.  Appending a zero byte
+//     to a CRC register is a linear map over GF(2), so extending a CRC by
+//     n zero bytes is one 32x32 bit-matrix power -- O(log n) matrix
+//     squarings, no buffer.
+// crc_of() guarantees the two paths agree: the checksum of a zero-run
+// payload equals the checksum of the same bytes materialized.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "block/payload.hpp"
+
+namespace raidx::integrity {
+
+/// CRC32C of `data` appended to a message whose CRC so far is `crc`.
+/// Pass 0 for a fresh message; the empty message has CRC 0.
+std::uint32_t crc32c(std::uint32_t crc, std::span<const std::byte> data);
+
+inline std::uint32_t crc32c(std::span<const std::byte> data) {
+  return crc32c(0, data);
+}
+
+/// CRC32C of `crc`'s message extended by `n` zero bytes, in O(log n)
+/// (GF(2) matrix exponentiation of the one-zero-byte register operator).
+std::uint32_t crc32c_extend_zeros(std::uint32_t crc, std::uint64_t n);
+
+/// CRC32C of a run of `n` zero bytes.
+inline std::uint32_t crc32c_zeros(std::uint64_t n) {
+  return crc32c_extend_zeros(0, n);
+}
+
+/// Checksum of a payload's bytes.  Zero-runs take the O(log n) path;
+/// the result is identical to checksumming the materialized bytes.
+std::uint32_t crc_of(const block::Payload& p);
+
+}  // namespace raidx::integrity

@@ -7,6 +7,7 @@
 #include "cdd/cdd.hpp"
 #include "cluster/cluster.hpp"
 #include "ha/ha.hpp"
+#include "integrity/integrity.hpp"
 #include "sim/token_bucket.hpp"
 
 namespace raidx::obs {
@@ -24,7 +25,8 @@ std::string key(const char* layer, int idx, const char* metric) {
 void collect_cluster(Registry& reg, cluster::Cluster& cluster,
                      const cdd::CddFabric* fabric,
                      const cache::CacheFabric* cache,
-                     const ha::Orchestrator* orch) {
+                     const ha::Orchestrator* orch,
+                     const integrity::IntegrityPlane* integrity) {
   sim::Simulation& sim = cluster.sim();
   const double elapsed = static_cast<double>(sim.now());
 
@@ -136,6 +138,31 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
       reg.counter("ha.rebuild_throttled_ns")
           .inc(static_cast<std::uint64_t>(tb->throttled_ns()));
       reg.counter("ha.rebuild_granted_bytes").inc(tb->granted_tokens());
+    }
+  }
+
+  if (integrity != nullptr) {
+    const integrity::IntegrityStats& s = integrity->stats();
+    reg.counter("integrity.injected").inc(s.injected);
+    reg.counter("integrity.detected").inc(s.detected);
+    reg.counter("integrity.detected_by_read").inc(s.detected_by_read);
+    reg.counter("integrity.detected_by_scrub").inc(s.detected_by_scrub);
+    reg.counter("integrity.repaired").inc(s.repaired);
+    reg.counter("integrity.unrecoverable").inc(s.unrecoverable);
+    reg.counter("integrity.repairs_failed").inc(s.repairs_failed);
+    reg.counter("integrity.superseded").inc(s.superseded);
+    reg.counter("integrity.overwritten").inc(s.overwritten);
+    reg.counter("integrity.escalations").inc(s.escalations);
+    reg.counter("integrity.scrub_passes").inc(s.scrub_passes);
+    reg.counter("integrity.blocks_scrubbed").inc(s.blocks_scrubbed);
+    for (sim::Time t : s.mttd_ns) {
+      reg.histogram("integrity.mttd_ns")
+          .observe(static_cast<std::uint64_t>(t));
+    }
+    if (const sim::TokenBucket* tb = integrity->throttle()) {
+      reg.counter("integrity.scrub_throttled_ns")
+          .inc(static_cast<std::uint64_t>(tb->throttled_ns()));
+      reg.counter("integrity.scrub_granted_bytes").inc(tb->granted_tokens());
     }
   }
 }

@@ -18,19 +18,24 @@ class CacheFabric;
 namespace raidx::ha {
 class Orchestrator;
 }
+namespace raidx::integrity {
+class IntegrityPlane;
+}
 
 namespace raidx::obs {
 
 /// Fill `reg` with the cluster's per-resource counters and utilization
-/// gauges.  `fabric`, `cache` and `orch` are optional (null skips their
-/// section).  Utilization gauges divide busy time by the simulation's
-/// current time.  Fault-path keys (net.messages_dropped, cdd timeout and
-/// cache fault counters, every ha.* key) appear only when the matching
-/// feature was actually configured or exercised, so fault-free runs keep
-/// the pre-orchestration key set bit-identical.
+/// gauges.  `fabric`, `cache`, `orch` and `integrity` are optional (null
+/// skips their section).  Utilization gauges divide busy time by the
+/// simulation's current time.  Fault-path keys (net.messages_dropped, cdd
+/// timeout and cache fault counters, every ha.* and integrity.* key)
+/// appear only when the matching feature was actually configured or
+/// exercised, so fault-free runs keep the pre-orchestration key set
+/// bit-identical.
 void collect_cluster(Registry& reg, cluster::Cluster& cluster,
                      const cdd::CddFabric* fabric,
                      const cache::CacheFabric* cache,
-                     const ha::Orchestrator* orch = nullptr);
+                     const ha::Orchestrator* orch = nullptr,
+                     const integrity::IntegrityPlane* integrity = nullptr);
 
 }  // namespace raidx::obs

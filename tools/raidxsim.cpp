@@ -22,6 +22,7 @@
 #include "cluster/cluster.hpp"
 #include "ha/fault_plan.hpp"
 #include "ha/ha.hpp"
+#include "integrity/integrity.hpp"
 #include "nfs/nfs.hpp"
 #include "obs/collect.hpp"
 #include "obs/obs.hpp"
@@ -63,7 +64,14 @@ namespace {
       "                     the 5-phase Andrew benchmark (stores real bytes)\n"
       "  --faults SPEC      chaos plan, e.g. 'fail:disk=3@2s;heal:disk=3@8s'\n"
       "                     or 'rand:seed=7,faults=2,window=10s,heal=3s';\n"
-      "                     implies --ha unless --no-ha is given\n"
+      "                     implies --ha unless --no-ha is given.  Silent\n"
+      "                     corruption: 'corrupt:disk=3,block=17@2s' or\n"
+      "                     'rot:seed=7,errors=5,window=10s' (bit-rot storm)\n"
+      "  --verify-reads     checksum-verify every read at the serving CDD\n"
+      "  --scrub-rate X     background scrub daemon capped at X MB/s\n"
+      "                     (default 0 = no scrubbing)\n"
+      "  --fail-threshold N escalate a disk to whole-disk failure after N\n"
+      "                     detected corrupt blocks (default 0 = off)\n"
       "  --ha               enable recovery orchestration (detector, hot\n"
       "                     spares, auto-rebuild)\n"
       "  --no-ha            inject --faults without any orchestration\n"
@@ -138,6 +146,9 @@ int main(int argc, char** argv) {
   bool ha_on = false, no_ha = false;
   int spares = 1, global_spares = 0;
   double rebuild_mbs = 0.0, timeout_ms = 0.0;
+  bool verify_reads = false;
+  double scrub_rate = 0.0;
+  int fail_threshold = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -195,6 +206,9 @@ int main(int argc, char** argv) {
     else if (a == "--global-spares") global_spares = std::atoi(next().c_str());
     else if (a == "--rebuild-mbs") rebuild_mbs = std::atof(next().c_str());
     else if (a == "--timeout-ms") timeout_ms = std::atof(next().c_str());
+    else if (a == "--verify-reads") verify_reads = true;
+    else if (a == "--scrub-rate") scrub_rate = std::atof(next().c_str());
+    else if (a == "--fail-threshold") fail_threshold = std::atoi(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
     else if (a == "--replay") replay_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
@@ -246,6 +260,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "%s: --spares/--global-spares/--rebuild-mbs/--timeout-ms "
                  "must be >= 0\n",
+                 argv[0]);
+    return 2;
+  }
+  if (scrub_rate < 0 || fail_threshold < 0) {
+    std::fprintf(stderr,
+                 "%s: --scrub-rate/--fail-threshold must be >= 0\n",
                  argv[0]);
     return 2;
   }
@@ -315,7 +335,8 @@ int main(int argc, char** argv) {
   ha::FaultPlan plan;
   if (!faults_spec.empty()) {
     try {
-      plan = ha::FaultPlan::parse(faults_spec, cluster.total_disks());
+      plan = ha::FaultPlan::parse(faults_spec, cluster.total_disks(),
+                                  params.geometry.blocks_per_disk);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
       return 2;
@@ -385,10 +406,34 @@ int main(int argc, char** argv) {
     hp.rebuild_mbs = rebuild_mbs;
     orch = std::make_unique<ha::Orchestrator>(*engine, hp);
   }
+
+  // Integrity plane: on when verification or scrubbing was asked for, or
+  // implied by corruption in the fault plan (silent corruption with no
+  // checksum plane would vanish without a trace -- the very failure mode
+  // the subsystem exists to expose).
+  std::unique_ptr<integrity::IntegrityPlane> plane;
+  if (verify_reads || scrub_rate > 0 || fail_threshold > 0 ||
+      plan.has_corruption()) {
+    auto* ac = dynamic_cast<raid::ArrayController*>(engine.get());
+    if (ac == nullptr) {
+      std::fprintf(stderr,
+                   "%s: --verify-reads/--scrub-rate/corrupt: faults need a "
+                   "block engine (not nfs)\n",
+                   argv[0]);
+      return 2;
+    }
+    integrity::IntegrityParams ip;
+    ip.verify_reads = verify_reads;
+    ip.scrub = scrub_rate > 0;
+    ip.scrub_rate_mbs = scrub_rate;
+    ip.fail_threshold = fail_threshold;
+    plane = std::make_unique<integrity::IntegrityPlane>(*ac, ip);
+  }
+
   if (!plan.empty()) {
     std::printf("fault plan (%s):\n%s", orch ? "orchestrated" : "raw",
                 plan.describe().c_str());
-    plan.arm(cluster, orch.get());
+    plan.arm(cluster, orch.get(), plane.get());
   }
 
   auto print_ha_summary = [&]() {
@@ -411,6 +456,63 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Returns nonzero when the scrub soak failed to converge: with the
+  // daemon on, every injected error must be accounted for -- detected (and
+  // repaired or explicitly listed unrecoverable), overwritten by traffic,
+  // or superseded by a whole-disk recovery -- and no repair may have
+  // errored out.  CI runs storms through this gate.
+  auto print_integrity_summary = [&]() -> int {
+    if (!plane) return 0;
+    const integrity::IntegrityStats& is = plane->stats();
+    std::printf("integrity           : %llu injected, %llu detected (%llu "
+                "read, %llu scrub), %llu repaired, %llu unrecoverable\n",
+                static_cast<unsigned long long>(is.injected),
+                static_cast<unsigned long long>(is.detected),
+                static_cast<unsigned long long>(is.detected_by_read),
+                static_cast<unsigned long long>(is.detected_by_scrub),
+                static_cast<unsigned long long>(is.repaired),
+                static_cast<unsigned long long>(is.unrecoverable));
+    if (is.overwritten > 0 || is.superseded > 0 || is.escalations > 0) {
+      std::printf("integrity (other)   : %llu overwritten, %llu superseded "
+                  "by rebuild, %llu disks escalated\n",
+                  static_cast<unsigned long long>(is.overwritten),
+                  static_cast<unsigned long long>(is.superseded),
+                  static_cast<unsigned long long>(is.escalations));
+    }
+    if (plane->params().scrub) {
+      std::printf("scrub               : %llu passes, %llu blocks verified "
+                  "(cap %.1f MB/s)\n",
+                  static_cast<unsigned long long>(is.scrub_passes),
+                  static_cast<unsigned long long>(is.blocks_scrubbed),
+                  plane->params().scrub_rate_mbs);
+    }
+    if (!is.mttd_ns.empty()) {
+      double sum = 0;
+      for (sim::Time t : is.mttd_ns) sum += static_cast<double>(t);
+      std::printf("integrity mttd      : %8.3f s mean over %zu detections\n",
+                  sum / static_cast<double>(is.mttd_ns.size()) * 1e-9,
+                  is.mttd_ns.size());
+    }
+    if (!is.unrecoverable_blocks.empty()) {
+      std::printf("unrecoverable blocks:");
+      for (const integrity::UnrecoverableBlock& b : is.unrecoverable_blocks) {
+        std::printf(" D%d:%llu", b.disk,
+                    static_cast<unsigned long long>(b.offset));
+      }
+      std::printf("\n");
+    }
+    if (plane->params().scrub && is.injected > 0 &&
+        (plane->undetected() > 0 || is.repairs_failed > 0)) {
+      std::fprintf(stderr,
+                   "integrity soak FAILED: %llu injected errors never "
+                   "accounted for, %llu repairs errored\n",
+                   static_cast<unsigned long long>(plane->undetected()),
+                   static_cast<unsigned long long>(is.repairs_failed));
+      return 1;
+    }
+    return 0;
+  };
+
   auto export_obs = [&]() -> int {
     if (!trace_out.empty()) {
       std::string err;
@@ -423,7 +525,7 @@ int main(int argc, char** argv) {
     }
     if (!metrics_out.empty()) {
       obs::collect_cluster(hub.registry(), cluster, &fabric, &block_cache,
-                           orch.get());
+                           orch.get(), plane.get());
       std::ofstream out(metrics_out);
       out << hub.registry().snapshot_json() << "\n";
       if (!out) {
@@ -464,7 +566,9 @@ int main(int argc, char** argv) {
                 tr.write_latency.mean() / 1e6,
                 sim::to_milliseconds(tr.write_latency.percentile(0.95)));
     print_ha_summary();
-    return export_obs();
+    const int soak_rc = print_integrity_summary();
+    const int obs_rc = export_obs();
+    return obs_rc != 0 ? obs_rc : soak_rc;
   }
 
   if (workload_kind == "andrew") {
@@ -495,7 +599,9 @@ int main(int argc, char** argv) {
                 sim::to_seconds(ar.compile));
     std::printf("total               : %8.3f s\n", sim::to_seconds(ar.total()));
     print_ha_summary();
-    return export_obs();
+    const int soak_rc = print_integrity_summary();
+    const int obs_rc = export_obs();
+    return obs_rc != 0 ? obs_rc : soak_rc;
   }
 
   workload::ParallelIoConfig cfg;
@@ -581,5 +687,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fabric.remote_requests()));
   }
   print_ha_summary();
-  return export_obs();
+  const int soak_rc = print_integrity_summary();
+  const int obs_rc = export_obs();
+  return obs_rc != 0 ? obs_rc : soak_rc;
 }
