@@ -77,7 +77,18 @@ inline T smoke_pick(T full, T reduced) {
 /// `sim.frame_pool.{fresh,reuses}` counters shift (coroutine frames grew
 /// with the verify-on-read branch, moving a few frames across pool size
 /// classes).
-inline constexpr int kBenchSchemaVersion = 5;
+/// v6: obs snapshots may carry the open-loop traffic keys (`load.*`
+/// counters/gauges and the `load.latency_ns` histograms) and the
+/// multi-tenant QoS keys (`qos.tenant.*`) -- but only in worlds driven by
+/// the open-loop tier (the new bench/saturation report).  Every histogram
+/// in every registry snapshot additionally renders exact-rank interpolated
+/// `p50_interp`/`p99_interp`/`p999_interp` keys, and cache-enabled worlds
+/// gain `cache.directory_peak_{entries,sharers}`.  All pre-existing
+/// simulated keys keep bit-identical values; as in v5, only the
+/// engine-internal `sim.frame_pool.{fresh,reuses}` counters shift (the
+/// admission hook grew the controller read/write coroutine frames, moving
+/// a few frames across pool size classes).
+inline constexpr int kBenchSchemaVersion = 6;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

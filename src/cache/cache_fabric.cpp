@@ -20,6 +20,12 @@ void CacheFabric::directory_add(std::uint64_t lba, int node) {
   if (std::find(holders.begin(), holders.end(), node) == holders.end()) {
     holders.push_back(node);
   }
+  if (directory_.size() > stats_.directory_peak_entries) {
+    stats_.directory_peak_entries = directory_.size();
+  }
+  if (holders.size() > stats_.directory_peak_sharers) {
+    stats_.directory_peak_sharers = holders.size();
+  }
 }
 
 void CacheFabric::directory_remove(std::uint64_t lba, int node) {

@@ -103,6 +103,12 @@ struct CacheStats {
   /// fault-free runs keep their exact obs key set).
   std::uint64_t dead_holder_skips = 0;  // forwards avoided: holder's node down
   std::uint64_t dirty_lost = 0;         // dirty blocks on a node declared down
+  /// Coherence-directory pressure: high-water marks of tracked blocks and
+  /// of any one block's holder list.  A Zipf-skewed open-loop run shows up
+  /// here as a small hot set replicated on many nodes (peak_sharers near
+  /// the node count) while a uniform scan grows entries instead.
+  std::uint64_t directory_peak_entries = 0;
+  std::uint64_t directory_peak_sharers = 0;
 
   std::uint64_t lookups() const { return hits + peer_hits + misses; }
   double hit_ratio() const {

@@ -1,0 +1,107 @@
+// Multi-tenant QoS: per-tenant token-bucket admission control.
+//
+// A QosGate implements raid::AdmissionGate over a set of tenants, each
+// with its own byte-rate token bucket and one of three policies for
+// requests that arrive with the bucket empty:
+//
+//  * kReject -- fail the request immediately (the client sees an error and
+//    may retry; counted `rejected`).
+//  * kShed   -- drop it at the door (counted `shed`; the open-loop tier's
+//    default, because overload shedding is what keeps a misbehaving
+//    tenant's backlog out of the shared disk queues).
+//  * kQueue  -- hold the request in a per-tenant FIFO until its tokens
+//    have accrued; requests beyond `max_queue` waiters are shed so a
+//    sustained overload cannot grow an unbounded queue.
+//
+// Tenancy is resolved from the client node: bind_client() records which
+// tenant a node's traffic belongs to, and unbound clients pass untouched
+// (so control traffic, rebuild sweeps, and non-load workloads never hit a
+// bucket).  Buckets refill lazily from elapsed simulated time -- an idle
+// gate costs the event queue nothing and runs stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "raid/admission.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::obs {
+class Registry;
+}
+
+namespace raidx::load {
+
+enum class AdmitPolicy { kReject, kQueue, kShed };
+
+const char* admit_policy_name(AdmitPolicy p);
+
+struct TenantQos {
+  /// Sustained admission rate in MB/s (1 MB = 1e6 bytes, matching how the
+  /// simulator quotes bandwidth everywhere).  0 = unlimited: every request
+  /// admitted instantly.
+  double rate_mbs = 0.0;
+  /// Burst allowance in MB an idle tenant can save up.
+  double burst_mb = 1.0;
+  AdmitPolicy policy = AdmitPolicy::kShed;
+  /// kQueue: waiters beyond this are shed instead of queued.
+  std::size_t max_queue = 4096;
+};
+
+struct TenantQosStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t admitted_bytes = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  /// Requests that had to wait in the FIFO before admission (kQueue).
+  std::uint64_t queued = 0;
+  sim::Time queue_wait_ns = 0;
+  std::size_t peak_queue = 0;
+};
+
+class QosGate : public raid::AdmissionGate {
+ public:
+  QosGate(sim::Simulation& sim, std::vector<TenantQos> tenants);
+
+  /// Traffic from `client` belongs to `tenant` (index into the ctor
+  /// vector).  Unbound clients are unmanaged: always admitted, uncounted.
+  void bind_client(int client, int tenant);
+  int tenant_of(int client) const;
+
+  sim::Task<> admit(int client, bool is_write, std::uint64_t bytes,
+                    obs::TraceContext ctx = {}) override;
+
+  int num_tenants() const { return static_cast<int>(tenants_.size()); }
+  const TenantQos& config(int tenant) const {
+    return tenants_[static_cast<std::size_t>(tenant)].cfg;
+  }
+  const TenantQosStats& stats(int tenant) const {
+    return tenants_[static_cast<std::size_t>(tenant)].stats;
+  }
+
+  /// Publish per-tenant counters as `qos.tenant.<idx>.*`.
+  void export_metrics(obs::Registry& reg) const;
+
+ private:
+  struct Tenant {
+    TenantQos cfg;
+    double tokens = 0.0;      // bytes
+    sim::Time last = 0;       // last refill instant
+    std::size_t waiting = 0;  // kQueue: waiters incl. the gate holder
+    std::unique_ptr<sim::Resource> fifo;  // capacity-1 FIFO turn-taker
+    TenantQosStats stats;
+  };
+
+  void refill(Tenant& t);
+  sim::Task<> admit_queued(Tenant& t, int tenant, std::uint64_t bytes);
+
+  sim::Simulation& sim_;
+  std::vector<Tenant> tenants_;
+  std::vector<int> client_tenant_;  // -1 = unmanaged
+};
+
+}  // namespace raidx::load

@@ -107,6 +107,8 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
     reg.counter("cache.invalidations").inc(s.invalidations);
     reg.counter("cache.flushes").inc(s.flushes);
     reg.counter("cache.evictions").inc(s.evictions);
+    reg.counter("cache.directory_peak_entries").inc(s.directory_peak_entries);
+    reg.counter("cache.directory_peak_sharers").inc(s.directory_peak_sharers);
     reg.gauge("cache.hit_ratio").set(s.hit_ratio());
     if (net.fault_injection_used()) {
       reg.counter("cache.dead_holder_skips").inc(s.dead_holder_skips);

@@ -55,6 +55,52 @@ void Histogram::observe(std::uint64_t v) {
   if (v > max_) max_ = v;
 }
 
+std::uint64_t Histogram::bucket_upper(std::size_t i) {
+  return bucket_lower(i + 1);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (cum + c >= rank) {
+      // Spread the bucket's c samples evenly over [lower, upper) and take
+      // the midpoint of the ranked sample's share.
+      const double lower = static_cast<double>(bucket_lower(i));
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double pos = static_cast<double>(rank - cum);  // 1..c
+      double v = lower + (upper - lower) * (pos - 0.5) /
+                             static_cast<double>(c);
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      return v;
+    }
+    cum += c;
+  }
+  return static_cast<double>(max_);
+}
+
 std::uint64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
   if (q < 0.0) q = 0.0;
@@ -120,6 +166,15 @@ std::string Registry::snapshot_json() const {
     append_u64(out, h.percentile(0.95));
     out += ",\"p99\":";
     append_u64(out, h.percentile(0.99));
+    // Exact-rank interpolated tail quantiles (additive keys: the p50..p99
+    // nearest-rank values above keep their historical rendering so old
+    // baselines stay bit-identical).
+    out += ",\"p50_interp\":";
+    append_double(out, h.quantile(0.50));
+    out += ",\"p99_interp\":";
+    append_double(out, h.quantile(0.99));
+    out += ",\"p999_interp\":";
+    append_double(out, h.quantile(0.999));
     out += ",\"buckets\":[";
     bool bfirst = true;
     const auto& buckets = h.buckets();

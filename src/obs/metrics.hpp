@@ -64,10 +64,26 @@ class Histogram {
   /// bucket holding the ranked sample (deterministic, never interpolated).
   std::uint64_t percentile(double q) const;
 
+  /// Exact-rank quantile with linear interpolation inside the bucket that
+  /// holds the ranked sample: the rank's position among the bucket's
+  /// samples is mapped onto [lower, upper), then clamped to the observed
+  /// [min, max].  Bounds the error at one bucket width (25% relative with
+  /// kSubBuckets = 4) instead of percentile()'s full-bucket truncation,
+  /// which is what makes p999 on a long-tailed latency distribution
+  /// meaningful.  Deterministic: same samples, same answer.
+  double quantile(double q) const;
+
+  /// Fold another histogram into this one (bucket-wise add).  Lets layers
+  /// keep private histograms on the hot path and publish into the registry
+  /// once at export time.
+  void merge(const Histogram& other);
+
   /// Bucket index covering value v.
   static std::size_t bucket_of(std::uint64_t v);
   /// Inclusive lower bound of bucket i (its representative value).
   static std::uint64_t bucket_lower(std::size_t i);
+  /// Exclusive upper bound of bucket i (== bucket_lower(i + 1)).
+  static std::uint64_t bucket_upper(std::size_t i);
 
   const std::vector<std::uint64_t>& buckets() const { return counts_; }
 
@@ -92,8 +108,9 @@ class Registry {
   }
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  /// Histograms render count/sum/min/max/mean plus p50/p90/p95/p99 and the
-  /// non-empty buckets as [[lower_bound, count], ...].
+  /// Histograms render count/sum/min/max/mean, nearest-rank p50/p90/p95/
+  /// p99, interpolated p50/p99/p999 (`*_interp`), and the non-empty
+  /// buckets as [[lower_bound, count], ...].
   std::string snapshot_json() const;
 
  private:

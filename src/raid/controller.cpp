@@ -104,6 +104,12 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
     throw IoError("read beyond end of " + name());
   }
   assert(out.size() == static_cast<std::size_t>(nblocks) * block_bytes());
+  if (admission_ != nullptr) {
+    co_await admission_->admit(client, /*is_write=*/false,
+                               static_cast<std::uint64_t>(nblocks) *
+                                   block_bytes(),
+                               ctx);
+  }
 
   sim::Resource window(sim(), params_.read_window);
   sim::Latch done(sim(), 0);
@@ -142,6 +148,9 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
   if (nblocks == 0) co_return;
   if (lba + nblocks > logical_blocks()) {
     throw IoError("write beyond end of " + name());
+  }
+  if (admission_ != nullptr) {
+    co_await admission_->admit(client, /*is_write=*/true, data.size(), ctx);
   }
 
   std::vector<std::uint64_t> groups;

@@ -25,6 +25,7 @@
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "obs/obs.hpp"
+#include "raid/admission.hpp"
 #include "raid/layout.hpp"
 #include "raid/raid0.hpp"
 #include "raid/raid1.hpp"
@@ -70,10 +71,7 @@ struct EngineParams {
   double xor_ns_per_byte = 10.0;
 };
 
-class IoError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// IoError / AdmissionError / AdmissionGate live in raid/admission.hpp.
 
 /// The block-level API workloads program against: a logical volume
 /// addressed in blocks, usable from any client node.
@@ -161,6 +159,14 @@ class ArrayController : public IoEngine {
   /// Background (deferred) operations currently in flight -- nonzero only
   /// for RAID-x with background mirroring.
   int background_in_flight() const { return background_in_flight_; }
+
+  /// Gate every logical read/write through an admission controller (null,
+  /// the default, leaves the entry paths untouched and bit-identical).
+  /// The gate is borrowed, not owned; internal traffic -- rebuild sweeps,
+  /// cache write-back, scrub repair -- enters below this hook and is never
+  /// gated.
+  void set_admission(AdmissionGate* gate) { admission_ = gate; }
+  AdmissionGate* admission() const { return admission_; }
 
   /// Restore a replaced disk's contents from redundancy.  Levels with a
   /// rebuild path (RAID-1/5/10/x) override; the base (RAID-0 has no
@@ -268,6 +274,7 @@ class ArrayController : public IoEngine {
 
   cdd::CddFabric& fabric_;
   EngineParams params_;
+  AdmissionGate* admission_ = nullptr;
   int background_in_flight_ = 0;
   sim::TokenBucket* rebuild_throttle_ = nullptr;
   std::uint64_t rebuild_bytes_ = 0;

@@ -18,6 +18,14 @@ makes it usable as a CI regression gate:
 A threshold of 0.0 demands bit-identical numbers -- the contract this
 simulator actually makes, since every reported figure is a deterministic
 function of the simulated cluster, never of the engine's internals.
+
+``--require REGEX`` (repeatable; each pattern must match at least one
+candidate key) guards gated key families: a bench that silently loses its
+orchestrator, integrity plane, or open-loop wiring still produces a
+passing diff on the remaining keys, so CI pins each section explicitly --
+``--require 'ha\\.'`` for the recovery report, ``--require 'integrity\\.'``
+for the scrub report, and (schema v6) ``--require 'load\\.' --require
+'qos\\.'`` for the saturation report's traffic and QoS sections.
 """
 
 import argparse

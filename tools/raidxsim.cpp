@@ -23,6 +23,8 @@
 #include "ha/fault_plan.hpp"
 #include "ha/ha.hpp"
 #include "integrity/integrity.hpp"
+#include "load/open_loop.hpp"
+#include "load/qos.hpp"
 #include "nfs/nfs.hpp"
 #include "obs/collect.hpp"
 #include "obs/obs.hpp"
@@ -83,6 +85,33 @@ namespace {
       "RPCs\n"
       "                     (default 0 = wait forever; required with "
       "part: faults)\n"
+      "  --open-loop SPEC   open-loop (rate-driven) traffic instead of the\n"
+      "                     closed-loop synthetic workload.  SPEC is\n"
+      "                     comma-separated key=value pairs:\n"
+      "                       rate=OPS        arrivals/s per tenant "
+      "(default 1000)\n"
+      "                       dist=poisson|burst  arrival process (default "
+      "poisson)\n"
+      "                       zipf=A          Zipf skew over the working set "
+      "(default 0 = uniform)\n"
+      "                       tenants=N       tenants sharing the array "
+      "(default 1)\n"
+      "                       sessions=N      client sessions per tenant "
+      "(default 1024)\n"
+      "                       duration=S      arrival window in seconds "
+      "(default 1)\n"
+      "                       write=F         write fraction (default 0)\n"
+      "                       req-blocks=N    blocks per request (default 1)\n"
+      "                       ws=BLOCKS       working-set blocks per tenant "
+      "(default 4096)\n"
+      "                       qos-mbs=X       per-tenant token-bucket rate "
+      "(default 0 = no gate)\n"
+      "                       qos-burst=MB    token-bucket burst (default 1)\n"
+      "                       qos-policy=reject|queue|shed  (default shed)\n"
+      "                       burst-on=S burst-off=S burst-mult=X  ON-OFF "
+      "shape (dist=burst)\n"
+      "                       cap=N           max requests in flight "
+      "(default 4M)\n"
       "  --seed S           workload seed (default 42)\n"
       "  --replay FILE      replay a block trace instead of the synthetic "
       "workload\n"
@@ -112,6 +141,96 @@ std::uint64_t parse_size(const std::string& s) {
     }
   }
   return static_cast<std::uint64_t>(v * static_cast<double>(mult));
+}
+
+/// Parsed --open-loop spec: every tenant gets the same shape; the QoS keys
+/// build one gate covering them all (qos-mbs=0 means no gate at all).
+struct OpenLoopCli {
+  int tenants = 1;
+  load::TenantLoad shape;
+  double duration_s = 1.0;
+  std::size_t cap = std::size_t{1} << 22;
+  double qos_mbs = 0.0;
+  double qos_burst_mb = 1.0;
+  load::AdmitPolicy policy = load::AdmitPolicy::kShed;
+};
+
+OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
+  OpenLoopCli cli;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "%s: --open-loop clause '%s' is not key=value\n",
+                   argv0, kv.c_str());
+      std::exit(2);
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "rate") cli.shape.rate_ops = std::atof(val.c_str());
+    else if (key == "dist") {
+      if (val == "poisson") cli.shape.dist = load::ArrivalDist::kPoisson;
+      else if (val == "burst") cli.shape.dist = load::ArrivalDist::kBurst;
+      else {
+        std::fprintf(stderr, "%s: --open-loop dist=%s (poisson|burst)\n",
+                     argv0, val.c_str());
+        std::exit(2);
+      }
+    }
+    else if (key == "zipf") cli.shape.zipf_alpha = std::atof(val.c_str());
+    else if (key == "tenants") cli.tenants = std::atoi(val.c_str());
+    else if (key == "sessions") cli.shape.sessions = std::atoi(val.c_str());
+    else if (key == "duration") cli.duration_s = std::atof(val.c_str());
+    else if (key == "write") cli.shape.write_fraction = std::atof(val.c_str());
+    else if (key == "req-blocks") {
+      cli.shape.blocks_per_op =
+          static_cast<std::uint32_t>(std::atoi(val.c_str()));
+    }
+    else if (key == "ws") {
+      cli.shape.working_set_blocks =
+          static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    }
+    else if (key == "qos-mbs") cli.qos_mbs = std::atof(val.c_str());
+    else if (key == "qos-burst") cli.qos_burst_mb = std::atof(val.c_str());
+    else if (key == "qos-policy") {
+      if (val == "reject") cli.policy = load::AdmitPolicy::kReject;
+      else if (val == "queue") cli.policy = load::AdmitPolicy::kQueue;
+      else if (val == "shed") cli.policy = load::AdmitPolicy::kShed;
+      else {
+        std::fprintf(stderr,
+                     "%s: --open-loop qos-policy=%s (reject|queue|shed)\n",
+                     argv0, val.c_str());
+        std::exit(2);
+      }
+    }
+    else if (key == "burst-on") cli.shape.burst_on_s = std::atof(val.c_str());
+    else if (key == "burst-off") cli.shape.burst_off_s = std::atof(val.c_str());
+    else if (key == "burst-mult") cli.shape.burst_mult = std::atof(val.c_str());
+    else if (key == "cap") {
+      cli.cap = static_cast<std::size_t>(std::atoll(val.c_str()));
+    }
+    else {
+      std::fprintf(stderr, "%s: --open-loop has no key '%s'\n", argv0,
+                   key.c_str());
+      std::exit(2);
+    }
+  }
+  if (cli.tenants < 1 || cli.shape.rate_ops <= 0.0 ||
+      cli.shape.sessions < 1 || cli.duration_s <= 0.0 ||
+      cli.shape.blocks_per_op < 1 || cli.shape.zipf_alpha < 0.0 ||
+      cli.shape.write_fraction < 0.0 || cli.shape.write_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "%s: --open-loop needs tenants/rate/sessions/duration/"
+                 "req-blocks > 0, zipf >= 0, write in [0,1]\n",
+                 argv0);
+    std::exit(2);
+  }
+  return cli;
 }
 
 workload::Arch parse_arch(const std::string& s) {
@@ -149,6 +268,7 @@ int main(int argc, char** argv) {
   bool verify_reads = false;
   double scrub_rate = 0.0;
   int fail_threshold = 0;
+  std::string open_loop_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -210,6 +330,7 @@ int main(int argc, char** argv) {
     else if (a == "--scrub-rate") scrub_rate = std::atof(next().c_str());
     else if (a == "--fail-threshold") fail_threshold = std::atoi(next().c_str());
     else if (a == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    else if (a == "--open-loop") open_loop_spec = next();
     else if (a == "--replay") replay_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
     else if (a == "--trace") trace_out = next();
@@ -273,6 +394,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --workload andrew and --replay conflict\n",
                  argv[0]);
     return 2;
+  }
+  if (!open_loop_spec.empty() &&
+      (workload_kind == "andrew" || !replay_file.empty() ||
+       !dump_trace_file.empty())) {
+    std::fprintf(stderr,
+                 "%s: --open-loop replaces the workload; it conflicts with "
+                 "--workload andrew, --replay, and --dump-trace\n",
+                 argv[0]);
+    return 2;
+  }
+  // Parse the spec before building anything expensive (a bad clause must
+  // fail in milliseconds), but only when given.
+  OpenLoopCli olcli;
+  if (!open_loop_spec.empty()) {
+    olcli = parse_open_loop_spec(argv[0], open_loop_spec);
   }
   if (!replay_file.empty() && !dump_trace_file.empty()) {
     std::fprintf(stderr,
@@ -536,6 +672,94 @@ int main(int argc, char** argv) {
     }
     return 0;
   };
+
+  if (!open_loop_spec.empty()) {
+    auto* ac = dynamic_cast<raid::ArrayController*>(engine.get());
+    if (ac == nullptr) {
+      std::fprintf(stderr,
+                   "%s: --open-loop needs a block engine (not nfs)\n",
+                   argv[0]);
+      return 2;
+    }
+    load::OpenLoopConfig ocfg;
+    ocfg.tenants.assign(static_cast<std::size_t>(olcli.tenants),
+                        olcli.shape);
+    ocfg.duration = sim::seconds(olcli.duration_s);
+    ocfg.seed = seed;
+    ocfg.max_in_flight = olcli.cap;
+    std::unique_ptr<load::QosGate> gate;
+    if (olcli.qos_mbs > 0.0) {
+      load::TenantQos q;
+      q.rate_mbs = olcli.qos_mbs;
+      q.burst_mb = olcli.qos_burst_mb;
+      q.policy = olcli.policy;
+      gate = std::make_unique<load::QosGate>(
+          sim, std::vector<load::TenantQos>(
+                   static_cast<std::size_t>(olcli.tenants), q));
+    }
+    std::printf("raidxsim: open-loop on %s, %d tenant(s) x %.0f ops/s (%s"
+                "%s), zipf %.2f, %d sessions each%s\n",
+                engine->name().c_str(), olcli.tenants, olcli.shape.rate_ops,
+                olcli.shape.dist == load::ArrivalDist::kBurst ? "burst"
+                                                              : "poisson",
+                olcli.shape.write_fraction > 0 ? ", mixed r/w" : "",
+                olcli.shape.zipf_alpha, olcli.shape.sessions,
+                gate ? " [QoS gated]" : "");
+    load::OpenLoopResult olr;
+    try {
+      olr = load::run_open_loop(*ac, ocfg, gate.get());
+    } catch (const std::exception& e) {
+      std::printf("run failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\noffered             : %8.2f MB/s (%llu requests over "
+                "%.3f s)\n",
+                olr.offered_mbs,
+                static_cast<unsigned long long>(olr.offered),
+                sim::to_seconds(olr.duration));
+    std::printf("goodput             : %8.2f MB/s (%llu completed, drained "
+                "at %.3f s)\n",
+                olr.goodput_mbs,
+                static_cast<unsigned long long>(olr.completed),
+                sim::to_seconds(olr.drained_at));
+    std::printf("turned away         : %llu rejected, %llu shed, %llu "
+                "failed, %llu cap-dropped\n",
+                static_cast<unsigned long long>(olr.rejected),
+                static_cast<unsigned long long>(olr.shed),
+                static_cast<unsigned long long>(olr.failed),
+                static_cast<unsigned long long>(olr.cap_dropped));
+    std::printf("peak in flight      : %llu concurrent requests\n",
+                static_cast<unsigned long long>(olr.peak_in_flight));
+    std::printf("latency             : p50 %.2f ms, p99 %.2f ms, p999 %.2f "
+                "ms\n",
+                olr.latency.quantile(0.50) / 1e6,
+                olr.latency.quantile(0.99) / 1e6,
+                olr.latency.quantile(0.999) / 1e6);
+    if (verbose || olcli.tenants > 1) {
+      std::printf("\nper-tenant:\n");
+      for (std::size_t t = 0; t < olr.tenants.size(); ++t) {
+        const load::TenantResult& tr = olr.tenants[t];
+        std::printf("  T%zu: offered %7.2f MB/s, goodput %7.2f MB/s, "
+                    "p99 %8.2f ms, shed %llu, rejected %llu\n",
+                    t, tr.offered_mbs, tr.goodput_mbs,
+                    tr.latency.quantile(0.99) / 1e6,
+                    static_cast<unsigned long long>(tr.shed),
+                    static_cast<unsigned long long>(tr.rejected));
+      }
+    }
+    if (block_cache.enabled()) {
+      const auto& cs = block_cache.stats();
+      std::printf("cache               : %.1f%% hit, directory peak %llu "
+                  "entries / %llu sharers\n",
+                  100.0 * cs.hit_ratio(),
+                  static_cast<unsigned long long>(cs.directory_peak_entries),
+                  static_cast<unsigned long long>(cs.directory_peak_sharers));
+    }
+    print_ha_summary();
+    const int soak_rc = print_integrity_summary();
+    const int obs_rc = export_obs();
+    return obs_rc != 0 ? obs_rc : soak_rc;
+  }
 
   if (!replay_file.empty()) {
     std::ifstream in(replay_file);
