@@ -88,7 +88,17 @@ inline T smoke_pick(T full, T reduced) {
 /// engine-internal `sim.frame_pool.{fresh,reuses}` counters shift (the
 /// admission hook grew the controller read/write coroutine frames, moving
 /// a few frames across pool size classes).
-inline constexpr int kBenchSchemaVersion = 6;
+/// v7: obs snapshots may carry the continuous-telemetry keys -- the
+/// per-request attribution matrix (`attr.<read|write>.<lane>_ns` plus
+/// count/total_ns/aborted counters) and the SLO monitor
+/// (`slo.*` counters/gauges) -- but only in worlds that enable them
+/// (bench/saturation); the saturation report also gains a selective-trace
+/// capture section (`trace_*` keys) and writes the slow-request reservoir
+/// to BENCH_saturation_traces.json.  All pre-existing simulated keys keep
+/// bit-identical values; as in v5/v6, only the engine-internal
+/// `sim.frame_pool.{fresh,reuses}` counters shift (the attribution root
+/// grew the controller read/write coroutine frames).
+inline constexpr int kBenchSchemaVersion = 7;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

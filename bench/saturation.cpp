@@ -14,7 +14,9 @@
 // of its offered load.  Every number is simulated time, so the report is
 // bit-reproducible and gated in CI against the committed baseline with
 //   tools/bench_diff.py --threshold 0 --require 'load\.' --require 'qos\.'
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,12 @@ struct Point {
   double p999_ms = 0.0;
   double drained_s = 0.0;
   std::uint64_t peak_in_flight = 0;
+  // Attribution matrix, mean per completed request: where a request's
+  // end-to-end time went (disk = queue+service, net = queue+service+cdd,
+  // the remainder is controller/admission work).
+  double attr_disk_ms = 0.0;
+  double attr_net_ms = 0.0;
+  double attr_other_ms = 0.0;
 };
 
 Point to_point(const load::OpenLoopResult& r) {
@@ -52,9 +60,13 @@ Point to_point(const load::OpenLoopResult& r) {
 }
 
 /// One sweep point: a fresh world offered `rate_ops` Poisson arrivals of
-/// single-block scattered reads for the sweep window.
+/// single-block scattered reads for the sweep window.  Attribution stays
+/// on, and the point is rejected outright if the per-lane decomposition
+/// fails to reconcile *exactly* with the end-to-end latency histogram --
+/// the matrix is an accounting identity, not an estimate.
 Point sweep_point(Arch arch, double rate_ops) {
   World world(bench::perf_trojans(), arch, bench::paper_engine());
+  world.hub.enable_attribution();
   load::TenantLoad t;
   t.rate_ops = rate_ops;
   t.zipf_alpha = 0.0;  // uniform: the knee is a capacity, not a cache, story
@@ -63,7 +75,47 @@ Point sweep_point(Arch arch, double rate_ops) {
   load::OpenLoopConfig cfg;
   cfg.tenants = {t};
   cfg.duration = sim::seconds(bench::smoke_pick(5.0, 2.0));
-  return to_point(load::run_open_loop(*world.engine, cfg));
+  const load::OpenLoopResult r = load::run_open_loop(*world.engine, cfg);
+
+  const obs::Attribution& attr = *world.hub.attribution();
+  const obs::Attribution::TypeTotals& reads = attr.reads();
+  std::uint64_t lane_sum = 0;
+  for (std::uint64_t ns : reads.lane_ns) lane_sum += ns;
+  if (reads.count != r.completed || reads.total_ns != r.latency.sum() ||
+      lane_sum != reads.total_ns + reads.aborted_ns ||
+      attr.live_slots() != 0) {
+    std::fprintf(stderr,
+                 "saturation: attribution failed to reconcile (count %llu "
+                 "vs %llu completed, total %llu vs histogram sum %llu, "
+                 "lanes %llu, %zu live slots)\n",
+                 static_cast<unsigned long long>(reads.count),
+                 static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(reads.total_ns),
+                 static_cast<unsigned long long>(r.latency.sum()),
+                 static_cast<unsigned long long>(lane_sum),
+                 attr.live_slots());
+    std::exit(1);
+  }
+
+  Point p = to_point(r);
+  if (reads.count > 0) {
+    auto lane = [&](obs::Lane l) {
+      return static_cast<double>(
+          reads.lane_ns[static_cast<std::size_t>(l)]);
+    };
+    const double per_req = 1e6 * static_cast<double>(reads.count);
+    const double disk =
+        lane(obs::Lane::kDiskQueue) + lane(obs::Lane::kDiskService);
+    const double net = lane(obs::Lane::kNetQueue) +
+                       lane(obs::Lane::kNetService) +
+                       lane(obs::Lane::kCddQueue) +
+                       lane(obs::Lane::kCddService);
+    p.attr_disk_ms = disk / per_req;
+    p.attr_net_ms = net / per_req;
+    p.attr_other_ms =
+        (static_cast<double>(reads.total_ns) - disk - net) / per_req;
+  }
+  return p;
 }
 
 std::string fmt(double v) {
@@ -106,13 +158,15 @@ int main() {
                                    Arch::kRaid5};
   for (Arch arch : archs) {
     sim::TablePrinter table({"rate_ops", "offered_mbs", "goodput_mbs",
-                             "p50_ms", "p99_ms", "p999_ms", "drain_s"});
+                             "p50_ms", "p99_ms", "p999_ms", "drain_s",
+                             "disk_ms", "net_ms", "other_ms"});
     double knee_offered = 0.0, knee_goodput = 0.0;
     for (double r : rates) {
       const Point p = sweep_point(arch, r);
       table.add_row({fmt(r), fmt(p.offered_mbs), fmt(p.goodput_mbs),
                      fmt(p.p50_ms), fmt(p.p99_ms), fmt(p.p999_ms),
-                     fmt(p.drained_s)});
+                     fmt(p.drained_s), fmt(p.attr_disk_ms),
+                     fmt(p.attr_net_ms), fmt(p.attr_other_ms)});
       const std::string key = std::string("sat_") + key_stem(arch) + "_" +
                               std::to_string(static_cast<int>(r));
       json.add(key + "_offered_mbs", p.offered_mbs);
@@ -120,6 +174,9 @@ int main() {
       json.add(key + "_p50_ms", p.p50_ms);
       json.add(key + "_p99_ms", p.p99_ms);
       json.add(key + "_p999_ms", p.p999_ms);
+      json.add(key + "_attr_disk_ms", p.attr_disk_ms);
+      json.add(key + "_attr_net_ms", p.attr_net_ms);
+      json.add(key + "_attr_other_ms", p.attr_other_ms);
       if (p.goodput_mbs >= 0.9 * p.offered_mbs &&
           p.offered_mbs > knee_offered) {
         knee_offered = p.offered_mbs;
@@ -215,16 +272,30 @@ int main() {
         cap.policy = load::AdmitPolicy::kShed;
         gate = std::make_unique<load::QosGate>(
             world.sim, std::vector<load::TenantQos>{none, cap});
+        // The gated run doubles as the telemetry showcase: attribution
+        // and the SLO monitor stay on so the snapshot below carries the
+        // full attr.* + slo.* key families for the CI --require gate.
+        world.hub.enable_attribution();
+        obs::SloConfig slo;
+        slo.latency_target = sim::milliseconds(50);
+        slo.window = sim::milliseconds(500);
+        world.hub.enable_slo(slo);
       }
       const load::OpenLoopResult r =
           load::run_open_loop(*world.engine, cfg, gate.get());
       struct Out {
         double t0_p99_ms;
         double t0_goodput;
+        std::uint64_t t1_admitted;
         std::uint64_t t1_shed;
+        double t1_admitted_mb;
       } out{r.tenants[0].latency.quantile(0.99) / 1e6,
             r.tenants[0].goodput_mbs,
-            r.tenants.size() > 1 ? r.tenants[1].shed : 0};
+            gate ? gate->stats(1).admitted
+                 : (r.tenants.size() > 1 ? r.tenants[1].completed : 0),
+            r.tenants.size() > 1 ? r.tenants[1].shed : 0,
+            gate ? static_cast<double>(gate->stats(1).admitted_bytes) / 1e6
+                 : 0.0};
       // The gated run's world carries the full load.* + qos.* key
       // families; snapshot it into the report for the CI --require gate.
       if (gated) bench::add_obs(json, "obs_saturation", world);
@@ -234,14 +305,19 @@ int main() {
     const auto solo = run(false, false);
     const auto contended = run(true, false);
     const auto gated = run(true, true);
-    sim::TablePrinter table(
-        {"run", "steady_p99_ms", "steady_goodput_mbs", "bursty_shed"});
-    table.add_row({"solo", fmt(solo.t0_p99_ms), fmt(solo.t0_goodput), "0"});
+    sim::TablePrinter table({"run", "steady_p99_ms", "steady_goodput_mbs",
+                             "bursty_admitted", "bursty_shed",
+                             "bursty_adm_mb"});
+    table.add_row({"solo", fmt(solo.t0_p99_ms), fmt(solo.t0_goodput), "-",
+                   "0", "-"});
     table.add_row({"contended", fmt(contended.t0_p99_ms),
                    fmt(contended.t0_goodput),
-                   std::to_string(contended.t1_shed)});
+                   std::to_string(contended.t1_admitted),
+                   std::to_string(contended.t1_shed), "-"});
     table.add_row({"gated", fmt(gated.t0_p99_ms), fmt(gated.t0_goodput),
-                   std::to_string(gated.t1_shed)});
+                   std::to_string(gated.t1_admitted),
+                   std::to_string(gated.t1_shed),
+                   fmt(gated.t1_admitted_mb)});
     std::printf("QoS isolation: steady 300 ops/s tenant vs 10x burst "
                 "neighbor\n");
     table.print();
@@ -249,6 +325,7 @@ int main() {
     json.add("qos_solo_p99_ms", solo.t0_p99_ms);
     json.add("qos_contended_p99_ms", contended.t0_p99_ms);
     json.add("qos_gated_p99_ms", gated.t0_p99_ms);
+    json.add("qos_bursty_admitted", gated.t1_admitted);
     json.add("qos_bursty_shed", gated.t1_shed);
     // Demonstrable isolation: the gate must claw back most of the p99
     // inflation the burst caused.  A factor-of-two margin keeps the gate
@@ -262,6 +339,65 @@ int main() {
                    solo.t0_p99_ms, contended.t0_p99_ms, gated.t0_p99_ms);
       return 1;
     }
+  }
+
+  // --- Trace capture: sampled tracing through a past-the-knee run. ---
+  // Selective tracing stays on through an overloaded RAID-x run: a 1%
+  // sampling coin plus the always-capture reservoir of the 16 slowest
+  // requests.  The reservoir is exported as a Chrome trace artifact so
+  // every saturation report ships the spans that explain its own p999.
+  {
+    World world(bench::perf_trojans(), Arch::kRaidX, bench::paper_engine());
+    world.hub.tracing = true;
+    obs::SampleConfig sc;
+    sc.probability = 0.01;
+    sc.reservoir = 16;
+    sc.seed = 7;
+    world.hub.tracer().set_selective(sc);
+    world.hub.enable_attribution();
+    load::TenantLoad t;
+    t.rate_ops = 1200.0;  // past the knee: the reservoir catches the backlog
+    t.working_set_blocks = 65536;
+    t.sessions = 4096;
+    load::OpenLoopConfig cfg;
+    cfg.tenants = {t};
+    cfg.duration = sim::seconds(bench::smoke_pick(2.0, 1.0));
+    const load::OpenLoopResult r = load::run_open_loop(*world.engine, cfg);
+
+    const obs::Tracer& tracer = world.hub.tracer();
+    const auto entries = tracer.reservoir_entries();
+    const std::size_t want =
+        std::min<std::size_t>(sc.reservoir, static_cast<std::size_t>(r.completed));
+    const sim::Time slowest = entries.empty() ? 0 : entries.front().first;
+    // The reservoir is an exact top-K: its slowest entry must equal the
+    // latency histogram's maximum (same instants, same clock).
+    if (tracer.reservoir_count() != want ||
+        static_cast<std::uint64_t>(slowest) != r.latency.max()) {
+      std::fprintf(stderr,
+                   "saturation: trace reservoir failed to capture the tail "
+                   "(%zu/%zu entries, slowest %.3f ms vs max %.3f ms)\n",
+                   tracer.reservoir_count(), want, slowest / 1e6,
+                   static_cast<double>(r.latency.max()) / 1e6);
+      return 1;
+    }
+    std::string err;
+    if (!tracer.export_chrome_reservoir("BENCH_saturation_traces.json",
+                                        world.sim.now(), &err)) {
+      std::fprintf(stderr, "saturation: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("trace capture @1200 ops/s: %llu sampled + %zu reservoir "
+                "trace(s) of %llu requests; slowest %.3f ms -> "
+                "BENCH_saturation_traces.json\n\n",
+                static_cast<unsigned long long>(tracer.sampled_kept()),
+                tracer.reservoir_count(),
+                static_cast<unsigned long long>(r.completed),
+                slowest / 1e6);
+    json.add("trace_requests", r.completed);
+    json.add("trace_sampled_kept", tracer.sampled_kept());
+    json.add("trace_reservoir", static_cast<std::uint64_t>(
+                                    tracer.reservoir_count()));
+    json.add("trace_slowest_ms", slowest / 1e6);
   }
 
   bench::write_bench_json("saturation", json);

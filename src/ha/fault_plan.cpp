@@ -8,6 +8,7 @@
 #include "cluster/cluster.hpp"
 #include "ha/ha.hpp"
 #include "integrity/integrity.hpp"
+#include "obs/obs.hpp"
 #include "sim/random.hpp"
 
 namespace raidx::ha {
@@ -320,15 +321,20 @@ void FaultPlan::arm(cluster::Cluster& cluster, Orchestrator* orch,
 
 sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch,
                               integrity::IntegrityPlane* plane) {
+  char detail[64];
   for (const FaultEvent& ev : events_) {
     const sim::Time now = cluster.sim().now();
     if (ev.at > now) co_await cluster.sim().delay(ev.at - now);
     switch (ev.kind) {
       case FaultEvent::Kind::kFailDisk:
         cluster.disk(ev.target).fail();
+        std::snprintf(detail, sizeof(detail), "disk=%d", ev.target);
+        obs::log_event(cluster.sim(), "fault.disk_failed", detail);
         if (orch) orch->note_fault_injected(ev.target);
         break;
       case FaultEvent::Kind::kHealDisk:
+        std::snprintf(detail, sizeof(detail), "disk=%d", ev.target);
+        obs::log_event(cluster.sim(), "fault.disk_serviced", detail);
         if (orch) {
           orch->note_disk_serviced(ev.target);
         } else if (cluster.disk(ev.target).failed()) {
@@ -338,18 +344,27 @@ sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch,
         break;
       case FaultEvent::Kind::kPartitionNode:
         cluster.network().set_node_up(ev.target, false);
+        std::snprintf(detail, sizeof(detail), "node=%d", ev.target);
+        obs::log_event(cluster.sim(), "fault.node_partitioned", detail);
         if (orch) orch->note_node_partitioned(ev.target);
         break;
       case FaultEvent::Kind::kJoinNode:
         cluster.network().set_node_up(ev.target, true);
+        std::snprintf(detail, sizeof(detail), "node=%d", ev.target);
+        obs::log_event(cluster.sim(), "fault.node_joined", detail);
         if (orch) orch->note_node_joined(ev.target);
         break;
       case FaultEvent::Kind::kCorruptBlock:
         // Silent by construction: the media decays, the disk's status
         // stays clean, and nothing downstream is told -- except the
         // integrity plane's bookkeeping, which timestamps the injection
-        // so MTTD is measured from the true decay instant.
+        // so MTTD is measured from the true decay instant.  The event log
+        // is the omniscient observer, not a detector, so recording the
+        // injection there does not break the "silent" contract.
         cluster.disk(ev.target).corrupt(ev.block);
+        std::snprintf(detail, sizeof(detail), "disk=%d block=%llu",
+                      ev.target, static_cast<unsigned long long>(ev.block));
+        obs::log_event(cluster.sim(), "fault.block_corrupted", detail);
         if (plane) plane->note_corruption_injected(ev.target, ev.block);
         break;
     }

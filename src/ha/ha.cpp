@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 #include "cache/cache_fabric.hpp"
@@ -13,8 +14,17 @@
 namespace raidx::ha {
 
 namespace {
+
 constexpr sim::Time kUnknownFaultTime = -1;
+
+std::string disk_detail(int disk, const char* extra = nullptr) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "disk=%d%s%s", disk, extra ? " " : "",
+                extra ? extra : "");
+  return buf;
 }
+
+}  // namespace
 
 Orchestrator::Orchestrator(raid::ArrayController& engine, HaParams params)
     : engine_(engine),
@@ -152,6 +162,8 @@ void Orchestrator::on_disk_failure_report(int disk, bool by_traffic) {
                                   fault_time_[idx]);
     --undetected_;
   }
+  obs::log_event(fabric_.cluster().sim(), "ha.detected",
+                 disk_detail(disk, by_traffic ? "by=traffic" : "by=probe"));
   ++recoveries_in_flight_;
   fabric_.cluster().sim().spawn(recover_disk(disk));
 }
@@ -174,6 +186,7 @@ sim::Task<> Orchestrator::recover_disk(int disk) {
     // path until note_disk_serviced brings a fresh drive.
     state_[idx] = DiskState::kDegraded;
     ++stats_.spare_exhausted;
+    obs::log_event(cluster.sim(), "ha.spare_exhausted", disk_detail(disk));
     --recoveries_in_flight_;
     co_return;
   }
@@ -191,6 +204,7 @@ sim::Task<> Orchestrator::recover_disk(int disk) {
   d.begin_rebuild();
   state_[idx] = DiskState::kRebuilding;
   ++stats_.failovers;
+  obs::log_event(cluster.sim(), "ha.failover", disk_detail(disk));
 
   if (!params_.auto_rebuild) {
     // Leave the spare blank and marked rebuilding (watermark 0); a manual
@@ -206,10 +220,12 @@ sim::Task<> Orchestrator::recover_disk(int disk) {
     const sim::Time since =
         injected != kUnknownFaultTime ? injected : detected;
     stats_.mttr_ns.push_back(cluster.sim().now() - since);
+    obs::log_event(cluster.sim(), "ha.rebuilt", disk_detail(disk));
   } catch (const raid::IoError&) {
     // Second failure (or RAID-0) aborted the sweep; RebuildScope froze the
     // watermark, so the unrestored tail keeps reading degraded.
     ++stats_.rebuilds_failed;
+    obs::log_event(cluster.sim(), "ha.rebuild_failed", disk_detail(disk));
   }
   --recoveries_in_flight_;
 }
@@ -252,6 +268,11 @@ sim::Task<> Orchestrator::probe_round() {
 void Orchestrator::declare_node_down(int node) {
   node_down_[static_cast<std::size_t>(node)] = 1;
   ++stats_.nodes_declared_down;
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "node=%d", node);
+    obs::log_event(fabric_.cluster().sim(), "ha.node_down", buf);
+  }
   if (node_noted_[static_cast<std::size_t>(node)]) {
     node_noted_[static_cast<std::size_t>(node)] = 0;
     --undetected_;
@@ -264,6 +285,9 @@ void Orchestrator::declare_node_down(int node) {
 void Orchestrator::declare_node_up(int node) {
   node_down_[static_cast<std::size_t>(node)] = 0;
   ++stats_.nodes_recovered;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "node=%d", node);
+  obs::log_event(fabric_.cluster().sim(), "ha.node_up", buf);
 }
 
 sim::Task<> Orchestrator::watch_loop() {

@@ -1,8 +1,22 @@
 #include "integrity/integrity.hpp"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "obs/obs.hpp"
 
 namespace raidx::integrity {
+
+namespace {
+
+std::string block_detail(int disk, std::uint64_t offset) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "disk=%d block=%llu", disk,
+                static_cast<unsigned long long>(offset));
+  return buf;
+}
+
+}  // namespace
 
 IntegrityPlane::IntegrityPlane(raid::ArrayController& engine,
                                IntegrityParams params)
@@ -56,6 +70,9 @@ void IntegrityPlane::on_corruption_found(int disk, std::uint64_t offset,
   } else {
     ++stats_.detected_by_read;
   }
+  obs::log_event(sim_, "integrity.detected",
+                 block_detail(disk, offset) +
+                     (by_scrub ? " by=scrub" : " by=read"));
   const auto it = injected_.find(k);
   if (it != injected_.end()) {
     stats_.mttd_ns.push_back(sim_.now() - it->second);
@@ -70,6 +87,7 @@ void IntegrityPlane::on_corruption_found(int disk, std::uint64_t offset,
     disk::Disk& d = cluster_.disk(disk);
     if (errors >= params_.fail_threshold && !d.failed()) {
       ++stats_.escalations;
+      obs::log_event(sim_, "integrity.escalated", block_detail(disk, offset));
       pending_repair_.erase(k);  // the rebuild sweep rewrites every block
       d.fail();
       fabric_.notify_disk_failure(disk);
@@ -100,6 +118,8 @@ sim::Task<> IntegrityPlane::repair_task(int disk_id, std::uint64_t offset) {
     }
     if (ok) {
       ++stats_.repaired;
+      obs::log_event(sim_, "integrity.repaired",
+                     block_detail(disk_id, offset));
       pending_repair_.erase(k);
     } else if (cluster_.disk(disk_id).failed()) {
       // Whole-disk recovery owns this block now; the rebuild sweep will
@@ -108,6 +128,8 @@ sim::Task<> IntegrityPlane::repair_task(int disk_id, std::uint64_t offset) {
       pending_repair_.erase(k);
     } else {
       ++stats_.unrecoverable;
+      obs::log_event(sim_, "integrity.unrecoverable",
+                     block_detail(disk_id, offset));
       stats_.unrecoverable_blocks.push_back({disk_id, offset});
       // The key stays in pending_repair_: every later sweep re-detects an
       // unrepaired block, and the verdict must not be re-counted.

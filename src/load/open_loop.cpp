@@ -78,11 +78,15 @@ sim::Task<> request(Shared& sh, int tenant, int node, std::uint64_t lba,
     }
   } catch (const raid::IoError&) {
     ++r.failed;
+    // Failed requests count against the SLO (turn-aways do not: admission
+    // is policy, not service).
+    obs::note_slo_request(sim, sim.now() - t0, /*ok=*/false);
   }
   if (ok) {
     ++r.completed;
     r.bytes_completed += bytes;
     r.latency.observe(static_cast<std::uint64_t>(sim.now() - t0));
+    obs::note_slo_request(sim, sim.now() - t0, /*ok=*/true);
   }
   --sh.in_flight;
   if (sim.now() > sh.last_completion) sh.last_completion = sim.now();

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace raidx::load {
 
@@ -112,10 +113,19 @@ sim::Task<> QosGate::admit(int client, bool is_write, std::uint64_t bytes,
   }
   refill(t);
   const double need = static_cast<double>(bytes);
+  // The first turn-away per tenant lands in the cluster event log (one
+  // line, not one per shed request: the log records state changes).
+  const auto note_first = [&](const char* kind, std::uint64_t count) {
+    if (count != 1) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "tenant=%d", tenant);
+    obs::log_event(sim_, kind, buf);
+  };
   switch (t.cfg.policy) {
     case AdmitPolicy::kReject:
       if (t.tokens < need) {
         ++t.stats.rejected;
+        note_first("qos.rejecting", t.stats.rejected);
         throw raid::AdmissionError("tenant " + std::to_string(tenant) +
                                    " over token-bucket rate (rejected)");
       }
@@ -123,6 +133,7 @@ sim::Task<> QosGate::admit(int client, bool is_write, std::uint64_t bytes,
     case AdmitPolicy::kShed:
       if (t.tokens < need) {
         ++t.stats.shed;
+        note_first("qos.shedding", t.stats.shed);
         throw raid::AdmissionError("tenant " + std::to_string(tenant) +
                                    " over token-bucket rate (shed)");
       }
@@ -132,6 +143,7 @@ sim::Task<> QosGate::admit(int client, bool is_write, std::uint64_t bytes,
       if (t.waiting > 0 || t.tokens < need) {
         if (t.waiting >= t.cfg.max_queue) {
           ++t.stats.shed;
+          note_first("qos.shedding", t.stats.shed);
           throw raid::AdmissionError("tenant " + std::to_string(tenant) +
                                      " admission queue full (shed)");
         }

@@ -8,6 +8,7 @@
 #include "cluster/cluster.hpp"
 #include "ha/ha.hpp"
 #include "integrity/integrity.hpp"
+#include "obs/obs.hpp"
 #include "sim/token_bucket.hpp"
 
 namespace raidx::obs {
@@ -165,6 +166,18 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
       reg.counter("integrity.scrub_throttled_ns")
           .inc(static_cast<std::uint64_t>(tb->throttled_ns()));
       reg.counter("integrity.scrub_granted_bytes").inc(tb->granted_tokens());
+    }
+  }
+
+  // Telemetry layer (attribution matrix, SLO monitor): like ha.*/integrity.*
+  // above, the keys exist only when the facility was enabled, so key sets of
+  // telemetry-free runs stay unchanged.
+  if (const Hub* hub = sim.hub()) {
+    if (const Attribution* attr = hub->attribution()) {
+      attr->export_metrics(reg);
+    }
+    if (const SloMonitor* slo = hub->slo()) {
+      slo->export_metrics(reg);
     }
   }
 }

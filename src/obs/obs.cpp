@@ -19,9 +19,43 @@ const char* track_name(Track t) {
   return "unknown";
 }
 
+namespace {
+
+// SplitMix64: the sampling coin.  Hashing (seed ^ trace id) keeps the
+// decision deterministic per trace and independent of arrival order.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Trace id that is never minted (real ids start at 2^32 + 1): children of
+// a discarded trace inherit it and stay discarded instead of minting
+// fresh roots.
+constexpr std::uint64_t kDiscardedTrace = 1;
+
+}  // namespace
+
+void Tracer::set_selective(const SampleConfig& cfg) {
+  selective_ = true;
+  sample_cfg_ = cfg;
+  if (cfg.probability >= 1.0) {
+    sample_threshold_ = ~0ull;
+  } else if (cfg.probability <= 0.0) {
+    sample_threshold_ = 0;
+  } else {
+    sample_threshold_ = static_cast<std::uint64_t>(
+        cfg.probability * 18446744073709551616.0 /* 2^64 */);
+  }
+}
+
 std::size_t Tracer::begin_span(const TraceContext& parent, const char* name,
                                Track track, int idx, sim::Time now,
                                const SpanArgs& args) {
+  if (selective_) {
+    return begin_span_selective(parent, name, track, idx, now, args);
+  }
   SpanRecord rec;
   rec.id = ++next_span_;
   rec.trace = parent.active() ? parent.trace : ++next_trace_ + (1ull << 32);
@@ -36,19 +70,166 @@ std::size_t Tracer::begin_span(const TraceContext& parent, const char* name,
   return spans_.size() - 1;
 }
 
+std::size_t Tracer::begin_span_selective(const TraceContext& parent,
+                                         const char* name, Track track,
+                                         int idx, sim::Time now,
+                                         const SpanArgs& args) {
+  std::uint64_t trace;
+  if (parent.active()) {
+    trace = parent.trace;
+    auto it = pending_.find(trace);
+    if (it == pending_.end()) return kNullHandle;  // discarded trace
+    if (it->second.resolved && !it->second.kept) return kNullHandle;
+  } else {
+    trace = ++next_trace_ + (1ull << 32);
+    PendingTrace pt;
+    if (sample_threshold_ != 0 &&
+        (sample_threshold_ == ~0ull ||
+         splitmix64(sample_cfg_.seed ^ trace) < sample_threshold_)) {
+      pt.sampled = true;
+      pt.kept = true;
+      ++sampled_kept_;
+    }
+    pending_.emplace(trace, std::move(pt));
+  }
+  PendingTrace& pt = pending_[trace];
+  SpanRecord rec;
+  rec.id = ++next_span_;
+  rec.trace = trace;
+  rec.parent = parent.active() ? parent.parent : 0;
+  rec.begin = now;
+  rec.name = name;
+  rec.track = track;
+  rec.idx = idx;
+  rec.depth = parent.active() ? parent.depth : 0;
+  rec.args = args;
+  open_.emplace(rec.id,
+                std::make_pair(trace,
+                               static_cast<std::uint32_t>(pt.spans.size())));
+  pt.spans.push_back(rec);
+  ++pt.open;
+  return static_cast<std::size_t>(rec.id);
+}
+
 void Tracer::end_span(std::size_t handle, sim::Time now) {
-  spans_[handle].end = now;
+  if (!selective_) {
+    spans_[handle].end = now;
+    return;
+  }
+  if (handle == kNullHandle) return;
+  auto it = open_.find(static_cast<std::uint64_t>(handle));
+  if (it == open_.end()) return;  // trace was dropped while the span ran
+  const auto [trace, idx] = it->second;
+  open_.erase(it);
+  auto pit = pending_.find(trace);
+  if (pit == pending_.end()) return;
+  PendingTrace& pt = pit->second;
+  SpanRecord& rec = pt.spans[idx];
+  rec.end = now;
+  --pt.open;
+  // A root span (no parent, depth 0) completing resolves the trace: it
+  // either holds a reservoir slot or -- unless sampled -- is discarded.
+  if (rec.parent == 0 && rec.depth == 0 && !pt.resolved) {
+    resolve_trace(trace, pt, now);
+  }
+  drop_if_dead(trace);
+}
+
+void Tracer::resolve_trace(std::uint64_t trace, PendingTrace& pt,
+                           sim::Time /*now*/) {
+  pt.resolved = true;
+  pt.duration = pt.spans[0].end - pt.spans[0].begin;
+  if (pt.sampled || sample_cfg_.reservoir == 0) return;
+  if (reservoir_.size() < sample_cfg_.reservoir) {
+    reservoir_.emplace(pt.duration, trace);
+    pt.kept = true;
+    return;
+  }
+  auto fastest = reservoir_.begin();  // current K-th slowest
+  if (pt.duration <= fastest->first) return;  // ties keep the incumbent
+  const std::uint64_t evicted = fastest->second;
+  reservoir_.erase(fastest);
+  reservoir_.emplace(pt.duration, trace);
+  pt.kept = true;
+  auto eit = pending_.find(evicted);
+  if (eit != pending_.end() && !eit->second.sampled) {
+    eit->second.kept = false;
+    drop_if_dead(evicted);
+  }
+}
+
+void Tracer::drop_if_dead(std::uint64_t trace) {
+  auto it = pending_.find(trace);
+  if (it == pending_.end()) return;
+  const PendingTrace& pt = it->second;
+  if (pt.resolved && !pt.kept && pt.open == 0) pending_.erase(it);
 }
 
 void Tracer::add_tag(std::size_t handle, const char* key,
                      std::int64_t value) {
-  spans_[handle].args.tag(key, value);
+  if (!selective_) {
+    spans_[handle].args.tag(key, value);
+    return;
+  }
+  if (handle == kNullHandle) return;
+  auto it = open_.find(static_cast<std::uint64_t>(handle));
+  if (it == open_.end()) return;
+  auto pit = pending_.find(it->second.first);
+  if (pit == pending_.end()) return;
+  pit->second.spans[it->second.second].args.tag(key, value);
 }
 
 TraceContext Tracer::context_of(std::size_t handle) const {
-  const SpanRecord& rec = spans_[handle];
-  return TraceContext{rec.trace, rec.id,
-                      static_cast<std::uint16_t>(rec.depth + 1)};
+  if (!selective_) {
+    const SpanRecord& rec = spans_[handle];
+    return TraceContext{rec.trace, rec.id, 0,
+                        static_cast<std::uint16_t>(rec.depth + 1)};
+  }
+  if (handle != kNullHandle) {
+    auto it = open_.find(static_cast<std::uint64_t>(handle));
+    if (it != open_.end()) {
+      auto pit = pending_.find(it->second.first);
+      if (pit != pending_.end()) {
+        const SpanRecord& rec = pit->second.spans[it->second.second];
+        return TraceContext{rec.trace, rec.id, 0,
+                            static_cast<std::uint16_t>(rec.depth + 1)};
+      }
+    }
+  }
+  return TraceContext{kDiscardedTrace, 0, 0, 1};
+}
+
+std::vector<std::pair<sim::Time, std::uint64_t>> Tracer::reservoir_entries()
+    const {
+  std::vector<std::pair<sim::Time, std::uint64_t>> out(reservoir_.rbegin(),
+                                                       reservoir_.rend());
+  return out;
+}
+
+std::vector<std::uint64_t> Tracer::kept_traces() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [trace, pt] : pending_) {
+    if (pt.kept) out.push_back(trace);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::collect_selective(bool reservoir_only) const {
+  std::vector<SpanRecord> out;
+  for (const auto& [trace, pt] : pending_) {
+    if (reservoir_only
+            ? reservoir_.count({pt.duration, trace}) == 0 || !pt.resolved
+            : !pt.kept) {
+      continue;
+    }
+    out.insert(out.end(), pt.spans.begin(), pt.spans.end());
+  }
+  // Span ids are globally sequential, so sorting by id restores the exact
+  // recording order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
 }
 
 namespace {
@@ -90,6 +271,28 @@ struct ChromeEvent {
 
 bool Tracer::export_chrome(const std::string& path, sim::Time now,
                            std::string* err) const {
+  if (selective_) {
+    return write_chrome(path, collect_selective(/*reservoir_only=*/false),
+                        now, err);
+  }
+  return write_chrome(path, spans_, now, err);
+}
+
+bool Tracer::export_chrome_reservoir(const std::string& path, sim::Time now,
+                                     std::string* err) const {
+  if (!selective_) {
+    if (err != nullptr) {
+      *err = "reservoir export requires selective tracing";
+    }
+    return false;
+  }
+  return write_chrome(path, collect_selective(/*reservoir_only=*/true), now,
+                      err);
+}
+
+bool Tracer::write_chrome(const std::string& path,
+                          const std::vector<SpanRecord>& spans,
+                          sim::Time now, std::string* err) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     if (err != nullptr) *err = "cannot open trace output '" + path + "'";
@@ -97,7 +300,7 @@ bool Tracer::export_chrome(const std::string& path, sim::Time now,
   }
 
   std::vector<ChromeEvent> events;
-  events.reserve(spans_.size() * 2 + 16);
+  events.reserve(spans.size() * 2 + 16);
   char buf[256];
 
   // Lane naming: pid 1 carries the async request-flow view; each resource
@@ -106,7 +309,7 @@ bool Tracer::export_chrome(const std::string& path, sim::Time now,
   std::vector<std::pair<int, int>> lanes;  // (pid, tid) seen for X events
 
   std::uint64_t seq = 0;
-  for (const SpanRecord& rec : spans_) {
+  for (const SpanRecord& rec : spans) {
     const sim::Time end = rec.end >= 0 ? rec.end : now;
     if (rec.track == Track::kRequest) {
       std::string b = "{\"ph\":\"b\",\"cat\":\"req\",\"id\":\"0x";
@@ -128,6 +331,11 @@ bool Tracer::export_chrome(const std::string& path, sim::Time now,
       e += rec.name;
       e += "\",\"ts\":";
       append_ts(e, end);
+      // The span id lets offline tools (tools/trace_report.py) pair each
+      // "e" with its "b" without relying on nesting order.
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"span\":%" PRIu64 "}",
+                    rec.id);
+      e += buf;
       e += "}";
       events.push_back({end, 0, -rec.depth, seq++, std::move(e)});
     } else {

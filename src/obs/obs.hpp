@@ -29,12 +29,17 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -45,6 +50,7 @@ namespace raidx::obs {
 struct TraceContext {
   std::uint64_t trace = 0;   // request identity; 0 = none
   std::uint64_t parent = 0;  // enclosing span id
+  std::uint64_t attr = 0;    // Attribution slot reference; 0 = none
   std::uint16_t depth = 0;   // nesting depth of the enclosing span
 
   bool active() const { return trace != 0; }
@@ -95,11 +101,35 @@ struct SpanRecord {
   SpanArgs args;
 };
 
+/// Head-based sampling + slow-request reservoir parameters for the
+/// tracer's selective mode.
+struct SampleConfig {
+  /// Probability a new root trace is kept outright.  Deterministic: the
+  /// decision hashes (seed, trace id), so identically seeded runs keep
+  /// identical trace sets.
+  double probability = 0.0;
+  /// Always-capture reservoir: the K slowest *completed* requests are
+  /// retained regardless of the sampling coin.
+  std::size_t reservoir = 0;
+  std::uint64_t seed = 1;
+};
+
 /// Append-only span store.  Handles are indices into spans_, stable under
 /// growth.  All ids are sequentially assigned, so two identically seeded
 /// runs record identical span tables.
+///
+/// Selective mode (set_selective) replaces the unbounded table with
+/// per-trace buffers: a new root trace is either kept (sampling coin) or
+/// provisionally buffered; when its root span completes it competes for a
+/// slot in the K-slowest reservoir, and traces that lose are discarded --
+/// including spans that arrive after the verdict (handles for discarded
+/// traces are an inert sentinel).  Memory is bounded by (in-flight traces
+/// + kept traces), not by run length, which is what lets tracing stay on
+/// through saturation runs.
 class Tracer {
  public:
+  static constexpr std::size_t kNullHandle = ~static_cast<std::size_t>(0);
+
   std::size_t begin_span(const TraceContext& parent, const char* name,
                          Track track, int idx, sim::Time now,
                          const SpanArgs& args);
@@ -107,19 +137,67 @@ class Tracer {
   void add_tag(std::size_t handle, const char* key, std::int64_t value);
   TraceContext context_of(std::size_t handle) const;
 
+  /// Switch to selective (sampled + reservoir) recording.  Call before any
+  /// spans are recorded.
+  void set_selective(const SampleConfig& cfg);
+  bool selective() const { return selective_; }
+
   const std::vector<SpanRecord>& spans() const { return spans_; }
   std::uint64_t traces_started() const { return next_trace_; }
 
+  /// Selective-mode accounting: kept-by-coin roots, current reservoir
+  /// occupancy, and the reservoir's (duration, trace id) entries ordered
+  /// slowest first.
+  std::uint64_t sampled_kept() const { return sampled_kept_; }
+  std::size_t reservoir_count() const { return reservoir_.size(); }
+  std::vector<std::pair<sim::Time, std::uint64_t>> reservoir_entries() const;
+  /// Trace ids retained (sampled or reservoir), sorted ascending.
+  std::vector<std::uint64_t> kept_traces() const;
+
   /// Write the span table as Chrome trace-event JSON ("traceEvents"
   /// array format).  Spans still open are closed at `now`.  Returns false
-  /// and fills *err if the file cannot be written.
+  /// and fills *err if the file cannot be written.  In selective mode,
+  /// exports the kept traces (sampled + reservoir).
   bool export_chrome(const std::string& path, sim::Time now,
                      std::string* err) const;
+  /// Selective mode only: export just the slow-request reservoir.
+  bool export_chrome_reservoir(const std::string& path, sim::Time now,
+                               std::string* err) const;
 
  private:
+  struct PendingTrace {
+    std::vector<SpanRecord> spans;
+    std::uint32_t open = 0;   // spans begun but not yet ended
+    bool sampled = false;     // won the coin: kept unconditionally
+    bool kept = false;        // sampled, or currently in the reservoir
+    bool resolved = false;    // root span has completed
+    sim::Time duration = 0;   // root span duration once resolved
+  };
+
+  std::size_t begin_span_selective(const TraceContext& parent,
+                                   const char* name, Track track, int idx,
+                                   sim::Time now, const SpanArgs& args);
+  void resolve_trace(std::uint64_t trace, PendingTrace& pt, sim::Time now);
+  void drop_if_dead(std::uint64_t trace);
+  std::vector<SpanRecord> collect_selective(bool reservoir_only) const;
+  bool write_chrome(const std::string& path,
+                    const std::vector<SpanRecord>& spans, sim::Time now,
+                    std::string* err) const;
+
   std::vector<SpanRecord> spans_;
   std::uint64_t next_trace_ = 0;
   std::uint64_t next_span_ = 0;
+
+  bool selective_ = false;
+  SampleConfig sample_cfg_;
+  std::uint64_t sample_threshold_ = 0;
+  std::uint64_t sampled_kept_ = 0;
+  std::unordered_map<std::uint64_t, PendingTrace> pending_;
+  // Open span id -> (trace id, index into its buffer).
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint32_t>>
+      open_;
+  // (root duration, trace id), smallest first; size <= cfg.reservoir.
+  std::set<std::pair<sim::Time, std::uint64_t>> reservoir_;
 };
 
 /// Busy-time accumulation over fixed windows of simulated time.  Fed from
@@ -181,7 +259,9 @@ class Timelines {
 
 /// The one object a Simulation points at when observability is on.
 /// `tracing` gates span recording separately so benches can collect
-/// metrics/timelines without paying for a span table.
+/// metrics/timelines without paying for a span table.  The telemetry
+/// facilities (attribution, event log, SLO monitor) are null until
+/// enabled -- their exported key families appear only when configured.
 class Hub {
  public:
   Tracer& tracer() { return tracer_; }
@@ -191,16 +271,44 @@ class Hub {
   const Registry& registry() const { return registry_; }
   const Timelines& timelines() const { return timelines_; }
 
+  Attribution* attribution() { return attribution_.get(); }
+  const Attribution* attribution() const { return attribution_.get(); }
+  Attribution& enable_attribution() {
+    if (!attribution_) attribution_ = std::make_unique<Attribution>();
+    return *attribution_;
+  }
+
+  EventLog* events() { return events_.get(); }
+  const EventLog* events() const { return events_.get(); }
+  EventLog& enable_events() {
+    if (!events_) events_ = std::make_unique<EventLog>();
+    return *events_;
+  }
+
+  SloMonitor* slo() { return slo_.get(); }
+  const SloMonitor* slo() const { return slo_.get(); }
+  /// Breach/recovery events are the monitor's point, so attaching it also
+  /// enables the event log.
+  SloMonitor& enable_slo(SloConfig cfg = {}) {
+    if (!slo_) slo_ = std::make_unique<SloMonitor>(&enable_events(), cfg);
+    return *slo_;
+  }
+
   bool tracing = false;
 
  private:
   Tracer tracer_;
   Registry registry_;
   Timelines timelines_;
+  std::unique_ptr<Attribution> attribution_;
+  std::unique_ptr<EventLog> events_;
+  std::unique_ptr<SloMonitor> slo_;
 };
 
 /// Body-local RAII span.  Inert (all-null) when tracing is off, in which
-/// case ctx() passes the inbound context through unchanged.
+/// case ctx() passes the inbound context through unchanged.  When the
+/// request carries an attribution reference and the span maps onto a
+/// lane, the span's lifetime also bounds that lane's active interval.
 class Span {
  public:
   Span() = default;
@@ -214,7 +322,11 @@ class Span {
       tracer_ = o.tracer_;
       handle_ = o.handle_;
       ctx_ = o.ctx_;
+      attr_ = o.attr_;
+      attr_ref_ = o.attr_ref_;
+      attr_lane_ = o.attr_lane_;
       o.tracer_ = nullptr;
+      o.attr_ = nullptr;
     }
     return *this;
   }
@@ -231,6 +343,10 @@ class Span {
       tracer_->end_span(handle_, sim_->now());
       tracer_ = nullptr;
     }
+    if (attr_) {
+      attr_->exit(attr_ref_, static_cast<Lane>(attr_lane_), sim_->now());
+      attr_ = nullptr;
+    }
   }
 
  private:
@@ -240,25 +356,174 @@ class Span {
   Tracer* tracer_ = nullptr;
   std::size_t handle_ = 0;
   TraceContext ctx_{};
+  Attribution* attr_ = nullptr;
+  std::uint64_t attr_ref_ = 0;
+  std::uint8_t attr_lane_ = 0;
 };
+
+/// Attribution lane for an existing span site, derived from its (track,
+/// name) -- so the lane boundaries are exactly the span boundaries the
+/// trace view already shows.  Resource tracks are service lanes; kRequest
+/// spans classify by layer prefix ("cdd."/"disk."/"net." waits, "cache."
+/// work).  Returns -1 for spans that are not attribution boundaries
+/// (engine roots, flush internals).
+inline int lane_of(Track track, const char* name) {
+  switch (track) {
+    case Track::kDisk: return static_cast<int>(Lane::kDiskService);
+    case Track::kBus:
+    case Track::kNetTx:
+    case Track::kNetRx: return static_cast<int>(Lane::kNetService);
+    case Track::kServer: return static_cast<int>(Lane::kCddService);
+    case Track::kRequest: break;
+  }
+  if (std::strncmp(name, "cdd.", 4) == 0) {
+    return static_cast<int>(Lane::kCddQueue);
+  }
+  if (std::strncmp(name, "disk.", 5) == 0) {
+    return static_cast<int>(Lane::kDiskQueue);
+  }
+  if (std::strncmp(name, "net.", 4) == 0) {
+    return static_cast<int>(Lane::kNetQueue);
+  }
+  if (std::strncmp(name, "cache.", 6) == 0) {
+    return static_cast<int>(Lane::kCacheService);
+  }
+  return -1;
+}
 
 /// Open a span under `parent` if the simulation has a tracing Hub; mint a
 /// fresh trace id when the parent context is empty (root spans).  Returns
-/// an inert Span otherwise, so call sites need no branching.
+/// an inert Span otherwise, so call sites need no branching.  Attribution
+/// piggybacks here -- it activates whenever the request carries a slot
+/// reference, even with span recording off, so the matrix stays cheap
+/// enough for saturation runs.
 inline Span trace_span(sim::Simulation& sim, const TraceContext& parent,
                        const char* name, Track track, int idx,
                        SpanArgs args = {}) {
   Span s;
   s.ctx_ = parent;
   Hub* hub = sim.hub();
-  if (hub != nullptr && hub->tracing) {
+  if (hub == nullptr) return s;
+  if (hub->tracing) {
     s.sim_ = &sim;
     s.tracer_ = &hub->tracer();
     s.handle_ =
         s.tracer_->begin_span(parent, name, track, idx, sim.now(), args);
     s.ctx_ = s.tracer_->context_of(s.handle_);
+    s.ctx_.attr = parent.attr;  // the slot reference rides the context
+  }
+  if (parent.attr != 0) {
+    if (Attribution* a = hub->attribution()) {
+      const int lane = lane_of(track, name);
+      if (lane >= 0) {
+        s.sim_ = &sim;
+        s.attr_ = a;
+        s.attr_ref_ = parent.attr;
+        s.attr_lane_ = static_cast<std::uint8_t>(lane);
+        a->enter(parent.attr, static_cast<Lane>(lane), sim.now());
+      }
+    }
   }
   return s;
+}
+
+/// Body-local root of a request's attribution: opens a slot at
+/// construction, stamps the reference into `ctx`, and folds the slot into
+/// the matrix at destruction.  Call complete() on the success path; the
+/// destructor otherwise records the request as aborted.  Inert when the
+/// hub has no Attribution or the context already carries a reference
+/// (nested controller calls attribute into the outer request).
+class AttrRoot {
+ public:
+  AttrRoot(sim::Simulation& sim, TraceContext& ctx, bool is_write) {
+    Hub* hub = sim.hub();
+    if (hub == nullptr || ctx.attr != 0) return;
+    Attribution* a = hub->attribution();
+    if (a == nullptr) return;
+    sim_ = &sim;
+    attr_ = a;
+    ref_ = a->open(is_write, sim.now());
+    ctx.attr = ref_;
+  }
+  AttrRoot(const AttrRoot&) = delete;
+  AttrRoot& operator=(const AttrRoot&) = delete;
+  ~AttrRoot() {
+    if (attr_) attr_->close(ref_, sim_->now(), completed_);
+  }
+
+  void complete() { completed_ = true; }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  Attribution* attr_ = nullptr;
+  std::uint64_t ref_ = 0;
+  bool completed_ = false;
+};
+
+/// Scoped lane interval for waits that have no span of their own
+/// (admission gate, chunk-window acquisition).  Exception-safe: the lane
+/// exits at scope exit even if the guarded wait throws.
+class AttrScope {
+ public:
+  AttrScope(sim::Simulation& sim, const TraceContext& ctx, Lane lane) {
+    if (ctx.attr == 0) return;
+    Hub* hub = sim.hub();
+    if (hub == nullptr) return;
+    Attribution* a = hub->attribution();
+    if (a == nullptr) return;
+    sim_ = &sim;
+    attr_ = a;
+    ref_ = ctx.attr;
+    lane_ = lane;
+    a->enter(ref_, lane, sim.now());
+  }
+  AttrScope(const AttrScope&) = delete;
+  AttrScope& operator=(const AttrScope&) = delete;
+  ~AttrScope() {
+    if (attr_) attr_->exit(ref_, lane_, sim_->now());
+  }
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  Attribution* attr_ = nullptr;
+  std::uint64_t ref_ = 0;
+  Lane lane_ = Lane::kCtlService;
+};
+
+/// Unscoped lane transitions for call sites where the wait and the holder
+/// it produces have different lifetimes (window slots).
+inline void attr_enter(sim::Simulation& sim, const TraceContext& ctx,
+                       Lane lane) {
+  if (ctx.attr == 0) return;
+  if (Hub* hub = sim.hub()) {
+    if (Attribution* a = hub->attribution()) a->enter(ctx.attr, lane, sim.now());
+  }
+}
+
+inline void attr_exit(sim::Simulation& sim, const TraceContext& ctx,
+                      Lane lane) {
+  if (ctx.attr == 0) return;
+  if (Hub* hub = sim.hub()) {
+    if (Attribution* a = hub->attribution()) a->exit(ctx.attr, lane, sim.now());
+  }
+}
+
+/// Cluster event hook: no-op unless the hub has an event log.
+inline void log_event(sim::Simulation& sim, const char* kind,
+                      std::string detail = {}) {
+  if (Hub* hub = sim.hub()) {
+    if (EventLog* log = hub->events()) {
+      log->emit(sim.now(), kind, std::move(detail));
+    }
+  }
+}
+
+/// SLO completion hook: no-op unless the hub has a monitor attached.
+inline void note_slo_request(sim::Simulation& sim, sim::Time latency,
+                             bool ok) {
+  if (Hub* hub = sim.hub()) {
+    if (SloMonitor* m = hub->slo()) m->note_request(sim.now(), latency, ok);
+  }
 }
 
 /// Timeline hooks: no-ops without a Hub.

@@ -1,0 +1,427 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace raidx::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+// Event kinds/details are machine-generated, but details may embed
+// operator-supplied names; escape per RFC 8259 like sim::JsonWriter.
+void append_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+constexpr std::uint64_t kRefIndexMask = 0xffffffffull;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Attribution
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kCtlService: return "ctl.service";
+    case Lane::kCtlQueue: return "ctl.queue";
+    case Lane::kCacheService: return "cache.service";
+    case Lane::kCddQueue: return "cdd.queue";
+    case Lane::kCddService: return "cdd.service";
+    case Lane::kNetQueue: return "net.queue";
+    case Lane::kNetService: return "net.service";
+    case Lane::kDiskQueue: return "disk.queue";
+    case Lane::kDiskService: return "disk.service";
+  }
+  return "unknown";
+}
+
+Attribution::Slot* Attribution::resolve(std::uint64_t ref) {
+  if (ref == 0) return nullptr;
+  const std::uint64_t idx = (ref & kRefIndexMask) - 1;
+  if (idx >= slots_.size()) return nullptr;
+  Slot& s = slots_[static_cast<std::size_t>(idx)];
+  if (!s.in_use || s.gen != static_cast<std::uint32_t>(ref >> 32)) {
+    return nullptr;
+  }
+  return &s;
+}
+
+void Attribution::charge(Slot& s, sim::Time now) {
+  if (now <= s.last) return;  // zero elapsed: nothing to assign
+  // Deepest active lane owns the elapsed interval.  kCtlService's depth is
+  // set for the slot's whole lifetime, so the scan always terminates with a
+  // charge.
+  for (std::size_t i = kNumLanes; i-- > 0;) {
+    if (s.depth[i] > 0) {
+      s.ns[i] += now - s.last;
+      break;
+    }
+  }
+  s.last = now;
+}
+
+std::uint64_t Attribution::open(bool is_write, sim::Time now) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  const std::uint32_t gen = s.gen;
+  s = Slot{};
+  s.gen = gen;
+  s.in_use = true;
+  s.last = now;
+  s.type = is_write ? 1 : 0;
+  s.depth[static_cast<std::size_t>(Lane::kCtlService)] = 1;
+  ++live_;
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         (static_cast<std::uint64_t>(idx) + 1);
+}
+
+void Attribution::enter(std::uint64_t ref, Lane lane, sim::Time now) {
+  if (Slot* s = resolve(ref)) {
+    charge(*s, now);
+    ++s->depth[static_cast<std::size_t>(lane)];
+  }
+}
+
+void Attribution::exit(std::uint64_t ref, Lane lane, sim::Time now) {
+  Slot* s = resolve(ref);
+  if (s == nullptr) return;
+  const std::size_t i = static_cast<std::size_t>(lane);
+  if (s->depth[i] == 0) return;  // unmatched exit: ignore
+  charge(*s, now);
+  --s->depth[i];
+}
+
+void Attribution::close(std::uint64_t ref, sim::Time now, bool completed) {
+  Slot* s = resolve(ref);
+  if (s == nullptr) return;
+  charge(*s, now);
+  TypeTotals& t = totals_[s->type];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumLanes; ++i) {
+    t.lane_ns[i] += s->ns[i];
+    total += s->ns[i];
+  }
+  if (completed) {
+    ++t.count;
+    t.total_ns += total;
+  } else {
+    ++t.aborted;
+    t.aborted_ns += total;
+  }
+  s->in_use = false;
+  ++s->gen;  // retire every outstanding reference to this slot
+  --live_;
+  free_.push_back(static_cast<std::uint32_t>((ref & kRefIndexMask) - 1));
+}
+
+void Attribution::export_metrics(Registry& reg) const {
+  static const char* const kTypeName[2] = {"read", "write"};
+  for (int ty = 0; ty < 2; ++ty) {
+    const TypeTotals& t = totals_[ty];
+    const std::string base = std::string("attr.") + kTypeName[ty] + ".";
+    reg.counter(base + "count").inc(t.count);
+    reg.counter(base + "total_ns").inc(t.total_ns);
+    reg.counter(base + "aborted").inc(t.aborted);
+    reg.counter(base + "aborted_ns").inc(t.aborted_ns);
+    for (std::size_t i = 0; i < kNumLanes; ++i) {
+      reg.counter(base + lane_name(static_cast<Lane>(i)) + "_ns")
+          .inc(t.lane_ns[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventLog
+
+void EventLog::emit(sim::Time at, std::string kind, std::string detail) {
+  ClusterEvent e;
+  e.at = at;
+  e.seq = events_.size();
+  e.kind = std::move(kind);
+  e.detail = std::move(detail);
+  events_.push_back(std::move(e));
+}
+
+const ClusterEvent* EventLog::first(const std::string& kind) const {
+  for (const ClusterEvent& e : events_) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+std::uint64_t EventLog::count(const std::string& kind) const {
+  std::uint64_t n = 0;
+  for (const ClusterEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string EventLog::json() const {
+  std::string out = "[";
+  bool firstev = true;
+  for (const ClusterEvent& e : events_) {
+    if (!firstev) out += ",";
+    firstev = false;
+    out += "{\"at_ns\":";
+    append_u64(out, static_cast<std::uint64_t>(e.at));
+    out += ",\"seq\":";
+    append_u64(out, e.seq);
+    out += ",\"kind\":";
+    append_string(out, e.kind);
+    out += ",\"detail\":";
+    append_string(out, e.detail);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SloMonitor
+
+void SloMonitor::note_request(sim::Time now, sim::Time latency, bool ok) {
+  if (!started_) {
+    started_ = true;
+    window_end_ = now + cfg_.window;
+  }
+  // Roll every window boundary the clock has crossed since the last
+  // completion.  Windows that saw traffic are evaluated; request-free
+  // windows roll silently -- "no data" is not evidence the objective is
+  // met, and skipping them keeps breach/recovery timestamps anchored to
+  // windows that measured something (so the event log stays
+  // chronological across idle gaps).
+  while (now >= window_end_) {
+    if (win_requests_ > 0) {
+      evaluate_window(window_end_);
+      window_end_ += cfg_.window;
+    } else {
+      // Idle stretch: jump to the grid-aligned window containing `now`.
+      window_end_ += ((now - window_end_) / cfg_.window + 1) * cfg_.window;
+    }
+  }
+  ++stats_.requests;
+  ++win_requests_;
+  if (!ok || latency > cfg_.latency_target) {
+    ++stats_.violations;
+    ++win_violations_;
+  }
+}
+
+void SloMonitor::evaluate_window(sim::Time at) {
+  ++stats_.windows;
+  const double budget = 1.0 - cfg_.objective;
+  double burn = 0.0;
+  if (win_requests_ > 0 && budget > 0.0) {
+    const double frac = static_cast<double>(win_violations_) /
+                        static_cast<double>(win_requests_);
+    burn = frac / budget;
+  }
+  if (burn > stats_.worst_burn) stats_.worst_burn = burn;
+  char detail[160];
+  if (!stats_.breached && burn >= cfg_.burn_alert) {
+    stats_.breached = true;
+    ++stats_.breaches;
+    std::snprintf(detail, sizeof(detail),
+                  "burn=%.2f violations=%" PRIu64 "/%" PRIu64
+                  " window_end_ms=%.3f",
+                  burn, win_violations_, win_requests_,
+                  sim::to_milliseconds(at));
+    if (log_ != nullptr) log_->emit(at, "slo.breach", detail);
+  } else if (stats_.breached && burn < 1.0) {
+    stats_.breached = false;
+    ++stats_.recoveries;
+    std::snprintf(detail, sizeof(detail),
+                  "burn=%.2f violations=%" PRIu64 "/%" PRIu64
+                  " window_end_ms=%.3f",
+                  burn, win_violations_, win_requests_,
+                  sim::to_milliseconds(at));
+    if (log_ != nullptr) log_->emit(at, "slo.recovered", detail);
+  }
+  win_requests_ = 0;
+  win_violations_ = 0;
+}
+
+void SloMonitor::export_metrics(Registry& reg) const {
+  reg.counter("slo.requests").inc(stats_.requests);
+  reg.counter("slo.violations").inc(stats_.violations);
+  reg.counter("slo.windows").inc(stats_.windows);
+  reg.counter("slo.breaches").inc(stats_.breaches);
+  reg.counter("slo.recoveries").inc(stats_.recoveries);
+  reg.gauge("slo.worst_burn_rate").set(stats_.worst_burn);
+  reg.gauge("slo.breached").set(stats_.breached ? 1.0 : 0.0);
+  reg.gauge("slo.latency_target_ms")
+      .set(sim::to_milliseconds(cfg_.latency_target));
+  reg.gauge("slo.objective").set(cfg_.objective);
+}
+
+// ---------------------------------------------------------------------------
+// Scraper
+
+Scraper::Scraper(sim::Simulation& sim, sim::Time interval,
+                 std::size_t capacity)
+    : sim_(sim),
+      interval_(interval > 0 ? interval : sim::milliseconds(100)),
+      capacity_(capacity > 0 ? capacity : 1) {
+  times_.reserve(capacity_);
+}
+
+void Scraper::add_series(std::string name, std::function<double()> sample) {
+  Series s;
+  s.name = std::move(name);
+  s.sample = std::move(sample);
+  s.ring.reserve(capacity_);
+  series_.push_back(std::move(s));
+}
+
+void Scraper::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.spawn(loop());
+}
+
+sim::Task<> Scraper::loop() {
+  while (true) {
+    co_await sim_.daemon_delay(interval_);
+    if (times_.size() < capacity_) {
+      times_.push_back(sim_.now());
+      for (Series& s : series_) s.ring.push_back(s.sample());
+    } else {
+      times_[head_] = sim_.now();
+      for (Series& s : series_) s.ring[head_] = s.sample();
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++count_;
+  }
+}
+
+template <typename T>
+std::vector<T> Scraper::unroll(const std::vector<T>& ring) const {
+  std::vector<T> out;
+  out.reserve(ring.size());
+  if (ring.size() < capacity_) {
+    out = ring;  // ring never wrapped: already chronological
+  } else {
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      out.push_back(ring[(head_ + i) % ring.size()]);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::Time> Scraper::times() const { return unroll(times_); }
+
+std::vector<double> Scraper::values(std::size_t series) const {
+  return unroll(series_[series].ring);
+}
+
+std::string Scraper::json() const {
+  std::string out = "{\"interval_ms\":";
+  append_double(out, sim::to_milliseconds(interval_));
+  out += ",\"samples_total\":";
+  append_u64(out, count_);
+  out += ",\"t_ms\":[";
+  const std::vector<sim::Time> ts = times();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i > 0) out += ",";
+    append_double(out, sim::to_milliseconds(ts[i]));
+  }
+  out += "],\"series\":{";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    if (s > 0) out += ",";
+    append_string(out, series_[s].name);
+    out += ":[";
+    const std::vector<double> vs = values(s);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      if (i > 0) out += ",";
+      append_double(out, vs[i]);
+    }
+    out += "]";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Scraper::render() const {
+  std::string out;
+  const std::vector<sim::Time> ts = times();
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "watch: %zu samples @ %.1f ms (showing last %zu)\n", count_,
+                sim::to_milliseconds(interval_), ts.size());
+  out += head;
+  if (ts.empty()) return out;
+  std::size_t width = 0;
+  for (const Series& s : series_) width = std::max(width, s.name.size());
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kSpark = 48;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const std::vector<double> vs = values(s);
+    double lo = vs[0], hi = vs[0], sum = 0.0;
+    for (double v : vs) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    const std::size_t n = std::min(kSpark, vs.size());
+    std::string spark;
+    for (std::size_t i = vs.size() - n; i < vs.size(); ++i) {
+      const double norm = hi > lo ? (vs[i] - lo) / (hi - lo) : 0.0;
+      spark += kRamp[static_cast<std::size_t>(norm * 9.0 + 0.5)];
+    }
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-*s min %10.3f  mean %10.3f  max %10.3f  last %10.3f"
+                  "  |%s|\n",
+                  static_cast<int>(width), series_[s].name.c_str(), lo,
+                  sum / static_cast<double>(vs.size()), hi, vs.back(),
+                  spark.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace raidx::obs

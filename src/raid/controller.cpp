@@ -77,8 +77,14 @@ sim::Task<> ArrayController::xor_cpu(int client, std::uint64_t bytes) {
 sim::Task<> ArrayController::windowed_op(sim::Task<> op,
                                          sim::Resource& window,
                                          sim::Latch& done,
-                                         std::exception_ptr& error) {
+                                         std::exception_ptr& error,
+                                         obs::TraceContext ctx) {
+  // The window wait is controller queueing from the request's point of
+  // view; the slot itself outlives the wait, so the lane is bracketed
+  // manually rather than scoped.
+  obs::attr_enter(sim(), ctx, obs::Lane::kCtlQueue);
   auto slot = co_await window.acquire();
+  obs::attr_exit(sim(), ctx, obs::Lane::kCtlQueue);
   try {
     co_await std::move(op);
   } catch (...) {
@@ -99,12 +105,17 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
           .tag("lba", static_cast<std::int64_t>(lba))
           .tag("nblocks", nblocks));
   ctx = span.ctx();
-  if (nblocks == 0) co_return;
+  obs::AttrRoot attr(sim(), ctx, /*is_write=*/false);
+  if (nblocks == 0) {
+    attr.complete();
+    co_return;
+  }
   if (lba + nblocks > logical_blocks()) {
     throw IoError("read beyond end of " + name());
   }
   assert(out.size() == static_cast<std::size_t>(nblocks) * block_bytes());
   if (admission_ != nullptr) {
+    obs::AttrScope wait(sim(), ctx, obs::Lane::kCtlQueue);
     co_await admission_->admit(client, /*is_write=*/false,
                                static_cast<std::uint64_t>(nblocks) *
                                    block_bytes(),
@@ -125,10 +136,11 @@ sim::Task<> ArrayController::read(int client, std::uint64_t lba,
     sim().spawn(windowed_op(
         cache_ ? cached_read_chunk(client, lba + off, n, sub, ctx)
                : read_chunk(client, lba + off, n, sub, ctx),
-        window, done, error));
+        window, done, error, ctx));
   }
   co_await done.wait();
   if (error) std::rethrow_exception(error);
+  attr.complete();
 }
 
 sim::Task<> ArrayController::write(int client, std::uint64_t lba,
@@ -142,14 +154,19 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
           .tag("nblocks",
                static_cast<std::int64_t>(data.size() / block_bytes())));
   ctx = span.ctx();
+  obs::AttrRoot attr(sim(), ctx, /*is_write=*/true);
   const std::uint32_t bs = block_bytes();
   assert(data.size() % bs == 0);
   const auto nblocks = static_cast<std::uint32_t>(data.size() / bs);
-  if (nblocks == 0) co_return;
+  if (nblocks == 0) {
+    attr.complete();
+    co_return;
+  }
   if (lba + nblocks > logical_blocks()) {
     throw IoError("write beyond end of " + name());
   }
   if (admission_ != nullptr) {
+    obs::AttrScope wait(sim(), ctx, obs::Lane::kCtlQueue);
     co_await admission_->admit(client, /*is_write=*/true, data.size(), ctx);
   }
 
@@ -182,7 +199,7 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
           cache_ ? cached_write_chunk(client, pos, sub, ctx)
                  : write_chunk(client, pos, sub,
                                disk::IoPriority::kForeground, ctx),
-          window, done, error));
+          window, done, error, ctx));
       pos = chunk_end;
     }
     co_await done.wait();
@@ -192,6 +209,7 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
     co_await fabric_.unlock_groups(client, std::move(groups), owner, ctx);
   }
   if (error) std::rethrow_exception(error);
+  attr.complete();
 }
 
 sim::Task<> ArrayController::read_chunk(int client, std::uint64_t lba,
@@ -1147,10 +1165,16 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
   }
 
   // Mirror images -- deferred to the background (the OSM trick), unless the
-  // ablation runs them synchronously.
+  // ablation runs them synchronously.  Deferred flushes drop the
+  // attribution reference: they run past the request's close, and their
+  // disk/net time is not part of the latency the client saw.  The
+  // synchronous ablation keeps it -- there the image write *is* request
+  // time.
+  obs::TraceContext fctx = ctx;
+  if (params_.background_mirrors) fctx.attr = 0;
   if (full_stripe) {
     auto flush = flush_stripe_images(client, layout_.stripe_of(lba), data,
-                                     ctx);
+                                     fctx);
     if (params_.background_mirrors) {
       sim().spawn(background(std::move(flush)));
     } else {
@@ -1161,7 +1185,7 @@ sim::Task<> RaidxController::write_chunk(int client, std::uint64_t lba,
       if (!ok[i]) continue;  // already written in the foreground
       auto flush = flush_block_image(
           client, lba + i,
-          data.slice(static_cast<std::size_t>(i) * bs, bs), ctx);
+          data.slice(static_cast<std::size_t>(i) * bs, bs), fctx);
       if (params_.background_mirrors) {
         sim().spawn(background(std::move(flush)));
       } else {

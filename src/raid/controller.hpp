@@ -291,7 +291,8 @@ class ArrayController : public IoEngine {
 
  private:
   sim::Task<> windowed_op(sim::Task<> op, sim::Resource& window,
-                          sim::Latch& done, std::exception_ptr& error);
+                          sim::Latch& done, std::exception_ptr& error,
+                          obs::TraceContext ctx = {});
 };
 
 class Raid0Controller : public ArrayController {

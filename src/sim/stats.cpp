@@ -41,6 +41,24 @@ Time LatencyRecorder::percentile(double q) const {
   return samples_[idx];
 }
 
+Time LatencyRecorder::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] +
+         static_cast<Time>(frac *
+                               static_cast<double>(samples_[lo + 1] -
+                                                   samples_[lo]) +
+                           0.5);
+}
+
 void LatencyRecorder::clear() {
   samples_.clear();
   total_ = 0;

@@ -20,6 +20,10 @@ class LatencyRecorder {
   double mean() const;
   /// q in [0,1]; nearest-rank percentile.
   Time percentile(double q) const;
+  /// q in [0,1]; linearly interpolated between order statistics.  Smoother
+  /// than percentile() for small samples; summaries report this form (see
+  /// DESIGN.md "Quantile conventions").
+  Time quantile(double q) const;
   Time total() const { return total_; }
 
   void clear();

@@ -4,14 +4,20 @@
 // guarantee (traced == untraced simulated numbers).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ha/fault_plan.hpp"
+#include "ha/ha.hpp"
+#include "integrity/integrity.hpp"
+#include "load/open_loop.hpp"
 #include "obs/collect.hpp"
 #include "obs/obs.hpp"
 #include "raid/controller.hpp"
@@ -97,7 +103,7 @@ TEST(ObsSpan, InertWithoutHub) {
   EXPECT_FALSE(s.ctx().active());
 
   // Inbound context passes through unchanged when tracing is off.
-  obs::TraceContext parent{42, 7, 3};
+  obs::TraceContext parent{42, 7, 0, 3};
   obs::Span t = obs::trace_span(sim, parent, "y", obs::Track::kRequest, 0);
   EXPECT_EQ(t.ctx().trace, 42u);
   EXPECT_EQ(t.ctx().parent, 7u);
@@ -402,6 +408,340 @@ TEST(ObsTimelines, JsonKeysUseGlobalIndices) {
   EXPECT_NE(json.find("\"disk.000\""), std::string::npos);
   EXPECT_NE(json.find("\"disk.003\""), std::string::npos);
   EXPECT_EQ(json.find("disk.1000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous telemetry (src/obs/telemetry): attribution reconciliation,
+// no-perturbation of the full stack, sampling determinism, the slow-request
+// reservoir, the scraper ring, busy accounting under rebuild+scrub overlap,
+// and SLO breach/recovery event ordering.
+
+load::OpenLoopConfig small_open_loop(double rate_ops, double duration_s,
+                                     double write_fraction = 0.0) {
+  load::TenantLoad t;
+  t.rate_ops = rate_ops;
+  t.working_set_blocks = 256;
+  t.sessions = 64;
+  t.write_fraction = write_fraction;
+  load::OpenLoopConfig cfg;
+  cfg.tenants = {t};
+  cfg.duration =
+      sim::Time(static_cast<std::int64_t>(duration_s * 1e9));
+  return cfg;
+}
+
+// The attribution matrix is an exclusive partition of every request's
+// end-to-end time, so its totals reconcile with the latency histogram
+// exactly -- per type, per lane, to the nanosecond.
+TEST(ObsAttribution, LaneSumsReconcileExactly) {
+  Rig rig(test::small_cluster());
+  obs::Hub hub;
+  rig.sim.set_hub(&hub);
+  hub.enable_attribution();
+  raid::RaidxController eng(rig.fabric);
+  const load::OpenLoopResult r =
+      load::run_open_loop(eng, small_open_loop(400, 0.3, /*writes=*/0.25));
+  ASSERT_GT(r.completed, 0u);
+  ASSERT_EQ(r.failed, 0u);
+
+  const obs::Attribution& attr = *hub.attribution();
+  EXPECT_EQ(attr.live_slots(), 0u);
+  EXPECT_EQ(attr.reads().count + attr.writes().count, r.completed);
+  EXPECT_EQ(attr.reads().total_ns + attr.writes().total_ns, r.latency.sum());
+  for (const obs::Attribution::TypeTotals* t :
+       {&attr.reads(), &attr.writes()}) {
+    ASSERT_GT(t->count, 0u);
+    EXPECT_EQ(t->aborted, 0u);
+    std::uint64_t lanes = 0;
+    for (std::uint64_t ns : t->lane_ns) lanes += ns;
+    EXPECT_EQ(lanes, t->total_ns + t->aborted_ns);
+  }
+  // The deep lanes actually saw traffic (the matrix is not all-ctl).
+  const auto lane = [&](const obs::Attribution::TypeTotals& t, obs::Lane l) {
+    return t.lane_ns[static_cast<std::size_t>(l)];
+  };
+  EXPECT_GT(lane(attr.reads(), obs::Lane::kDiskService), 0u);
+  EXPECT_GT(lane(attr.reads(), obs::Lane::kNetService), 0u);
+  EXPECT_GT(lane(attr.writes(), obs::Lane::kDiskService), 0u);
+}
+
+// Full telemetry -- attribution + selective tracing + SLO + scraper -- must
+// leave every simulated number bit-identical to a hub-less run.
+TEST(ObsTelemetry, FullTelemetryIsNumericallyInert) {
+  struct Outcome {
+    sim::Time end;
+    sim::Time drained;
+    std::uint64_t completed;
+    std::uint64_t lat_sum;
+    std::uint64_t lat_max;
+    bool operator==(const Outcome&) const = default;
+  };
+  auto run = [](bool telemetry) {
+    Rig rig(test::small_cluster());
+    obs::Hub hub;
+    std::unique_ptr<obs::Scraper> scraper;
+    if (telemetry) {
+      hub.tracing = true;
+      obs::SampleConfig sc;
+      sc.probability = 0.25;
+      sc.reservoir = 4;
+      sc.seed = 11;
+      hub.tracer().set_selective(sc);
+      hub.enable_attribution();
+      obs::SloConfig scfg;
+      scfg.latency_target = sim::milliseconds(5);
+      scfg.window = sim::milliseconds(50);
+      hub.enable_slo(scfg);
+      rig.sim.set_hub(&hub);
+      scraper = std::make_unique<obs::Scraper>(rig.sim,
+                                               sim::milliseconds(10));
+      scraper->add_series("pending", [&rig] {
+        return static_cast<double>(rig.sim.foreground_pending());
+      });
+      scraper->start();
+    }
+    raid::RaidxController eng(rig.fabric);
+    const load::OpenLoopResult r =
+        load::run_open_loop(eng, small_open_loop(400, 0.3, 0.25));
+    return Outcome{rig.sim.now(), r.drained_at, r.completed, r.latency.sum(),
+                   r.latency.max()};
+  };
+  const Outcome off = run(false);
+  const Outcome on = run(true);
+  EXPECT_EQ(on, off);
+  EXPECT_GT(off.completed, 0u);
+}
+
+// The sampling coin hashes (seed, trace id): identically seeded runs keep
+// identical trace sets; a different seed keeps a different one.
+TEST(ObsTracing, SamplingIsDeterministicAcrossRuns) {
+  auto kept = [](std::uint64_t seed) {
+    Rig rig(test::small_cluster());
+    obs::Hub hub;
+    hub.tracing = true;
+    obs::SampleConfig sc;
+    sc.probability = 0.25;
+    sc.reservoir = 4;
+    sc.seed = seed;
+    hub.tracer().set_selective(sc);
+    rig.sim.set_hub(&hub);
+    raid::RaidxController eng(rig.fabric);
+    load::run_open_loop(eng, small_open_loop(400, 0.2));
+    return std::pair(hub.tracer().kept_traces(),
+                     hub.tracer().reservoir_entries());
+  };
+  const auto a = kept(5);
+  const auto b = kept(5);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_GT(a.first.size(), a.second.size());  // coin kept some too
+  const auto c = kept(6);
+  EXPECT_NE(a.first, c.first);
+}
+
+// With the coin disabled (p=0) the reservoir alone must hold exactly the K
+// slowest completed requests -- cross-checked against a full-mode run of
+// the identical workload.
+TEST(ObsTracing, ReservoirKeepsTheKSlowest) {
+  const auto cfg = small_open_loop(400, 0.2);
+
+  Rig full_rig(test::small_cluster());
+  obs::Hub full_hub;
+  full_hub.tracing = true;
+  full_rig.sim.set_hub(&full_hub);
+  raid::RaidxController full_eng(full_rig.fabric);
+  load::run_open_loop(full_eng, cfg);
+  std::vector<std::pair<sim::Time, std::uint64_t>> roots;  // (dur, trace)
+  for (const auto& s : full_hub.tracer().spans()) {
+    if (s.parent == 0 && s.track == obs::Track::kRequest) {
+      roots.emplace_back(s.end - s.begin, s.trace);
+    }
+  }
+  ASSERT_GT(roots.size(), 8u);
+  std::sort(roots.rbegin(), roots.rend());
+
+  Rig rig(test::small_cluster());
+  obs::Hub hub;
+  hub.tracing = true;
+  obs::SampleConfig sc;
+  sc.probability = 0.0;
+  sc.reservoir = 4;
+  hub.tracer().set_selective(sc);
+  rig.sim.set_hub(&hub);
+  raid::RaidxController eng(rig.fabric);
+  load::run_open_loop(eng, cfg);
+
+  const auto entries = hub.tracer().reservoir_entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(hub.tracer().sampled_kept(), 0u);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    // Same durations as the full-mode top-K (tie-breaks may pick a
+    // different same-duration trace, so compare the duration multiset).
+    EXPECT_EQ(entries[i].first, roots[i].first) << i;
+    // And each kept trace really has that duration in the full run.
+    bool found = false;
+    for (const auto& [dur, trace] : roots) {
+      if (trace == entries[i].second && dur == entries[i].first) found = true;
+    }
+    EXPECT_TRUE(found) << "reservoir trace " << entries[i].second;
+  }
+}
+
+// The scraper ring holds the newest `capacity` windows in chronological
+// order, and its daemon wakeups neither keep the run alive nor shift the
+// finish time.
+TEST(ObsScraper, RingBoundsAndDaemonNonPerturbation) {
+  sim::Simulation sim;
+  obs::Scraper scraper(sim, sim::milliseconds(10), /*capacity=*/4);
+  double v = 0.0;
+  scraper.add_series("tick", [&] { return ++v; });
+  scraper.start();
+  auto idle = [](sim::Simulation* s) -> sim::Task<> {
+    co_await s->delay(sim::milliseconds(95));
+  };
+  sim.spawn(idle(&sim));
+  sim.run();
+
+  // The daemon's next wakeup (t=100ms) must not extend the run.
+  EXPECT_EQ(sim.now(), sim::milliseconds(95));
+  EXPECT_EQ(scraper.samples(), 9u);  // ticks at 10..90 ms
+  const auto times = scraper.times();
+  const auto vals = scraper.values(0);
+  ASSERT_EQ(times.size(), 4u);  // ring capacity
+  ASSERT_EQ(vals.size(), 4u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], sim::milliseconds(60 + 10 * static_cast<int>(i)));
+    EXPECT_EQ(vals[i], 6.0 + static_cast<double>(i));
+  }
+  EXPECT_TRUE(MiniJson(scraper.json()).parse());
+  EXPECT_NE(scraper.render().find("tick"), std::string::npos);
+}
+
+// Satellite: busy-interval accounting stays exact when client traffic, a
+// throttled rebuild, and a scrub sweep overlap on the same spindles --
+// utilization never exceeds 1.0 and disk.service spans still equal
+// busy_time() to the nanosecond (no double-credit from the extra tiers).
+TEST(ObsTimeline, RebuildScrubOverlapNeverOvercountsBusy) {
+  Rig rig(test::small_cluster(4, 1, /*blocks_per_disk=*/240));
+  obs::Hub hub;
+  hub.tracing = true;
+  rig.sim.set_hub(&hub);
+  raid::RaidxController eng(rig.fabric);
+  integrity::IntegrityPlane plane(eng);  // before preload: writes checksum
+
+  auto preload = [](raid::ArrayController* e) -> sim::Task<> {
+    co_await e->write(0, 0, pattern_run(0, 64, e->block_bytes()));
+  };
+  rig.run(preload(&eng));
+
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.global_spares = 1;
+  hp.rebuild_mbs = 1.0;  // slow sweep: the rebuild window stays open
+  ha::Orchestrator orch(eng, hp);
+
+  rig.cluster.disk(1).fail();
+  orch.note_fault_injected(1);
+  rig.sim.spawn(plane.scrub_pass());
+  auto reads = [](sim::Simulation* sim, raid::ArrayController* e)
+      -> sim::Task<> {
+    std::vector<std::byte> got(8 * e->block_bytes());
+    for (int i = 0; i < 6; ++i) {
+      co_await e->read(1, static_cast<std::uint64_t>(i) * 8, 8, got);
+      co_await sim->delay(sim::milliseconds(5));
+    }
+  };
+  rig.sim.spawn(reads(&rig.sim, &eng));
+  rig.sim.run();
+
+  ASSERT_EQ(orch.stats().rebuilds_completed, 1u);
+  EXPECT_GT(plane.stats().blocks_scrubbed, 0u);
+  EXPECT_EQ(plane.undetected(), 0u);
+
+  const int disks = rig.cluster.total_disks();
+  std::vector<sim::Time> span_ns(static_cast<std::size_t>(disks), 0);
+  for (const auto& s : hub.tracer().spans()) {
+    if (s.track == obs::Track::kDisk &&
+        std::string(s.name) == "disk.service") {
+      span_ns[static_cast<std::size_t>(s.idx)] += s.end - s.begin;
+    }
+  }
+  for (int d = 0; d < disks; ++d) {
+    EXPECT_EQ(span_ns[static_cast<std::size_t>(d)],
+              rig.cluster.disk(d).busy_time())
+        << "disk " << d;
+    for (double u :
+         hub.timelines().busy(obs::Track::kDisk, d).utilization()) {
+      EXPECT_LE(u, 1.0 + 1e-9) << "disk " << d;
+    }
+  }
+}
+
+// A seeded chaos run -- disk failure + throttled rebuild under open-loop
+// load -- must produce the causal event ordering in one log:
+// fault -> detection -> SLO breach -> rebuilt -> SLO recovery.
+TEST(ObsSlo, BreachOrderingThroughFailureAndRecovery) {
+  Rig rig(test::small_cluster());
+  obs::Hub hub;
+  rig.sim.set_hub(&hub);
+  obs::SloConfig scfg;
+  scfg.latency_target = sim::milliseconds(40);
+  scfg.objective = 0.9;
+  scfg.window = sim::milliseconds(50);
+  scfg.burn_alert = 2.0;
+  hub.enable_slo(scfg);
+  raid::RaidxController eng(rig.fabric);
+
+  auto preload = [](raid::ArrayController* e) -> sim::Task<> {
+    co_await e->write(0, 0, pattern_run(0, 64, e->block_bytes()));
+  };
+  rig.run(preload(&eng));
+
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.global_spares = 1;
+  hp.rebuild_mbs = 2.0;
+  ha::Orchestrator orch(eng, hp);
+
+  ha::FaultPlan plan;
+  plan.add({ha::FaultEvent::Kind::kFailDisk, /*target=*/1, /*block=*/0,
+            sim::milliseconds(150)});
+  plan.arm(rig.cluster, &orch);
+
+  // Phase 1 carries the fault: the rebuild sweep keeps the run alive well
+  // past the arrival window, so it is complete when this returns.
+  load::run_open_loop(eng, small_open_loop(300, 0.6));
+  ASSERT_EQ(orch.stats().rebuilds_completed, 1u);
+  // Phase 2 offers healthy traffic to the rebuilt array: its windows are
+  // what roll the SLO monitor back under budget.
+  load::run_open_loop(eng, small_open_loop(300, 0.3));
+
+  const obs::EventLog& log = *hub.events();
+  const obs::ClusterEvent* fault = log.first("fault.disk_failed");
+  const obs::ClusterEvent* detected = log.first("ha.detected");
+  const obs::ClusterEvent* breach = log.first("slo.breach");
+  const obs::ClusterEvent* rebuilt = log.first("ha.rebuilt");
+  const obs::ClusterEvent* recovered = log.first("slo.recovered");
+  ASSERT_NE(fault, nullptr);
+  ASSERT_NE(detected, nullptr);
+  ASSERT_NE(breach, nullptr);
+  ASSERT_NE(rebuilt, nullptr);
+  ASSERT_NE(recovered, nullptr);
+  // Causal order, by append sequence (ties on timestamp stay ordered).
+  EXPECT_LT(fault->seq, detected->seq);
+  EXPECT_LT(detected->seq, breach->seq);
+  EXPECT_LT(breach->seq, rebuilt->seq);
+  EXPECT_LT(rebuilt->seq, recovered->seq);
+  // No breach before the fault: the healthy array met the objective.
+  EXPECT_GE(breach->at, fault->at);
+  const obs::SloStats& s = hub.slo()->stats();
+  EXPECT_GE(s.breaches, 1u);
+  EXPECT_GE(s.recoveries, 1u);
+  EXPECT_FALSE(s.breached);  // back in SLO once the rebuild finished
 }
 
 }  // namespace

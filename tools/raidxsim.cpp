@@ -119,7 +119,25 @@ namespace {
       "apply) and exit\n"
       "  --trace FILE       write a Chrome trace-event JSON of the run "
       "(view in about:tracing / Perfetto)\n"
+      "  --trace-sample SPEC  selective tracing (needs --trace): head-based\n"
+      "                     sampling plus an always-capture reservoir of "
+      "the\n"
+      "                     slowest completed requests.  key=value pairs:\n"
+      "                       p=0.01 reservoir=16 seed=1\n"
+      "  --slo SPEC         latency SLO monitor over open-loop traffic; "
+      "burn-\n"
+      "                     rate breach/recovery events land in the "
+      "cluster\n"
+      "                     event log.  key=value pairs (defaults shown):\n"
+      "                       target=50ms objective=0.999 window=500ms "
+      "burn=2\n"
+      "  --watch SPEC       sim-time series scraper; prints a sparkline "
+      "table\n"
+      "                     after the run.  key=value pairs:\n"
+      "                       interval=250ms samples=240 out=FILE (JSON)\n"
       "  --metrics FILE     write the metrics-registry snapshot as JSON\n"
+      "                     (with --slo the file becomes "
+      "{\"metrics\":...,\"events\":[...]})\n"
       "  --verbose          per-client and per-resource detail\n"
       "Flags also accept --flag=value form.\n",
       argv0);
@@ -233,6 +251,131 @@ OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
   return cli;
 }
 
+/// Shared clause scanner for the telemetry specs (--slo, --watch,
+/// --trace-sample): comma-separated key=value pairs, same grammar as
+/// --open-loop.  A malformed clause cites itself verbatim and exits 2.
+template <typename Fn>
+void for_each_clause(const char* argv0, const char* flag,
+                     const std::string& spec, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string kv = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "%s: %s clause '%s' is not key=value\n", argv0,
+                   flag, kv.c_str());
+      std::exit(2);
+    }
+    fn(kv.substr(0, eq), kv.substr(eq + 1));
+  }
+}
+
+/// "250ms", "0.5s", "800us", or a bare number (milliseconds).
+sim::Time parse_duration(const char* argv0, const char* flag,
+                         const std::string& val) {
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  double ms = v;
+  if (end != nullptr && *end != '\0') {
+    if (std::strcmp(end, "ms") == 0) ms = v;
+    else if (std::strcmp(end, "s") == 0) ms = v * 1e3;
+    else if (std::strcmp(end, "us") == 0) ms = v / 1e3;
+    else {
+      std::fprintf(stderr, "%s: %s duration '%s' (use us/ms/s)\n", argv0,
+                   flag, val.c_str());
+      std::exit(2);
+    }
+  }
+  if (ms <= 0.0) {
+    std::fprintf(stderr, "%s: %s duration '%s' must be > 0\n", argv0, flag,
+                 val.c_str());
+    std::exit(2);
+  }
+  return sim::milliseconds(ms);
+}
+
+obs::SloConfig parse_slo_spec(const char* argv0, const std::string& spec) {
+  obs::SloConfig cfg;
+  for_each_clause(argv0, "--slo", spec,
+                  [&](const std::string& key, const std::string& val) {
+    if (key == "target") cfg.latency_target = parse_duration(argv0, "--slo", val);
+    else if (key == "objective") cfg.objective = std::atof(val.c_str());
+    else if (key == "window") cfg.window = parse_duration(argv0, "--slo", val);
+    else if (key == "burn") cfg.burn_alert = std::atof(val.c_str());
+    else {
+      std::fprintf(stderr, "%s: --slo has no key '%s'\n", argv0, key.c_str());
+      std::exit(2);
+    }
+  });
+  if (cfg.objective <= 0.0 || cfg.objective >= 1.0 || cfg.burn_alert <= 0.0) {
+    std::fprintf(stderr,
+                 "%s: --slo needs objective in (0,1) and burn > 0\n", argv0);
+    std::exit(2);
+  }
+  return cfg;
+}
+
+struct WatchCli {
+  sim::Time interval = sim::milliseconds(250);
+  std::size_t samples = 240;
+  std::string out;
+};
+
+WatchCli parse_watch_spec(const char* argv0, const std::string& spec) {
+  WatchCli cli;
+  for_each_clause(argv0, "--watch", spec,
+                  [&](const std::string& key, const std::string& val) {
+    if (key == "interval") cli.interval = parse_duration(argv0, "--watch", val);
+    else if (key == "samples") {
+      cli.samples = static_cast<std::size_t>(std::atoll(val.c_str()));
+    }
+    else if (key == "out") cli.out = val;
+    else {
+      std::fprintf(stderr, "%s: --watch has no key '%s'\n", argv0,
+                   key.c_str());
+      std::exit(2);
+    }
+  });
+  if (cli.samples < 2) {
+    std::fprintf(stderr, "%s: --watch needs samples >= 2\n", argv0);
+    std::exit(2);
+  }
+  return cli;
+}
+
+obs::SampleConfig parse_trace_sample_spec(const char* argv0,
+                                          const std::string& spec) {
+  obs::SampleConfig cfg;
+  for_each_clause(argv0, "--trace-sample", spec,
+                  [&](const std::string& key, const std::string& val) {
+    if (key == "p") cfg.probability = std::atof(val.c_str());
+    else if (key == "reservoir") {
+      cfg.reservoir = static_cast<std::size_t>(std::atoll(val.c_str()));
+    }
+    else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(val.c_str()));
+    }
+    else {
+      std::fprintf(stderr, "%s: --trace-sample has no key '%s'\n", argv0,
+                   key.c_str());
+      std::exit(2);
+    }
+  });
+  if (cfg.probability < 0.0 || cfg.probability > 1.0 ||
+      (cfg.probability == 0.0 && cfg.reservoir == 0)) {
+    std::fprintf(stderr,
+                 "%s: --trace-sample needs p in [0,1] and at least one of "
+                 "p > 0 or reservoir > 0\n",
+                 argv0);
+    std::exit(2);
+  }
+  return cfg;
+}
+
 workload::Arch parse_arch(const std::string& s) {
   if (s == "raid0") return workload::Arch::kRaid0;
   if (s == "raid5") return workload::Arch::kRaid5;
@@ -269,6 +412,8 @@ int main(int argc, char** argv) {
   double scrub_rate = 0.0;
   int fail_threshold = 0;
   std::string open_loop_spec;
+  std::string slo_spec, watch_spec, trace_sample_spec;
+  bool slo_on = false, watch_on = false, trace_sample_on = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -334,6 +479,9 @@ int main(int argc, char** argv) {
     else if (a == "--replay") replay_file = next();
     else if (a == "--dump-trace") dump_trace_file = next();
     else if (a == "--trace") trace_out = next();
+    else if (a == "--trace-sample") { trace_sample_spec = next(); trace_sample_on = true; }
+    else if (a == "--slo") { slo_spec = next(); slo_on = true; }
+    else if (a == "--watch") { watch_spec = next(); watch_on = true; }
     else if (a == "--metrics") metrics_out = next();
     else if (a == "--verbose") verbose = true;
     else {
@@ -410,6 +558,27 @@ int main(int argc, char** argv) {
   if (!open_loop_spec.empty()) {
     olcli = parse_open_loop_spec(argv[0], open_loop_spec);
   }
+  // Telemetry specs: same fail-fast rule.  A sampler without a trace file,
+  // or an SLO with no open-loop traffic to observe, would silently do
+  // nothing -- reject them.
+  if (trace_sample_on && trace_out.empty()) {
+    std::fprintf(stderr, "%s: --trace-sample needs --trace FILE\n", argv[0]);
+    return 2;
+  }
+  if (slo_on && open_loop_spec.empty()) {
+    std::fprintf(stderr,
+                 "%s: --slo monitors open-loop traffic; add --open-loop\n",
+                 argv[0]);
+    return 2;
+  }
+  obs::SloConfig slo_cfg;
+  if (slo_on) slo_cfg = parse_slo_spec(argv[0], slo_spec);
+  WatchCli wcli;
+  if (watch_on) wcli = parse_watch_spec(argv[0], watch_spec);
+  obs::SampleConfig ts_cfg;
+  if (trace_sample_on) {
+    ts_cfg = parse_trace_sample_spec(argv[0], trace_sample_spec);
+  }
   if (!replay_file.empty() && !dump_trace_file.empty()) {
     std::fprintf(stderr,
                  "%s: --replay and --dump-trace conflict (replay consumes a "
@@ -419,7 +588,7 @@ int main(int argc, char** argv) {
   }
   // Validate output paths up front so a bad path fails in milliseconds,
   // not after the whole simulation has run.
-  for (const std::string* out : {&trace_out, &metrics_out}) {
+  for (const std::string* out : {&trace_out, &metrics_out, &wcli.out}) {
     if (out->empty()) continue;
     std::ofstream probe(*out);
     if (!probe) {
@@ -456,8 +625,14 @@ int main(int argc, char** argv) {
 
   sim::Simulation sim;
   obs::Hub hub;
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  if (!trace_out.empty() || !metrics_out.empty() || slo_on || watch_on) {
     hub.tracing = !trace_out.empty();
+    if (trace_sample_on) hub.tracer().set_selective(ts_cfg);
+    // The attribution matrix rides the metrics snapshot; enabling it has
+    // zero effect on simulated timestamps (pure bookkeeping at existing
+    // span boundaries).
+    if (!metrics_out.empty()) hub.enable_attribution();
+    if (slo_on) hub.enable_slo(slo_cfg);
     sim.set_hub(&hub);
   }
   cluster::Cluster cluster(sim, params);
@@ -523,6 +698,60 @@ int main(int argc, char** argv) {
   cp.cooperative = coop_cache;
   cache::CacheFabric block_cache(cluster, cp);
   engine->attach_cache(&block_cache);
+
+  // --watch: sim-time series scraper.  Sampling rides daemon events, which
+  // never keep run() alive or shift foreground timestamps, so a watched
+  // run finishes at the same simulated instant as an unwatched one.
+  std::unique_ptr<obs::Scraper> scraper;
+  if (watch_on) {
+    scraper =
+        std::make_unique<obs::Scraper>(sim, wcli.interval, wcli.samples);
+    scraper->add_series(
+        "disk.util",
+        [&cluster, &sim, prev = 0.0, prev_t = 0.0]() mutable {
+          double busy = 0.0;
+          for (int d = 0; d < cluster.total_disks(); ++d) {
+            busy += static_cast<double>(cluster.disk(d).busy_time());
+          }
+          const double now = static_cast<double>(sim.now());
+          const double span = (now - prev_t) * cluster.total_disks();
+          const double u = span > 0.0 ? (busy - prev) / span : 0.0;
+          prev = busy;
+          prev_t = now;
+          return u;
+        });
+    scraper->add_series(
+        "net.tx_mbs",
+        [&cluster, &sim, prev = 0.0, prev_t = 0.0]() mutable {
+          net::Network& net = cluster.network();
+          double sent = 0.0;
+          for (int n = 0; n < net.nodes(); ++n) {
+            sent += static_cast<double>(net.bytes_sent(n));
+          }
+          const double now = static_cast<double>(sim.now());
+          // bytes/ns -> MB/s is a factor of 1000.
+          const double mbs =
+              now > prev_t ? (sent - prev) / (now - prev_t) * 1e3 : 0.0;
+          prev = sent;
+          prev_t = now;
+          return mbs;
+        });
+    scraper->add_series(
+        "cdd.remote_ops",
+        [&fabric, &sim, prev = 0.0, prev_t = 0.0]() mutable {
+          const double ops = static_cast<double>(fabric.remote_requests());
+          const double now = static_cast<double>(sim.now());
+          const double rate =
+              now > prev_t ? (ops - prev) / ((now - prev_t) * 1e-9) : 0.0;
+          prev = ops;
+          prev_t = now;
+          return rate;
+        });
+    scraper->add_series("sim.pending", [&sim]() {
+      return static_cast<double>(sim.foreground_pending());
+    });
+    scraper->start();
+  }
 
   for (int f : fails) {
     if (f < 0 || f >= cluster.total_disks()) {
@@ -656,14 +885,75 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", err.c_str());
         return 1;
       }
-      std::printf("trace               : %zu spans -> %s\n",
-                  hub.tracer().spans().size(), trace_out.c_str());
+      if (hub.tracer().selective()) {
+        std::printf("trace               : %llu sampled + %zu reservoir "
+                    "trace(s) of %llu -> %s\n",
+                    static_cast<unsigned long long>(
+                        hub.tracer().sampled_kept()),
+                    hub.tracer().reservoir_count(),
+                    static_cast<unsigned long long>(
+                        hub.tracer().traces_started()),
+                    trace_out.c_str());
+      } else {
+        std::printf("trace               : %zu spans -> %s\n",
+                    hub.tracer().spans().size(), trace_out.c_str());
+      }
+    }
+    if (hub.slo() != nullptr) {
+      const obs::SloStats& ss = hub.slo()->stats();
+      std::printf("slo                 : %llu/%llu over %.1f ms target, "
+                  "%llu window(s), %llu breach(es), %llu recover(ies), "
+                  "worst burn %.2fx\n",
+                  static_cast<unsigned long long>(ss.violations),
+                  static_cast<unsigned long long>(ss.requests),
+                  sim::to_milliseconds(hub.slo()->config().latency_target),
+                  static_cast<unsigned long long>(ss.windows),
+                  static_cast<unsigned long long>(ss.breaches),
+                  static_cast<unsigned long long>(ss.recoveries),
+                  ss.worst_burn);
+    }
+    if (hub.events() != nullptr && !hub.events()->events().empty()) {
+      std::printf("events              : %zu in cluster log",
+                  hub.events()->events().size());
+      if (const obs::ClusterEvent* b = hub.events()->first("slo.breach")) {
+        std::printf("; first breach at %.3f s", sim::to_seconds(b->at));
+      }
+      std::printf("\n");
+      if (verbose) {
+        for (const obs::ClusterEvent& ev : hub.events()->events()) {
+          std::printf("  [%12.6f s] %-20s %s\n", sim::to_seconds(ev.at),
+                      ev.kind.c_str(), ev.detail.c_str());
+        }
+      }
+    }
+    if (scraper != nullptr) {
+      std::printf("\nwatch (%zu samples @ %.0f ms):\n%s",
+                  scraper->samples(),
+                  sim::to_milliseconds(scraper->interval()),
+                  scraper->render().c_str());
+      if (!wcli.out.empty()) {
+        std::ofstream out(wcli.out);
+        out << scraper->json() << "\n";
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", wcli.out.c_str());
+          return 1;
+        }
+        std::printf("watch json          : %s\n", wcli.out.c_str());
+      }
     }
     if (!metrics_out.empty()) {
       obs::collect_cluster(hub.registry(), cluster, &fabric, &block_cache,
                            orch.get(), plane.get());
       std::ofstream out(metrics_out);
-      out << hub.registry().snapshot_json() << "\n";
+      if (hub.events() != nullptr) {
+        // The ordered cluster event log rides the same artifact; the flat
+        // snapshot moves under "metrics" only when events exist, so plain
+        // --metrics files keep their historical shape.
+        out << "{\"metrics\":" << hub.registry().snapshot_json()
+            << ",\"events\":" << hub.events()->json() << "}\n";
+      } else {
+        out << hub.registry().snapshot_json() << "\n";
+      }
       if (!out) {
         std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
         return 1;
@@ -785,10 +1075,10 @@ int main(int argc, char** argv) {
     std::printf("aggregate bandwidth : %8.2f MB/s\n", tr.aggregate_mbs);
     std::printf("read latency        : mean %.2f ms, p95 %.2f ms\n",
                 tr.read_latency.mean() / 1e6,
-                sim::to_milliseconds(tr.read_latency.percentile(0.95)));
+                sim::to_milliseconds(tr.read_latency.quantile(0.95)));
     std::printf("write latency       : mean %.2f ms, p95 %.2f ms\n",
                 tr.write_latency.mean() / 1e6,
-                sim::to_milliseconds(tr.write_latency.percentile(0.95)));
+                sim::to_milliseconds(tr.write_latency.quantile(0.95)));
     print_ha_summary();
     const int soak_rc = print_integrity_summary();
     const int obs_rc = export_obs();
@@ -867,8 +1157,8 @@ int main(int argc, char** argv) {
   std::printf("op latency          : mean %.2f ms, p50 %.2f, p95 %.2f, "
               "max %.2f\n",
               r.op_latency.mean() / 1e6,
-              sim::to_milliseconds(r.op_latency.percentile(0.5)),
-              sim::to_milliseconds(r.op_latency.percentile(0.95)),
+              sim::to_milliseconds(r.op_latency.quantile(0.5)),
+              sim::to_milliseconds(r.op_latency.quantile(0.95)),
               sim::to_milliseconds(r.op_latency.max()));
   if (block_cache.enabled()) {
     const auto& cs = block_cache.stats();

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Summarize a raidxsim/bench Chrome trace-event JSON.
+
+Reads the trace produced by `raidxsim --trace` (or the reservoir artifact
+from bench/saturation), groups spans into traces (requests), and prints
+the slowest traces with a per-layer exclusive-time breakdown plus each
+trace's critical path.  Exclusive time here mirrors the simulator's
+attribution lanes: a span's self time is its duration minus the time
+covered by its children, so the per-name columns sum to the root span's
+duration for every fully-nested trace.
+
+Usage:
+  tools/trace_report.py TRACE.json [--top N]
+
+Stdlib only; no third-party dependencies.
+"""
+import argparse
+import collections
+import json
+import sys
+
+
+class Span:
+    __slots__ = ("sid", "trace", "parent", "name", "begin", "end", "children")
+
+    def __init__(self, sid, trace, parent, name, begin):
+        self.sid = sid
+        self.trace = trace
+        self.parent = parent
+        self.name = name
+        self.begin = begin
+        self.end = None
+        self.children = []
+
+    @property
+    def dur(self):
+        return (self.end or self.begin) - self.begin
+
+
+def load_spans(path):
+    """Parse async b/e pairs (request spans) keyed by args.span ids.
+
+    X events (resource occupancy lanes) are ignored for trace grouping --
+    they carry no trace id -- but counted for the header line.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    spans = {}
+    n_x = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "b":
+            args = ev.get("args", {})
+            sid = args.get("span")
+            if sid is None:
+                continue
+            spans[sid] = Span(sid, int(ev["id"], 16) if isinstance(ev["id"], str)
+                              else ev["id"], args.get("parent", 0),
+                              ev.get("name", "?"), ev["ts"])
+        elif ph == "e":
+            sid = ev.get("args", {}).get("span")
+            if sid in spans:
+                spans[sid].end = ev["ts"]
+        elif ph == "X":
+            n_x += 1
+    return spans, n_x
+
+
+def build_traces(spans):
+    """Group spans by trace id; wire up parent/child links.
+
+    A span whose parent id is absent (its parent rendered as an X resource
+    span, e.g. the serving CDD's cdd.serve.* lane) is re-attached to the
+    smallest request span that temporally encloses it, so the critical
+    path still descends all the way to the disk.
+    """
+    traces = collections.defaultdict(list)
+    by_id = spans
+    orphans = []
+    for s in spans.values():
+        traces[s.trace].append(s)
+        if s.parent and s.parent in by_id:
+            by_id[s.parent].children.append(s)
+        elif s.parent:
+            orphans.append(s)
+    for s in orphans:
+        candidates = [o for o in traces[s.trace]
+                      if o is not s and o.end is not None
+                      and s.end is not None
+                      and o.begin <= s.begin and o.end >= s.end]
+        if candidates:
+            # Ties on duration go to the deeper span: ids are sequential,
+            # so the later-opened span is the innermost enclosure.
+            host = min(candidates, key=lambda o: (o.dur, -o.sid))
+            host.children.append(s)
+            s.parent = host.sid
+    return traces
+
+
+def root_of(trace_spans):
+    roots = [s for s in trace_spans if not s.parent or
+             all(o.sid != s.parent for o in trace_spans)]
+    if not roots:
+        return None
+    return min(roots, key=lambda s: s.begin)
+
+
+def exclusive_times(trace_spans):
+    """Per-name self time: duration minus child-covered time."""
+    excl = collections.Counter()
+    for s in trace_spans:
+        covered = sum(c.dur for c in s.children)
+        excl[s.name] += max(0, s.dur - covered)
+    return excl
+
+
+def critical_path(root):
+    """Walk the longest-child chain from the root down."""
+    path = [root]
+    node = root
+    while node.children:
+        node = max(node.children, key=lambda c: c.dur)
+        path.append(node)
+    return path
+
+
+def fmt_us(us):
+    return f"{us / 1000.0:.3f} ms" if us >= 1000 else f"{us:.1f} us"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--top", type=int, default=10,
+                    help="how many slowest traces to detail (default 10)")
+    args = ap.parse_args()
+
+    try:
+        spans, n_x = load_spans(args.trace)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"trace_report: cannot read {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    traces = build_traces(spans)
+    scored = []
+    for tid, ts in traces.items():
+        root = root_of(ts)
+        if root is not None and root.end is not None:
+            scored.append((root.dur, tid, root, ts))
+    scored.sort(reverse=True)
+
+    print(f"{args.trace}: {len(spans)} request spans in {len(traces)} "
+          f"trace(s), {n_x} resource spans")
+    if not scored:
+        print("no completed root spans found")
+        return 0
+
+    durs = sorted(d for d, *_ in scored)
+    print(f"root durations: min {fmt_us(durs[0])}, "
+          f"median {fmt_us(durs[len(durs) // 2])}, max {fmt_us(durs[-1])}")
+
+    # Aggregate exclusive time across every trace: where did the time go?
+    total_excl = collections.Counter()
+    for _, _, _, ts in scored:
+        total_excl.update(exclusive_times(ts))
+    grand = sum(total_excl.values()) or 1
+    print("\nexclusive time by span name (all traces):")
+    for name, us in total_excl.most_common():
+        print(f"  {name:24s} {fmt_us(us):>12s}  {100.0 * us / grand:5.1f}%")
+
+    print(f"\ntop {min(args.top, len(scored))} slowest traces:")
+    for dur, tid, root, ts in scored[:args.top]:
+        excl = exclusive_times(ts)
+        top_name, top_us = excl.most_common(1)[0]
+        print(f"\n  trace {tid}: {root.name} {fmt_us(dur)} "
+              f"({len(ts)} spans; most exclusive: {top_name} "
+              f"{fmt_us(top_us)})")
+        for depth, s in enumerate(critical_path(root)):
+            print(f"    {'  ' * depth}{s.name:24s} {fmt_us(s.dur):>12s}  "
+                  f"@ +{fmt_us(s.begin - root.begin)}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output truncated by a closed pipe (e.g. `| head`): not an error.
+        sys.exit(0)
