@@ -98,7 +98,15 @@ inline T smoke_pick(T full, T reduced) {
 /// bit-identical values; as in v5/v6, only the engine-internal
 /// `sim.frame_pool.{fresh,reuses}` counters shift (the attribution root
 /// grew the controller read/write coroutine frames).
-inline constexpr int kBenchSchemaVersion = 7;
+/// v8: the engine-internal `sim.frame_pool.*` counters move OUT of the
+/// gated registry snapshot into an unguarded informational "frame_pool"
+/// section next to each obs block (they shift whenever any coroutine frame
+/// changes size -- every engine change -- and were forcing baseline
+/// regeneration every PR; bench_diff.py now always ignores them, like
+/// wall_ms).  Sharded runs add `sim.shard.*`/`remote.*`/`shard.NNN.*` keys
+/// and the bench/shard_scaling report.  All other simulated keys keep
+/// bit-identical values.
+inline constexpr int kBenchSchemaVersion = 8;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.
@@ -108,6 +116,24 @@ inline sim::JsonWriter bench_json(const std::string& bench) {
   w.add("bench", bench);
   w.add("smoke", smoke());
   return w;
+}
+
+/// Engine-internal frame-pool statistics as a small JSON object.  These
+/// live OUTSIDE the registry snapshot (v8): they change with every
+/// coroutine-frame size change, so bench_diff.py ignores them
+/// unconditionally -- informational, never gated.
+inline std::string frame_pool_json(const sim::Simulation& sim) {
+  const sim::FramePool::Stats& fp = sim.frame_pool_stats();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"allocations\":%llu,\"reuses\":%llu,\"fresh\":%llu,"
+                "\"oversize\":%llu,\"live\":%llu}",
+                static_cast<unsigned long long>(fp.allocations),
+                static_cast<unsigned long long>(fp.reuses),
+                static_cast<unsigned long long>(fp.fresh),
+                static_cast<unsigned long long>(fp.oversize),
+                static_cast<unsigned long long>(fp.live));
+  return buf;
 }
 
 /// Embed one world's metrics-registry snapshot and utilization/queue-depth
@@ -122,7 +148,7 @@ inline void add_obs(sim::JsonWriter& w, const std::string& key, World& world,
                        &world.cache, orch, integrity);
   w.add_raw(key, "{\"registry\":" + world.hub.registry().snapshot_json() +
                      ",\"timelines\":" + world.hub.timelines().json() +
-                     "}");
+                     ",\"frame_pool\":" + frame_pool_json(world.sim) + "}");
 }
 
 /// Append the block-cache counters (zeros when no cache was attached, so

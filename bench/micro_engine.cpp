@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <vector>
 
 #include "block/sios.hpp"
@@ -15,7 +16,9 @@
 #include "raid/raidx.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/task.hpp"
+#include "sim/time.hpp"
 
 namespace {
 
@@ -113,6 +116,56 @@ void BM_WaiterChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 16);
 }
 BENCHMARK(BM_WaiterChurn);
+
+sim::Task<> shard_load(sim::Simulation& s, int events) {
+  for (int i = 0; i < events; ++i) co_await s.delay(100);
+}
+
+// Windowed multi-shard dispatch: 4 shards x 1024 events at a 100 ns
+// cadence under a 10 us lookahead (~100 events per shard per window), so
+// the row prices window setup + census + parallel drain, not just the
+// per-event dispatch the single-queue rows above already cover.  Arg is
+// the worker count; Arg(1) isolates the synchronizer overhead itself.
+void BM_ShardedDispatch(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::ShardGroup group(4, sim::microseconds(10));
+    for (int s = 0; s < 4; ++s) {
+      auto scope = group.frame_scope(s);
+      group.sim(s).spawn(shard_load(group.sim(s), 1024));
+    }
+    group.run(threads);
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * 1024);
+}
+BENCHMARK(BM_ShardedDispatch)->Arg(1)->Arg(2)->Arg(4);
+
+// Cross-shard mailbox round trips: one message in flight ping-ponging
+// between two shards, every hop paying a full window (census, barrier,
+// mailbox merge, delivery).  This is the per-hop latency floor a remote
+// I/O pays on top of the simulated network time.
+void BM_CrossShardHop(benchmark::State& state) {
+  constexpr int kHops = 1024;
+  const sim::Time lookahead = sim::microseconds(1);
+  for (auto _ : state) {
+    sim::ShardGroup group(2, lookahead);
+    int hops = 0;
+    std::function<void(int)> bounce = [&](int self) {
+      if (++hops >= kHops) return;
+      const int peer = 1 - self;
+      group.post(self, peer, group.sim(self).now() + lookahead,
+                 [&bounce, peer] { bounce(peer); });
+    };
+    {
+      auto scope = group.frame_scope(0);
+      group.sim(0).schedule_at(0, [&bounce] { bounce(0); });
+    }
+    group.run(2);
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * kHops);
+}
+BENCHMARK(BM_CrossShardHop);
 
 block::ArrayGeometry bench_geo() {
   block::ArrayGeometry g;

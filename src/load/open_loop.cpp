@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "block/payload.hpp"
+#include "cluster/sharded.hpp"
 #include "load/qos.hpp"
 #include "obs/obs.hpp"
 #include "sim/random.hpp"
@@ -92,6 +93,33 @@ sim::Task<> request(Shared& sh, int tenant, int node, std::uint64_t lba,
   if (sim.now() > sh.last_completion) sh.last_completion = sim.now();
 }
 
+/// An arrival redirected across the spine: the remote hook owns routing,
+/// serialization, and far-end execution; this wrapper only keeps the
+/// tenant accounting symmetric with the local path.
+sim::Task<> remote_request(Shared& sh, int tenant, std::uint64_t slot,
+                           bool write) {
+  auto& sim = sh.engine.simulation();
+  TenantResult& r = sh.result.tenants[static_cast<std::size_t>(tenant)];
+  const TenantLoad& cfg =
+      sh.config.tenants[static_cast<std::size_t>(tenant)];
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cfg.blocks_per_op) * sh.engine.block_bytes();
+  const sim::Time t0 = sim.now();
+  const bool ok = co_await sh.config.remote.exec(slot, cfg.blocks_per_op,
+                                                 write);
+  if (ok) {
+    ++r.completed;
+    r.bytes_completed += bytes;
+    r.latency.observe(static_cast<std::uint64_t>(sim.now() - t0));
+    obs::note_slo_request(sim, sim.now() - t0, /*ok=*/true);
+  } else {
+    ++r.failed;
+    obs::note_slo_request(sim, sim.now() - t0, /*ok=*/false);
+  }
+  --sh.in_flight;
+  if (sim.now() > sh.last_completion) sh.last_completion = sim.now();
+}
+
 sim::Task<> dispatcher(Shared& sh, int tenant, sim::Rng rng) {
   auto& sim = sh.engine.simulation();
   const TenantLoad& cfg =
@@ -153,6 +181,11 @@ sim::Task<> dispatcher(Shared& sh, int tenant, sim::Rng rng) {
     const std::uint64_t lba = base + slot * cfg.blocks_per_op;
     const bool write =
         cfg.write_fraction > 0.0 && rng.chance(cfg.write_fraction);
+    // The cross-shard coin is only flipped when a hook is installed, so
+    // hook-less configs consume the exact pre-federation RNG stream.
+    const bool remote =
+        sh.config.remote.exec != nullptr &&
+        rng.chance(sh.config.remote.fraction);
 
     ++r.offered;
     if (sh.result.arrivals.size() < sh.config.record_arrivals) {
@@ -167,7 +200,12 @@ sim::Task<> dispatcher(Shared& sh, int tenant, sim::Rng rng) {
     if (sh.in_flight > sh.result.peak_in_flight) {
       sh.result.peak_in_flight = sh.in_flight;
     }
-    sim.spawn(request(sh, tenant, node, lba, write));
+    if (remote) {
+      ++sh.result.remote_ops;
+      sim.spawn(remote_request(sh, tenant, slot, write));
+    } else {
+      sim.spawn(request(sh, tenant, node, lba, write));
+    }
   }
 }
 
@@ -187,6 +225,11 @@ void export_metrics(Shared& sh) {
   reg.gauge("load.offered_mbs").set(res.offered_mbs);
   reg.gauge("load.goodput_mbs").set(res.goodput_mbs);
   reg.histogram("load.latency_ns").merge(res.latency);
+  // Gated on the hook, not the count: a federated run with zero redirected
+  // arrivals still gets a stable key set.
+  if (sh.config.remote.exec != nullptr) {
+    reg.counter("load.remote_ops").inc(res.remote_ops);
+  }
   for (std::size_t t = 0; t < res.tenants.size(); ++t) {
     const TenantResult& r = res.tenants[t];
     const int i = static_cast<int>(t);
@@ -204,24 +247,47 @@ void export_metrics(Shared& sh) {
 
 }  // namespace
 
-OpenLoopResult run_open_loop(raid::ArrayController& engine,
-                             const OpenLoopConfig& config,
-                             QosGate* gate) {
+struct OpenLoopDriver::State {
+  State(raid::ArrayController& engine_, const OpenLoopConfig& config_,
+        QosGate* gate_)
+      : engine(engine_), config(config_), gate(gate_) {}
+
+  raid::ArrayController& engine;
+  OpenLoopConfig config;  // owned copy: the hook closure must stay alive
+  QosGate* gate;
+  OpenLoopResult result;
+  std::optional<Shared> sh;
+  raid::AdmissionGate* prior = nullptr;
+  bool started = false;
+  bool finished = false;
+};
+
+OpenLoopDriver::OpenLoopDriver(raid::ArrayController& engine,
+                               const OpenLoopConfig& config, QosGate* gate)
+    : state_(std::make_unique<State>(engine, config, gate)) {}
+
+OpenLoopDriver::~OpenLoopDriver() = default;
+
+void OpenLoopDriver::start() {
+  State& st = *state_;
+  assert(!st.started);
+  st.started = true;
+  const OpenLoopConfig& config = st.config;
   if (config.tenants.empty()) {
     throw std::invalid_argument("open-loop config needs at least one tenant");
   }
-  auto& sim = engine.simulation();
-  const int num_nodes = engine.fabric().cluster().num_nodes();
-  const std::uint32_t bs = engine.block_bytes();
+  auto& sim = st.engine.simulation();
+  const int num_nodes = st.engine.fabric().cluster().num_nodes();
+  const std::uint32_t bs = st.engine.block_bytes();
 
-  OpenLoopResult result;
-  result.tenants.resize(config.tenants.size());
-  result.duration = config.duration;
+  st.result.tenants.resize(config.tenants.size());
+  st.result.duration = config.duration;
   if (config.record_arrivals > 0) {
-    result.arrivals.reserve(config.record_arrivals);
+    st.result.arrivals.reserve(config.record_arrivals);
   }
 
-  Shared sh{engine, config, gate, result};
+  st.sh.emplace(Shared{st.engine, config, st.gate, st.result});
+  Shared& sh = *st.sh;
   sh.start = sim.now();
   sh.end_at = sh.start + config.duration;
 
@@ -244,7 +310,7 @@ OpenLoopResult run_open_loop(raid::ArrayController& engine,
     sh.wpayload.push_back(block::Payload::zeros(
         static_cast<std::size_t>(cfg.blocks_per_op) * bs));
   }
-  if (next_base > engine.logical_blocks()) {
+  if (next_base > st.engine.logical_blocks()) {
     throw std::invalid_argument(
         "tenant working sets exceed the array's logical capacity");
   }
@@ -261,7 +327,8 @@ OpenLoopResult run_open_loop(raid::ArrayController& engine,
     if (n != config.exclude_node) usable.push_back(n);
   }
   const int T = static_cast<int>(config.tenants.size());
-  if (usable.empty() || (gate != nullptr && T > static_cast<int>(usable.size()))) {
+  if (usable.empty() ||
+      (st.gate != nullptr && T > static_cast<int>(usable.size()))) {
     throw std::invalid_argument(
         "need at least one client node per tenant for QoS binding");
   }
@@ -275,23 +342,32 @@ OpenLoopResult run_open_loop(raid::ArrayController& engine,
       sh.tenant_nodes[static_cast<std::size_t>(t)].push_back(
           usable[static_cast<std::size_t>(t) % usable.size()]);
     }
-    if (gate != nullptr) {
+    if (st.gate != nullptr) {
       for (int node : sh.tenant_nodes[static_cast<std::size_t>(t)]) {
-        gate->bind_client(node, t);
+        st.gate->bind_client(node, t);
       }
     }
   }
 
-  raid::AdmissionGate* prior = engine.admission();
-  if (gate != nullptr) engine.set_admission(gate);
+  st.prior = st.engine.admission();
+  if (st.gate != nullptr) st.engine.set_admission(st.gate);
 
   sim::Rng root(config.seed);
   for (int t = 0; t < T; ++t) {
     sim.spawn(dispatcher(sh, t, root.fork()));
   }
-  sim.run();  // arrival window + full drain of every in-flight request
+}
 
-  engine.set_admission(prior);
+OpenLoopResult OpenLoopDriver::finish() {
+  State& st = *state_;
+  assert(st.started && !st.finished);
+  st.finished = true;
+  Shared& sh = *st.sh;
+  OpenLoopResult& result = st.result;
+  const OpenLoopConfig& config = st.config;
+  const std::uint32_t bs = st.engine.block_bytes();
+
+  st.engine.set_admission(st.prior);
 
   // Fold per-tenant accumulators into the cluster-wide result and derive
   // the rates: offered over the arrival window, goodput over the full
@@ -320,7 +396,70 @@ OpenLoopResult run_open_loop(raid::ArrayController& engine,
   result.goodput_mbs = sim::bandwidth_mbs(result.bytes_completed, drain);
 
   export_metrics(sh);
-  return result;
+  return std::move(result);
+}
+
+OpenLoopResult run_open_loop(raid::ArrayController& engine,
+                             const OpenLoopConfig& config,
+                             QosGate* gate) {
+  OpenLoopDriver driver(engine, config, gate);
+  driver.start();
+  engine.simulation().run();  // arrival window + full drain
+  return driver.finish();
+}
+
+ShardedLoadResult run_open_loop_sharded(cluster::ShardedCluster& world,
+                                        const OpenLoopConfig& per_shard_config,
+                                        double remote_fraction, int threads) {
+  const int S = world.shards();
+  std::vector<std::unique_ptr<OpenLoopDriver>> drivers;
+  drivers.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    // Dispatcher frames are born here, on the coordinating thread; pin
+    // them to their shard's pool so they recycle wherever the shard runs.
+    auto scope = world.group().frame_scope(s);
+    OpenLoopConfig cfg = per_shard_config;
+    cfg.seed = per_shard_config.seed + static_cast<std::uint64_t>(s);
+    if (S > 1 && remote_fraction > 0.0) {
+      const int dst = (s + 1) % S;
+      cfg.remote.fraction = remote_fraction;
+      cfg.remote.exec = [&world, s, dst](std::uint64_t slot,
+                                         std::uint32_t nblocks, bool write) {
+        // Map the popularity slot into the TARGET group's logical space:
+        // remote traffic keeps its skew but lands on the remote array.
+        const std::uint64_t span = std::max<std::uint64_t>(
+            1, world.engine(dst).logical_blocks() / nblocks);
+        return world.remote_io(s, dst, write, (slot % span) * nblocks,
+                               nblocks);
+      };
+    }
+    drivers.push_back(std::make_unique<OpenLoopDriver>(world.engine(s), cfg,
+                                                       nullptr));
+    drivers.back()->start();
+  }
+
+  world.run(threads);
+
+  ShardedLoadResult out;
+  out.per_shard.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    out.per_shard.push_back(drivers[static_cast<std::size_t>(s)]->finish());
+    const OpenLoopResult& r = out.per_shard.back();
+    out.offered += r.offered;
+    out.completed += r.completed;
+    out.rejected += r.rejected;
+    out.shed += r.shed;
+    out.failed += r.failed;
+    out.cap_dropped += r.cap_dropped;
+    out.remote_ops += r.remote_ops;
+    out.bytes_completed += r.bytes_completed;
+    out.peak_in_flight += r.peak_in_flight;
+    out.drained_at = std::max(out.drained_at, r.drained_at);
+    out.offered_mbs += r.offered_mbs;
+    out.goodput_mbs += r.goodput_mbs;
+    out.latency.merge(r.latency);
+  }
+  return out;
 }
 
 }  // namespace raidx::load

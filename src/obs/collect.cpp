@@ -44,13 +44,11 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
   reg.counter("sim.queue.overflow_migrated").inc(qs.overflow_migrated);
   reg.counter("sim.queue.heap_callbacks").inc(qs.heap_callbacks);
   reg.counter("sim.queue.peak_pending").inc(qs.peak_pending);
-
-  const sim::FramePool::Stats& fp = sim.frame_pool_stats();
-  reg.counter("sim.frame_pool.allocations").inc(fp.allocations);
-  reg.counter("sim.frame_pool.reuses").inc(fp.reuses);
-  reg.counter("sim.frame_pool.fresh").inc(fp.fresh);
-  reg.counter("sim.frame_pool.oversize").inc(fp.oversize);
-  reg.counter("sim.frame_pool.live").inc(fp.live);
+  // Frame-pool statistics are deliberately NOT exported here: they shift
+  // whenever any coroutine frame changes size, which is every engine
+  // change, so they would force baseline churn without describing a
+  // simulated result.  Benches export them as an unguarded informational
+  // section (bench::add_obs); direct callers use sim.frame_pool_stats().
 
   for (int d = 0; d < cluster.total_disks(); ++d) {
     const disk::Disk& disk = cluster.disk(d);

@@ -107,6 +107,23 @@ class Registry {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
+  /// Fold `other` into this registry with every name prefixed by `prefix`
+  /// (counters add, gauges overwrite, histograms bucket-merge).  Sources
+  /// iterate in their sorted name order, so folding shard registries in
+  /// shard-index order yields one deterministic merged snapshot no matter
+  /// how the shards' worker threads interleaved.
+  void merge_from(const Registry& other, const std::string& prefix = "") {
+    for (const auto& [name, c] : other.counters_) {
+      counters_[prefix + name].inc(c.value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges_[prefix + name].set(g.value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      histograms_[prefix + name].merge(h);
+    }
+  }
+
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Histograms render count/sum/min/max/mean, nearest-rank p50/p90/p95/
   /// p99, interpolated p50/p99/p999 (`*_interp`), and the non-empty

@@ -39,6 +39,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
@@ -153,6 +154,41 @@ class Simulation {
   /// Returns true if the queue was drained.
   bool run_until(Time deadline);
 
+  /// Sentinel returned by next_event_time() when nothing is queued.
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+
+  /// Earliest pending timestamp <= `limit` (daemon events included), or
+  /// kNoEvent when nothing is queued below it.  Probing is not free of
+  /// side effects: locating the next event cascades the timing wheel,
+  /// advancing the clock through event-free regions -- the same clock
+  /// motion run() makes on its way to an event -- up to `limit`, never
+  /// past the timestamp eventually reported, and never dispatching.  The
+  /// shard synchronizer (sim/shard.hpp) polls this with a bounded limit
+  /// to compute the global safe window; an unbounded probe would fling an
+  /// idle shard's clock past the window in which a peer is about to post
+  /// it a message.
+  Time next_event_time(Time limit = kNoEvent);
+
+  /// Dispatch every event with timestamp strictly below `end`, in exact
+  /// (at, seq) order.  Daemon events keep run()'s liveness contract: they
+  /// fire only while this simulation's own foreground work remains, so a
+  /// foreground-idle shard parks exactly like a plain idle world -- its
+  /// watchdog daemons wait for the next foreground arrival (a cross-shard
+  /// delivery) instead of being kept alive by peers, which would let two
+  /// groups' watchdogs sustain each other forever.  Unlike run_until(),
+  /// the clock is left at the last dispatched event rather than dragged
+  /// to `end`, so consecutive windows splice seamlessly.
+  void run_window(Time end);
+
+  /// Schedule `fn` at the absolute instant `at` (>= now()).  The shard
+  /// synchronizer stamps cross-shard messages in the sender's frame of
+  /// reference and delivers them through this at window boundaries.
+  template <typename F>
+  void schedule_at(Time at, F&& fn) {
+    assert(at >= now_ && "cannot deliver into the past");
+    schedule(at - now_, std::forward<F>(fn));
+  }
+
   /// Number of events processed so far (useful for micro-benchmarks).
   std::uint64_t events_processed() const { return events_processed_; }
 
@@ -180,6 +216,12 @@ class Simulation {
   const FramePool::Stats& frame_pool_stats() const {
     return frame_pool_.stats();
   }
+
+  /// The pool this simulation's coroutine frames come from.  A worker
+  /// thread advancing this shard installs it (FramePool::Scope) before
+  /// creating or resuming any of its coroutines, so frames are always
+  /// allocated and recycled on the thread currently driving the shard.
+  FramePool& frame_pool() { return frame_pool_; }
 
   /// Observability hub (src/obs), or null when observability is off.
   /// The simulation never calls into the hub itself; instrumented layers

@@ -1,8 +1,14 @@
 // Cluster and geometry tests: disk naming, parameter propagation, CPU
-// serialization.
+// serialization, and the sharded federation.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "cluster/cluster.hpp"
+#include "cluster/sharded.hpp"
+#include "obs/collect.hpp"
 #include "test_util.hpp"
 
 namespace raidx::cluster {
@@ -131,6 +137,135 @@ TEST(ClusterParams, TrojansDefaultsMatchThePaper) {
                   p.geometry.block_bytes,
               16 * 10.74e9, 0.5e9);
   EXPECT_DOUBLE_EQ(p.net.link_mbs, 12.5);  // 100 Mbps Fast Ethernet
+}
+
+// --- Sharded federation (src/cluster/sharded) -------------------------------
+
+// The same deterministic burst engine_test's round trips use: disjoint
+// writes then reads through the controller, all on one shard's sub-world.
+sim::Task<> local_burst(sim::Simulation* sim, raid::ArrayController* eng,
+                        int ops) {
+  const std::uint32_t bs = eng->block_bytes();
+  std::vector<std::byte> got;
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t lba = static_cast<std::uint64_t>(i) * 8;
+    co_await eng->write(i % 4, lba, test::pattern_run(lba, 8, bs));
+    got.assign(8 * bs, std::byte{0});
+    co_await eng->read((i + 1) % 4, lba, 8, got);
+    co_await sim->delay(sim::microseconds(50));
+  }
+}
+
+sim::Task<> remote_burst(ShardedCluster* world, int src, int dst, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    const bool ok = co_await world->remote_io(src, dst, (i % 2) == 0,
+                                              static_cast<std::uint64_t>(i) * 4,
+                                              2);
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(ShardedCluster, SingleShardMatchesPlainWorld) {
+  const ClusterParams params = test::small_cluster();
+  // The plain world, constructed member-for-member like a Shard.
+  obs::Hub plain_hub;
+  sim::Simulation plain_sim;
+  Cluster plain_cluster(plain_sim, params);
+  cdd::CddFabric plain_fabric(plain_cluster, {});
+  cache::CacheFabric plain_cache(plain_cluster, {});
+  auto plain_engine =
+      workload::make_engine(workload::Arch::kRaidX, plain_fabric, {});
+  plain_engine->attach_cache(&plain_cache);
+  plain_sim.set_hub(&plain_hub);
+  plain_sim.spawn(local_burst(&plain_sim, plain_engine.get(), 16));
+  plain_sim.run();
+  obs::collect_cluster(plain_hub.registry(), plain_cluster, &plain_fabric,
+                       &plain_cache);
+
+  ShardedParams sp;
+  sp.shards = 1;
+  ShardedCluster world(params, sp);
+  {
+    auto scope = world.group().frame_scope(0);
+    world.sim(0).spawn(local_burst(&world.sim(0), &world.engine(0), 16));
+  }
+  world.run(1);
+  ShardedCluster::Shard& sh = world.shard(0);
+  obs::collect_cluster(sh.hub.registry(), *sh.cluster, sh.fabric.get(),
+                       sh.cache.get());
+
+  // Byte-for-byte: same events, same clocks, same counters.
+  EXPECT_EQ(plain_sim.now(), world.sim(0).now());
+  EXPECT_EQ(plain_hub.registry().snapshot_json(),
+            sh.hub.registry().snapshot_json());
+}
+
+std::string run_federation(int threads) {
+  ShardedParams sp;
+  sp.shards = 2;
+  ShardedCluster world(test::small_cluster(), sp);
+  for (int s = 0; s < 2; ++s) {
+    auto scope = world.group().frame_scope(s);
+    world.sim(s).spawn(local_burst(&world.sim(s), &world.engine(s), 12));
+    world.sim(s).spawn(remote_burst(&world, s, 1 - s, 6));
+  }
+  world.run(threads);
+  return world.merged_snapshot_json();
+}
+
+TEST(ShardedCluster, MergedSnapshotDeterministicAndThreadInvariant) {
+  const std::string serial = run_federation(1);
+  const std::string repeat = run_federation(1);
+  const std::string parallel = run_federation(2);
+  EXPECT_EQ(serial, repeat);
+  EXPECT_EQ(serial, parallel);
+  // The merge actually carried both shards and the federation counters.
+  EXPECT_NE(serial.find("shard.000."), std::string::npos);
+  EXPECT_NE(serial.find("shard.001."), std::string::npos);
+  EXPECT_NE(serial.find("\"remote.sent\":12"), std::string::npos);
+  EXPECT_NE(serial.find("\"remote.served\":12"), std::string::npos);
+  EXPECT_NE(serial.find("sim.shard.windows"), std::string::npos);
+}
+
+TEST(ShardedCluster, FaultPlanPartitionsAcrossGroups) {
+  ShardedParams sp;
+  sp.shards = 2;
+  ShardedCluster world(test::small_cluster(4, 1, /*blocks_per_disk=*/240),
+                       sp);
+  // One failure per group, in federation-global disk ids: disk 1 lands in
+  // group 0, disk (dps + 2) in group 1.
+  ha::FaultPlan plan;
+  plan.add({ha::FaultEvent::Kind::kFailDisk, 1, 0, sim::milliseconds(5)});
+  plan.add({ha::FaultEvent::Kind::kFailDisk, world.disks_per_shard() + 2, 0,
+            sim::milliseconds(8)});
+  ha::HaParams hp;
+  hp.probe_interval = sim::milliseconds(5);
+  hp.probe_timeout = sim::milliseconds(2);
+  hp.spare_swap_time = sim::milliseconds(10);
+  hp.global_spares = 1;
+  world.arm_faults(plan, &hp);
+  for (int s = 0; s < 2; ++s) {
+    auto scope = world.group().frame_scope(s);
+    world.sim(s).spawn(local_burst(&world.sim(s), &world.engine(s), 24));
+  }
+  world.run(2);
+  // Each group's orchestrator saw exactly its own slice of the plan and
+  // carried the full lifecycle: detect, fail over, rebuild.
+  for (int s = 0; s < 2; ++s) {
+    const ha::HaStats& st = world.shard(s).orchestrator->stats();
+    EXPECT_EQ(st.detections, 1u) << "shard " << s;
+    EXPECT_EQ(st.rebuilds_failed, 0u) << "shard " << s;
+  }
+}
+
+TEST(ShardedCluster, RejectsFaultOutsideFederation) {
+  ShardedParams sp;
+  sp.shards = 2;
+  ShardedCluster world(test::small_cluster(), sp);
+  ha::FaultPlan plan;
+  plan.add({ha::FaultEvent::Kind::kFailDisk, world.total_disks() + 3, 0,
+            sim::milliseconds(1)});
+  EXPECT_THROW(world.arm_faults(plan, nullptr), std::invalid_argument);
 }
 
 }  // namespace

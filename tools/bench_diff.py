@@ -63,8 +63,9 @@ def main():
              "baseline by more than PCT percent; omit to only report")
     parser.add_argument(
         "--ignore", action="append", default=[], metavar="REGEX",
-        help="skip keys matching this regex (repeatable); "
-             "schema_version and *_wall_ms are always skipped")
+        help="skip keys matching this regex (repeatable); schema_version, "
+             "*_wall_ms, *speedup_wall, *.threads, and frame_pool "
+             "statistics are always skipped")
     parser.add_argument(
         "--require", action="append", default=[], metavar="REGEX",
         help="fail (exit 1) unless at least one candidate key matches this "
@@ -79,6 +80,17 @@ def main():
     # Host-side metadata: legitimately differs between runs and machines.
     ignore.append(re.compile(r"(^|\.)schema_version$"))
     ignore.append(re.compile(r"wall_ms$"))
+    # Wall-clock-derived scaling numbers and worker counts (the
+    # shard_scaling report): functions of the host's core count and load,
+    # never of the simulation.
+    ignore.append(re.compile(r"speedup_wall$"))
+    ignore.append(re.compile(r"(^|\.)threads$"))
+    # Engine-internal frame-pool statistics (schema v8: an informational
+    # "frame_pool" section next to each obs block): they move whenever any
+    # coroutine frame changes size, i.e. with every engine change, so they
+    # are never part of the regression contract.
+    ignore.append(re.compile(r"(^|\.)frame_pool\."))
+    ignore.append(re.compile(r"(^|\.)sim\.frame_pool\."))
 
     with open(args.baseline) as f:
         base = flatten(json.load(f))

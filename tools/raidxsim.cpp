@@ -20,6 +20,7 @@
 
 #include "cache/cache_fabric.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/sharded.hpp"
 #include "ha/fault_plan.hpp"
 #include "ha/ha.hpp"
 #include "integrity/integrity.hpp"
@@ -44,6 +45,13 @@ namespace {
       "usage: %s [options]\n"
       "  --arch raid0|raid5|raid10|raidx|nfs   architecture (default raidx)\n"
       "  --nodes N          cluster nodes (default 16)\n"
+      "  --shards S         partition the cluster into S placement groups\n"
+      "                     simulated in parallel under conservative time-\n"
+      "                     window sync (default 1 = the classic engine).\n"
+      "                     S > 1 needs --open-loop, nodes divisible by S,\n"
+      "                     and at least 2 nodes per shard\n"
+      "  --threads T        worker threads driving the shards (default =\n"
+      "                     shards; changes wall-clock only, never results)\n"
       "  --disks K          disks per node (default 1)\n"
       "  --clients C        parallel clients (default 8)\n"
       "  --op read|write    operation (default read)\n"
@@ -112,6 +120,9 @@ namespace {
       "shape (dist=burst)\n"
       "                       cap=N           max requests in flight "
       "(default 4M)\n"
+      "                       remote=F        fraction of arrivals executed\n"
+      "                     on the next shard over the spine (needs --shards "
+      "> 1)\n"
       "  --seed S           workload seed (default 42)\n"
       "  --replay FILE      replay a block trace instead of the synthetic "
       "workload\n"
@@ -171,6 +182,7 @@ struct OpenLoopCli {
   double qos_mbs = 0.0;
   double qos_burst_mb = 1.0;
   load::AdmitPolicy policy = load::AdmitPolicy::kShed;
+  double remote = 0.0;  // cross-shard fraction (needs --shards > 1)
 };
 
 OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
@@ -232,6 +244,7 @@ OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
     else if (key == "cap") {
       cli.cap = static_cast<std::size_t>(std::atoll(val.c_str()));
     }
+    else if (key == "remote") cli.remote = std::atof(val.c_str());
     else {
       std::fprintf(stderr, "%s: --open-loop has no key '%s'\n", argv0,
                    key.c_str());
@@ -245,6 +258,11 @@ OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
     std::fprintf(stderr,
                  "%s: --open-loop needs tenants/rate/sessions/duration/"
                  "req-blocks > 0, zipf >= 0, write in [0,1]\n",
+                 argv0);
+    std::exit(2);
+  }
+  if (cli.remote < 0.0 || cli.remote > 1.0) {
+    std::fprintf(stderr, "%s: --open-loop remote=F needs F in [0,1]\n",
                  argv0);
     std::exit(2);
   }
@@ -391,6 +409,7 @@ workload::Arch parse_arch(const std::string& s) {
 int main(int argc, char** argv) {
   workload::Arch arch = workload::Arch::kRaidX;
   int nodes = 16, disks = 1, clients = 8, ops = 1, window = 2;
+  int shards = 1, threads = 0;
   std::uint64_t bytes = 64ull << 20;
   std::uint32_t block = 32'768;
   bool is_write = false, scattered = false, verbose = false;
@@ -441,6 +460,8 @@ int main(int argc, char** argv) {
     };
     if (a == "--arch") arch = parse_arch(next());
     else if (a == "--nodes") nodes = std::atoi(next().c_str());
+    else if (a == "--shards") shards = std::atoi(next().c_str());
+    else if (a == "--threads") threads = std::atoi(next().c_str());
     else if (a == "--disks") disks = std::atoi(next().c_str());
     else if (a == "--clients") clients = std::atoi(next().c_str());
     else if (a == "--op") is_write = (next() == "write");
@@ -558,6 +579,89 @@ int main(int argc, char** argv) {
   if (!open_loop_spec.empty()) {
     olcli = parse_open_loop_spec(argv[0], open_loop_spec);
   }
+  // Sharded-engine validation: every rejected combination cites the clause
+  // that makes it impossible, so a bad invocation fails in milliseconds
+  // with an actionable message instead of after a long build.
+  if (shards < 1) {
+    std::fprintf(stderr, "%s: --shards must be >= 1 (got %d)\n", argv[0],
+                 shards);
+    return 2;
+  }
+  if (threads < 0) {
+    std::fprintf(stderr, "%s: --threads must be >= 0 (got %d)\n", argv[0],
+                 threads);
+    return 2;
+  }
+  if (threads > 0 && shards == 1) {
+    std::fprintf(stderr,
+                 "%s: --threads drives the shard worker pool; it needs "
+                 "--shards > 1\n",
+                 argv[0]);
+    return 2;
+  }
+  if (olcli.remote > 0.0 && shards == 1) {
+    std::fprintf(stderr,
+                 "%s: --open-loop remote=%g sends traffic across shards; "
+                 "it needs --shards > 1\n",
+                 argv[0], olcli.remote);
+    return 2;
+  }
+  if (shards > 1) {
+    if (open_loop_spec.empty()) {
+      std::fprintf(stderr,
+                   "%s: --shards %d partitions the open-loop engine; add "
+                   "--open-loop SPEC (the closed-loop workloads run "
+                   "single-shard)\n",
+                   argv[0], shards);
+      return 2;
+    }
+    if (arch == workload::Arch::kNfs) {
+      std::fprintf(stderr,
+                   "%s: --shards needs a block engine per group; --arch "
+                   "nfs has one central server and cannot shard\n",
+                   argv[0]);
+      return 2;
+    }
+    if (nodes % shards != 0) {
+      std::fprintf(stderr,
+                   "%s: --nodes %d is not divisible by --shards %d (every "
+                   "placement group must be identical)\n",
+                   argv[0], nodes, shards);
+      return 2;
+    }
+    if (nodes / shards < 2) {
+      std::fprintf(stderr,
+                   "%s: --nodes %d over --shards %d leaves %d node(s) per "
+                   "group; the array geometry needs >= 2\n",
+                   argv[0], nodes, shards, nodes / shards);
+      return 2;
+    }
+    if (olcli.qos_mbs > 0.0) {
+      std::fprintf(stderr,
+                   "%s: --open-loop qos-mbs is per-array admission; the "
+                   "sharded runner does not gate yet (drop qos-mbs or "
+                   "--shards)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (!fails.empty() || verify_reads || scrub_rate > 0 ||
+        fail_threshold > 0 || warm > 0) {
+      std::fprintf(stderr,
+                   "%s: --fail/--verify-reads/--scrub-rate/"
+                   "--fail-threshold/--warm are single-shard features "
+                   "(use --faults for sharded chaos)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (!trace_out.empty() || trace_sample_on || slo_on || watch_on) {
+      std::fprintf(stderr,
+                   "%s: --trace/--trace-sample/--slo/--watch attach to one "
+                   "simulation's hub; they do not support --shards > 1 "
+                   "yet\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   // Telemetry specs: same fail-fast rule.  A sampler without a trace file,
   // or an SLO with no open-loop traffic to observe, would silently do
   // nothing -- reject them.
@@ -614,6 +718,198 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Engine / CDD / cache knobs are shared by the classic single-simulation
+  // path and the sharded federation; build them once, fail fast on a bad
+  // value.
+  cdd::CddParams cddp;
+  if (timeout_ms > 0) cddp.request_timeout = sim::milliseconds(timeout_ms);
+
+  raid::EngineParams ep;
+  ep.background_mirrors = bg_mirrors;
+  ep.use_locks = locks;
+  ep.read_window = window;
+  ep.write_window = window;
+
+  cache::CacheParams cp;
+  if (cache_policy == "none") {
+    cp.capacity_blocks = 0;
+  } else if (cache_policy == "wt" || cache_policy == "wb") {
+    cp.capacity_blocks = static_cast<std::uint64_t>(
+        cache_mb * 1024.0 * 1024.0 / static_cast<double>(block));
+    cp.write_policy = cache_policy == "wb"
+                          ? cache::WritePolicy::kWriteBack
+                          : cache::WritePolicy::kWriteThrough;
+  } else {
+    std::fprintf(stderr, "unknown cache policy: %s\n", cache_policy.c_str());
+    return 2;
+  }
+  if (cache_evict == "2q") cp.eviction = cache::EvictionPolicy::k2Q;
+  else if (cache_evict != "lru") {
+    std::fprintf(stderr, "unknown eviction policy: %s\n", cache_evict.c_str());
+    return 2;
+  }
+  cp.cooperative = coop_cache;
+
+  if (shards > 1) {
+    // Sharded federation: S identical placement groups advanced in
+    // parallel under the conservative synchronizer, open-loop traffic per
+    // group, optional ring-ordered cross-shard redirection.
+    auto gparams = cluster::ClusterParams::trojans();
+    gparams.geometry.nodes = nodes / shards;
+    gparams.geometry.disks_per_node = disks;
+    gparams.geometry.block_bytes = block;
+    gparams.geometry.blocks_per_disk = (10ull << 30) / block;
+    gparams.disk.store_data = false;
+
+    cluster::ShardedParams sp;
+    sp.shards = shards;
+    sp.arch = arch;
+    sp.engine = ep;
+    sp.cache = cp;
+    sp.cdd = cddp;
+
+    // Chaos plan in federation-global ids: shard s owns disks
+    // [s * nodes/shards * disks, ...) and nodes [s * nodes/shards, ...).
+    ha::FaultPlan plan;
+    if (!faults_spec.empty()) {
+      try {
+        plan = ha::FaultPlan::parse(faults_spec, nodes * disks,
+                                    gparams.geometry.blocks_per_disk);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
+      for (const ha::FaultEvent& ev : plan.events()) {
+        if (ev.kind == ha::FaultEvent::Kind::kPartitionNode &&
+            timeout_ms <= 0) {
+          std::fprintf(stderr,
+                       "%s: part: faults need --timeout-ms, or requests at "
+                       "the partitioned node block forever\n",
+                       argv[0]);
+          return 2;
+        }
+        if ((ev.kind == ha::FaultEvent::Kind::kPartitionNode ||
+             ev.kind == ha::FaultEvent::Kind::kJoinNode) &&
+            (ev.target < 0 || ev.target >= nodes)) {
+          std::fprintf(stderr, "%s: no such node: %d\n", argv[0], ev.target);
+          return 2;
+        }
+        if (ev.kind == ha::FaultEvent::Kind::kCorruptBlock) {
+          std::fprintf(stderr,
+                       "%s: corrupt: faults need the integrity plane, which "
+                       "is single-shard; use fail:/part: chaos under "
+                       "--shards\n",
+                       argv[0]);
+          return 2;
+        }
+      }
+    }
+    const bool want_orch = ha_on || (!faults_spec.empty() && !no_ha);
+
+    cluster::ShardedCluster world(gparams, sp);
+    if (!plan.empty() || want_orch) {
+      ha::HaParams hp;
+      hp.spares_per_node = spares;
+      hp.global_spares = global_spares;
+      hp.rebuild_mbs = rebuild_mbs;
+      if (!plan.empty()) {
+        std::printf("fault plan (%s, partitioned over %d shards):\n%s",
+                    want_orch ? "orchestrated" : "raw", shards,
+                    plan.describe().c_str());
+      }
+      try {
+        world.arm_faults(plan, want_orch ? &hp : nullptr);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
+    }
+
+    load::OpenLoopConfig ocfg;
+    ocfg.tenants.assign(static_cast<std::size_t>(olcli.tenants),
+                        olcli.shape);
+    ocfg.duration = sim::seconds(olcli.duration_s);
+    ocfg.seed = seed;
+    ocfg.max_in_flight = olcli.cap;
+
+    const int nthreads = threads > 0 ? threads : shards;
+    std::printf("raidxsim: sharded open-loop on %s, %d shard(s) x %d "
+                "nodes, %d tenant(s) x %.0f ops/s per shard, remote "
+                "%.1f%%, %d worker(s)\n",
+                world.engine(0).name().c_str(), shards, nodes / shards,
+                olcli.tenants, olcli.shape.rate_ops, 100.0 * olcli.remote,
+                nthreads);
+    load::ShardedLoadResult sr;
+    try {
+      sr = load::run_open_loop_sharded(world, ocfg, olcli.remote, nthreads);
+    } catch (const std::exception& e) {
+      std::printf("run failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\noffered             : %8.2f MB/s (%llu requests over "
+                "%.3f s)\n",
+                sr.offered_mbs, static_cast<unsigned long long>(sr.offered),
+                olcli.duration_s);
+    std::printf("goodput             : %8.2f MB/s (%llu completed, slowest "
+                "shard drained at %.3f s)\n",
+                sr.goodput_mbs,
+                static_cast<unsigned long long>(sr.completed),
+                sim::to_seconds(sr.drained_at));
+    std::printf("turned away         : %llu rejected, %llu shed, %llu "
+                "failed, %llu cap-dropped\n",
+                static_cast<unsigned long long>(sr.rejected),
+                static_cast<unsigned long long>(sr.shed),
+                static_cast<unsigned long long>(sr.failed),
+                static_cast<unsigned long long>(sr.cap_dropped));
+    std::printf("cross-shard         : %llu of %llu arrivals over the "
+                "spine\n",
+                static_cast<unsigned long long>(sr.remote_ops),
+                static_cast<unsigned long long>(sr.offered));
+    std::printf("latency             : p50 %.2f ms, p99 %.2f ms, p999 "
+                "%.2f ms\n",
+                sr.latency.quantile(0.50) / 1e6,
+                sr.latency.quantile(0.99) / 1e6,
+                sr.latency.quantile(0.999) / 1e6);
+    const sim::ShardGroup::Stats& gs = world.group().stats();
+    std::printf("sync                : %llu windows, %llu cross-shard "
+                "messages\n",
+                static_cast<unsigned long long>(gs.windows),
+                static_cast<unsigned long long>(gs.messages));
+    if (verbose) {
+      for (int s = 0; s < shards; ++s) {
+        const load::OpenLoopResult& r =
+            sr.per_shard[static_cast<std::size_t>(s)];
+        std::printf("  shard %2d: offered %7.2f MB/s, goodput %7.2f MB/s, "
+                    "p99 %8.2f ms, %llu remote\n",
+                    s, r.offered_mbs, r.goodput_mbs,
+                    r.latency.quantile(0.99) / 1e6,
+                    static_cast<unsigned long long>(r.remote_ops));
+      }
+    }
+    if (want_orch) {
+      std::uint64_t det = 0, reb = 0;
+      for (int s = 0; s < shards; ++s) {
+        const ha::HaStats& hs = world.shard(s).orchestrator->stats();
+        det += hs.detections;
+        reb += hs.rebuilds_completed;
+      }
+      std::printf("ha                  : %llu detections, %llu rebuilds "
+                  "across %d shards\n",
+                  static_cast<unsigned long long>(det),
+                  static_cast<unsigned long long>(reb), shards);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << world.merged_snapshot_json() << "\n";
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics             : %s\n", metrics_out.c_str());
+    }
+    return 0;
+  }
+
   auto params = cluster::ClusterParams::trojans();
   params.geometry.nodes = nodes;
   params.geometry.disks_per_node = disks;
@@ -636,8 +932,6 @@ int main(int argc, char** argv) {
     sim.set_hub(&hub);
   }
   cluster::Cluster cluster(sim, params);
-  cdd::CddParams cddp;
-  if (timeout_ms > 0) cddp.request_timeout = sim::milliseconds(timeout_ms);
   cdd::CddFabric fabric(cluster, cddp);
 
   // Chaos plan: parse before anything expensive runs so a bad spec fails
@@ -670,32 +964,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  raid::EngineParams ep;
-  ep.background_mirrors = bg_mirrors;
-  ep.use_locks = locks;
-  ep.read_window = window;
-  ep.write_window = window;
   auto engine = workload::make_engine(arch, fabric, ep);
 
-  cache::CacheParams cp;
-  if (cache_policy == "none") {
-    cp.capacity_blocks = 0;
-  } else if (cache_policy == "wt" || cache_policy == "wb") {
-    cp.capacity_blocks = static_cast<std::uint64_t>(
-        cache_mb * 1024.0 * 1024.0 / static_cast<double>(block));
-    cp.write_policy = cache_policy == "wb"
-                          ? cache::WritePolicy::kWriteBack
-                          : cache::WritePolicy::kWriteThrough;
-  } else {
-    std::fprintf(stderr, "unknown cache policy: %s\n", cache_policy.c_str());
-    return 2;
-  }
-  if (cache_evict == "2q") cp.eviction = cache::EvictionPolicy::k2Q;
-  else if (cache_evict != "lru") {
-    std::fprintf(stderr, "unknown eviction policy: %s\n", cache_evict.c_str());
-    return 2;
-  }
-  cp.cooperative = coop_cache;
   cache::CacheFabric block_cache(cluster, cp);
   engine->attach_cache(&block_cache);
 
