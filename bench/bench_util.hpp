@@ -106,7 +106,14 @@ inline T smoke_pick(T full, T reduced) {
 /// wall_ms).  Sharded runs add `sim.shard.*`/`remote.*`/`shard.NNN.*` keys
 /// and the bench/shard_scaling report.  All other simulated keys keep
 /// bit-identical values.
-inline constexpr int kBenchSchemaVersion = 8;
+/// v9: obs snapshots may carry the flash-device keys (`flash.NNN.*` FTL
+/// counters and the `write_amp` gauge) -- but only for array slots the
+/// device map populates with flash (the new bench/gc_tail report; spindles
+/// export no flash keys).  Spindle-only benches emit the exact v8 key set
+/// and every simulated result is bit-identical to v8: the disk::Device
+/// extraction is a pure interface split, and the spindle implementation is
+/// unchanged behind it.
+inline constexpr int kBenchSchemaVersion = 9;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

@@ -47,7 +47,7 @@ sim::Task<> CddService::handle(Request req) {
           if (integ != nullptr && (req.verify || integ->verify_reads())) {
             co_await node.compute(integ->checksum_cost(
                 static_cast<std::uint64_t>(req.nblocks) *
-                d.params().block_bytes));
+                d.block_bytes()));
             d.verify_blocks(req.offset, req.nblocks, reply.bad_blocks);
             for (std::uint64_t b : reply.bad_blocks) {
               integ->on_corruption_found(req.disk, b, req.verify);
@@ -83,7 +83,7 @@ sim::Task<> CddService::handle(Request req) {
         if (IntegrityHooks* integ = fabric_.integrity()) {
           co_await node.compute(integ->checksum_cost(
               static_cast<std::uint64_t>(req.nblocks) *
-              d.params().block_bytes));
+              d.block_bytes()));
         }
         co_await d.io(disk::IoKind::kWrite, req.offset, req.nblocks,
                       req.prio, serve.ctx());

@@ -33,13 +33,31 @@ Cluster::Cluster(sim::Simulation& sim, ClusterParams params)
   params_.disk.block_bytes = params_.geometry.block_bytes;
   params_.disk.total_blocks = params_.geometry.blocks_per_disk;
 
+  if (!params_.device_map.empty() &&
+      params_.device_map.size() !=
+          static_cast<std::size_t>(params_.geometry.total_disks())) {
+    throw std::invalid_argument(
+        "device map size does not match the array's disk count");
+  }
+
   network_ = std::make_unique<net::Network>(sim, params_.net,
                                             params_.geometry.nodes);
   nodes_.reserve(static_cast<std::size_t>(params_.geometry.nodes));
   for (int j = 0; j < params_.geometry.nodes; ++j) {
+    // Translate the global device map into this node's per-row classes:
+    // global id = row * nodes + node.
+    std::vector<disk::DeviceClass> rows;
+    if (!params_.device_map.empty()) {
+      rows.reserve(static_cast<std::size_t>(params_.geometry.disks_per_node));
+      for (int g = 0; g < params_.geometry.disks_per_node; ++g) {
+        rows.push_back(params_.device_map[static_cast<std::size_t>(
+            g * params_.geometry.nodes + j)]);
+      }
+    }
     nodes_.push_back(std::make_unique<Node>(sim, j, params_.node,
                                             params_.bus, params_.disk,
-                                            params_.geometry.disks_per_node));
+                                            params_.geometry.disks_per_node,
+                                            rows, params_.flash));
   }
   // Promote each disk's node-local diagnostic id to its global index, so
   // failure messages and observability tracks use the same numbering as
@@ -49,14 +67,14 @@ Cluster::Cluster(sim::Simulation& sim, ClusterParams params)
   }
 }
 
-disk::Disk& Cluster::disk(int global_id) {
+disk::Device& Cluster::disk(int global_id) {
   assert(global_id >= 0 && global_id < total_disks());
   const int node_id = geometry().node_of(global_id);
   const int row = geometry().row_of(global_id);
   return nodes_[static_cast<std::size_t>(node_id)]->local_disk(row);
 }
 
-const disk::Disk& Cluster::disk(int global_id) const {
+const disk::Device& Cluster::disk(int global_id) const {
   assert(global_id >= 0 && global_id < params_.geometry.total_disks());
   const int node_id = params_.geometry.node_of(global_id);
   const int row = params_.geometry.row_of(global_id);

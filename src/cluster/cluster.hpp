@@ -17,6 +17,12 @@ struct ClusterParams {
   disk::DiskParams disk;
   disk::BusParams bus;
   net::NetParams net;
+  /// Flash timing/FTL parameters, used only for rows the device map marks
+  /// as SSD.
+  flash::FlashParams flash;
+  /// Device class per global disk id; empty (the default) means every row
+  /// is a spindle, which preserves the pre-flash code paths exactly.
+  std::vector<disk::DeviceClass> device_map;
 
   /// The default models the 1999 USC Trojans cluster: 16 PCs, one 10 GB
   /// SCSI disk each, 100 Mbps switched Fast Ethernet.
@@ -39,10 +45,14 @@ class Cluster {
   Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
   net::Network& network() { return *network_; }
 
-  /// Disk by global id (D(g*n + j) = row g, node j).
-  disk::Disk& disk(int global_id);
-  const disk::Disk& disk(int global_id) const;
+  /// Device by global id (D(g*n + j) = row g, node j).
+  disk::Device& disk(int global_id);
+  const disk::Device& disk(int global_id) const;
   int total_disks() const { return geometry().total_disks(); }
+  /// The hardware class behind a global disk id.
+  disk::DeviceClass device_class(int global_id) const {
+    return disk(global_id).device_class();
+  }
 
  private:
   sim::Simulation& sim_;

@@ -4,7 +4,8 @@ namespace raidx::cluster {
 
 Node::Node(sim::Simulation& sim, int id, NodeParams params,
            disk::BusParams bus_params, disk::DiskParams disk_params,
-           int num_disks)
+           int num_disks, const std::vector<disk::DeviceClass>& row_classes,
+           const flash::FlashParams& flash_params)
     : sim_(sim),
       id_(id),
       params_(params),
@@ -14,9 +15,19 @@ Node::Node(sim::Simulation& sim, int id, NodeParams params,
   for (int row = 0; row < num_disks; ++row) {
     // Global ids are assigned by the Cluster; the local id encodes
     // (node, row) for diagnostics until then.
-    disks_.push_back(
-        std::make_unique<disk::Disk>(sim, disk_params, id * 1000 + row,
-                                     bus_.get()));
+    const int local_id = id * 1000 + row;
+    const disk::DeviceClass cls =
+        static_cast<std::size_t>(row) < row_classes.size()
+            ? row_classes[static_cast<std::size_t>(row)]
+            : disk::DeviceClass::kHdd;
+    if (cls == disk::DeviceClass::kSsd) {
+      disks_.push_back(std::make_unique<flash::SsdDevice>(
+          sim, disk_params.geometry(), flash_params, local_id, bus_.get()));
+    } else {
+      disks_.push_back(
+          std::make_unique<disk::Disk>(sim, disk_params, local_id,
+                                       bus_.get()));
+    }
   }
 }
 

@@ -1,4 +1,4 @@
-// A cluster node: CPU, one SCSI bus, k locally attached disks.
+// A cluster node: CPU, one SCSI bus, k locally attached storage devices.
 //
 // The CPU is a capacity-1 resource charged per kernel operation plus a
 // per-byte cost for protocol/copy work.  On a serverless cluster every node
@@ -6,13 +6,19 @@
 // this shared CPU is a first-order bottleneck at scale (it is what keeps
 // the measured aggregate bandwidth well below the switch's raw capacity,
 // as in the paper's Trojans numbers).
+//
+// Devices can be spindles (disk::Disk) or flash (flash::SsdDevice), chosen
+// per row by the cluster's device map; a homogeneous all-HDD node is the
+// default and behaves bit-identically to the pre-Device code.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "disk/device.hpp"
 #include "disk/disk.hpp"
 #include "disk/scsi_bus.hpp"
+#include "flash/ssd.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/task.hpp"
@@ -31,9 +37,14 @@ struct NodeParams {
 
 class Node {
  public:
+  /// `row_classes` selects the device model per local row; empty means all
+  /// spindles.  Flash rows are built from `flash_params` with the same
+  /// geometry the spindle rows take from `disk_params`.
   Node(sim::Simulation& sim, int id, NodeParams params,
        disk::BusParams bus_params, disk::DiskParams disk_params,
-       int num_disks);
+       int num_disks,
+       const std::vector<disk::DeviceClass>& row_classes = {},
+       const flash::FlashParams& flash_params = {});
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -45,8 +56,10 @@ class Node {
 
   int id() const { return id_; }
   int num_disks() const { return static_cast<int>(disks_.size()); }
-  disk::Disk& local_disk(int row) { return *disks_[static_cast<std::size_t>(row)]; }
-  const disk::Disk& local_disk(int row) const {
+  disk::Device& local_disk(int row) {
+    return *disks_[static_cast<std::size_t>(row)];
+  }
+  const disk::Device& local_disk(int row) const {
     return *disks_[static_cast<std::size_t>(row)];
   }
   disk::ScsiBus& bus() { return *bus_; }
@@ -58,7 +71,7 @@ class Node {
   NodeParams params_;
   sim::Resource cpu_;
   std::unique_ptr<disk::ScsiBus> bus_;
-  std::vector<std::unique_ptr<disk::Disk>> disks_;
+  std::vector<std::unique_ptr<disk::Device>> disks_;
 };
 
 }  // namespace raidx::cluster

@@ -1,17 +1,14 @@
 #include "disk/disk.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
-
-#include "integrity/checksum.hpp"
 
 namespace raidx::disk {
 
 Disk::Disk(sim::Simulation& sim, DiskParams params, int id, ScsiBus* bus)
-    : sim_(sim),
+    : Device(params.geometry(), id),
+      sim_(sim),
       params_(params),
-      id_(id),
       bus_(bus),
       queue_(sim, /*capacity=*/1, /*priority_levels=*/2) {}
 
@@ -99,133 +96,9 @@ sim::Task<> Disk::io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
   if (failed_) throw DiskFailedError(id_);
 }
 
-void Disk::write_data(std::uint64_t block, std::span<const std::byte> data) {
-  assert(data.size() % params_.block_bytes == 0);
-  const std::uint32_t n =
-      static_cast<std::uint32_t>(data.size() / params_.block_bytes);
-  // Checksum maintenance runs even on pure-timing disks: the sums and the
-  // latent-error marks are the only state corruption detection has there,
-  // and a rewrite (repair, rebuild, ordinary traffic) must always restore
-  // a block to a verified-good state.
-  if (integrity_enabled_) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      sums_[block + i] = integrity::crc32c(data.subspan(
-          static_cast<std::size_t>(i) * params_.block_bytes,
-          params_.block_bytes));
-      corrupted_.erase(block + i);
-    }
-  }
-  if (!params_.store_data) return;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    auto& blk = blocks_[block + i];
-    blk.assign(data.begin() + static_cast<std::ptrdiff_t>(i) *
-                                  params_.block_bytes,
-               data.begin() + static_cast<std::ptrdiff_t>(i + 1) *
-                                  params_.block_bytes);
-  }
-}
-
-void Disk::write_data(std::uint64_t block, const block::Payload& data) {
-  assert(data.size() % params_.block_bytes == 0);
-  const std::uint32_t n =
-      static_cast<std::uint32_t>(data.size() / params_.block_bytes);
-  if (integrity_enabled_) {
-    for (std::uint32_t i = 0; i < n; ++i) {
-      // Zero-run payloads checksum in O(log n) -- no materialization.
-      sums_[block + i] = integrity::crc_of(data.slice(
-          static_cast<std::size_t>(i) * params_.block_bytes,
-          params_.block_bytes));
-      corrupted_.erase(block + i);
-    }
-  }
-  if (!params_.store_data) return;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    auto& blk = blocks_[block + i];
-    blk.resize(params_.block_bytes);
-    data.copy_to(blk, static_cast<std::size_t>(i) * params_.block_bytes);
-  }
-}
-
-std::vector<std::byte> Disk::read_data(std::uint64_t block,
-                                       std::uint32_t nblocks) const {
-  std::vector<std::byte> out(static_cast<std::size_t>(nblocks) *
-                                 params_.block_bytes,
-                             std::byte{0});
-  for (std::uint32_t i = 0; i < nblocks; ++i) {
-    auto it = blocks_.find(block + i);
-    if (it != blocks_.end()) {
-      std::copy(it->second.begin(), it->second.end(),
-                out.begin() +
-                    static_cast<std::ptrdiff_t>(i) * params_.block_bytes);
-    }
-  }
-  return out;
-}
-
-block::Payload Disk::read_payload(std::uint64_t block,
-                                  std::uint32_t nblocks) const {
-  // A disk that never stored anything (pure-timing mode, or simply never
-  // written) reads as zeros either way; the zero-run skips the
-  // allocate-and-memset that dominates the large sweeps.
-  if (!params_.store_data || blocks_.empty()) {
-    return block::Payload::zeros(static_cast<std::size_t>(nblocks) *
-                                 params_.block_bytes);
-  }
-  return block::Payload(read_data(block, nblocks));
-}
-
-void Disk::fail() { failed_ = true; }
-
 void Disk::replace() {
-  failed_ = false;
-  blocks_.clear();
+  Device::replace();
   head_pos_ = 0;
-  // A blank replacement has no history: no sums, no latent errors.
-  sums_.clear();
-  corrupted_.clear();
-}
-
-void Disk::enable_integrity() {
-  if (integrity_enabled_) return;
-  integrity_enabled_ = true;
-  zero_block_crc_ = static_cast<std::uint32_t>(
-      integrity::crc32c_zeros(params_.block_bytes));
-  // Snapshot blocks stored before the plane attached (preloads).
-  for (const auto& [blk, bytes] : blocks_) {
-    sums_[blk] = integrity::crc32c(bytes);
-  }
-}
-
-void Disk::corrupt(std::uint64_t block) {
-  assert(block < params_.total_blocks);
-  corrupted_.insert(block);
-  if (!params_.store_data) return;
-  // Flip one stored bit so reads really return wrong bytes.  A block that
-  // was never written materializes first: its expected content is zeros,
-  // and the rot must make the read disagree with that expectation.
-  auto& blk = blocks_[block];
-  blk.resize(params_.block_bytes);
-  blk[static_cast<std::size_t>(block % params_.block_bytes)] ^= std::byte{1};
-}
-
-void Disk::verify_blocks(std::uint64_t block, std::uint32_t nblocks,
-                         std::vector<std::uint64_t>& bad) const {
-  if (!integrity_enabled_) return;
-  for (std::uint32_t i = 0; i < nblocks; ++i) {
-    const std::uint64_t b = block + i;
-    if (corrupted_.count(b) != 0) {
-      bad.push_back(b);
-      continue;
-    }
-    if (!params_.store_data) continue;
-    const auto sum = sums_.find(b);
-    const std::uint32_t expected =
-        sum != sums_.end() ? sum->second : zero_block_crc_;
-    const auto it = blocks_.find(b);
-    const std::uint32_t actual =
-        it != blocks_.end() ? integrity::crc32c(it->second) : zero_block_crc_;
-    if (actual != expected) bad.push_back(b);
-  }
 }
 
 }  // namespace raidx::disk

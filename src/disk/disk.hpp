@@ -1,4 +1,4 @@
-// Single-disk model: timing, byte storage, and fault injection.
+// Single-disk spindle model: timing, byte storage, and fault injection.
 //
 // Timing follows the classic mechanical decomposition (controller overhead +
 // seek + rotational latency + media transfer) with sequential-access
@@ -8,20 +8,18 @@
 // than chained declustering's scattered mirror writes, so it is the single
 // most important property of this model.
 //
-// The disk also stores real bytes, which lets the test suite verify layout
-// correctness (round trips, degraded reads, rebuilds) rather than timing
-// alone.  Unwritten blocks read as zeroes, like a fresh disk.
+// The functional plane (byte storage, checksums, fault injection, the
+// rebuild frontier) lives in disk::Device, shared with flash::SsdDevice;
+// this class contributes only the mechanical timing.  Stored bytes let the
+// test suite verify layout correctness (round trips, degraded reads,
+// rebuilds) rather than timing alone.  Unwritten blocks read as zeroes,
+// like a fresh disk.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <span>
-#include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
-#include "block/payload.hpp"
+#include "disk/device.hpp"
 #include "disk/scsi_bus.hpp"
 #include "obs/obs.hpp"
 #include "sim/event_queue.hpp"
@@ -48,123 +46,31 @@ struct DiskParams {
   sim::Time avg_rotational_latency() const {
     return sim::seconds(60.0 / rpm / 2.0);
   }
+
+  DeviceGeometry geometry() const {
+    return DeviceGeometry{block_bytes, total_blocks, store_data};
+  }
 };
 
-enum class IoKind { kRead, kWrite };
-
-/// Foreground requests overtake queued background (mirror-update) work.
-enum class IoPriority : int { kForeground = 0, kBackground = 1 };
-
-class DiskFailedError : public std::runtime_error {
- public:
-  explicit DiskFailedError(int disk_id)
-      : std::runtime_error("disk " + std::to_string(disk_id) + " failed"),
-        disk_id(disk_id) {}
-  int disk_id;
-};
-
-class Disk {
+class Disk : public Device {
  public:
   Disk(sim::Simulation& sim, DiskParams params, int id,
        ScsiBus* bus = nullptr);
-  Disk(const Disk&) = delete;
-  Disk& operator=(const Disk&) = delete;
 
-  /// Perform the timing of one contiguous request.  Throws DiskFailedError
-  /// if the disk is failed.  Does not touch stored data; callers pair it
-  /// with read_data/write_data as appropriate.  `ctx` links the request
-  /// into an active trace (no-op when tracing is off).
   sim::Task<> io(IoKind kind, std::uint64_t block, std::uint32_t nblocks,
                  IoPriority prio = IoPriority::kForeground,
-                 obs::TraceContext ctx = {});
+                 obs::TraceContext ctx = {}) override;
 
-  /// Functional storage access (no simulated time).
-  void write_data(std::uint64_t block, std::span<const std::byte> data);
-  void write_data(std::uint64_t block, const block::Payload& data);
-  std::vector<std::byte> read_data(std::uint64_t block,
-                                   std::uint32_t nblocks) const;
-  /// read_data without materializing: store_data=false (and blocks never
-  /// written) come back as a zero-run with no storage behind it.
-  block::Payload read_payload(std::uint64_t block,
-                              std::uint32_t nblocks) const;
+  DeviceClass device_class() const override { return DeviceClass::kHdd; }
+  double nominal_rate_mbs() const override { return params_.media_rate_mbs; }
 
-  /// Fault injection.
-  void fail();
   /// Replace with a blank disk (rebuild then restores contents).
-  void replace();
-  bool failed() const { return failed_; }
+  void replace() override;
 
-  // ------------------------------------------------------------------ //
-  // Integrity plane (src/integrity): per-block checksums kept beside the
-  // data, plus a latent-error model for silent corruption.  All purely
-  // functional -- no simulated time -- so a build that never enables
-  // integrity is bit-identical to one that predates it.
-
-  /// Start keeping CRC32C sums for this disk's blocks.  Blocks already
-  /// stored (preload before the plane attaches) are summed now; later
-  /// write_data calls maintain the sums incrementally.  Idempotent.
-  void enable_integrity();
-  bool integrity_enabled() const { return integrity_enabled_; }
-
-  /// Inject silent corruption into one block: mark its media as rotten
-  /// and, when bytes are stored, flip one of them so reads really return
-  /// wrong data.  The checksum is NOT updated -- that is the point.
-  void corrupt(std::uint64_t block);
-  bool corrupted(std::uint64_t block) const {
-    return corrupted_.count(block) != 0;
-  }
-  std::size_t corrupted_blocks() const { return corrupted_.size(); }
-
-  /// True when the block has been written since integrity was enabled (a
-  /// stored sum exists).  Absent sums mean "never written": the expected
-  /// content is zeros, so repair can restore it without redundancy.
-  bool has_checksum(std::uint64_t block) const {
-    return sums_.count(block) != 0;
-  }
-
-  /// Verify [block, block+n): append every block whose bytes do not match
-  /// its checksum to `bad`.  Pure-timing disks (store_data=false) have no
-  /// bytes to hash, so detection rides the latent-error marks alone.
-  /// No-op until enable_integrity().
-  void verify_blocks(std::uint64_t block, std::uint32_t nblocks,
-                     std::vector<std::uint64_t>& bad) const;
-
-  /// Rebuild frontier: while a rebuild sweep is active, blocks at or above
-  /// the watermark have not been restored yet and must not serve reads
-  /// (the CDD routes them to the degraded path instead).  Writes are
-  /// always allowed: they carry current data and the sweep's later
-  /// reconstruction writes the same bytes back.
-  void begin_rebuild() {
-    rebuilding_ = true;
-    rebuild_watermark_ = 0;
-  }
-  void advance_rebuild(std::uint64_t watermark) {
-    rebuild_watermark_ = watermark;
-  }
-  void finish_rebuild() { rebuilding_ = false; }
-  bool rebuilding() const { return rebuilding_; }
-  std::uint64_t rebuild_watermark() const { return rebuild_watermark_; }
-
-  /// Can a read of [block, block+n) be served from this disk right now?
-  bool readable(std::uint64_t block, std::uint32_t nblocks) const {
-    if (failed_) return false;
-    if (rebuilding_ && block + nblocks > rebuild_watermark_) return false;
-    return true;
-  }
-
-  int id() const { return id_; }
-  /// Reassign the disk's identity.  The Cluster calls this once after
-  /// construction to replace the node-local diagnostic id with the global
-  /// disk index, so trace/timeline tracks and registry counters agree.
-  void set_id(int id) { id_ = id; }
   const DiskParams& params() const { return params_; }
 
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
-  sim::Time busy_time() const { return queue_.busy_time(); }
-  std::size_t queue_depth() const { return queue_.queued(); }
+  sim::Time busy_time() const override { return queue_.busy_time(); }
+  std::size_t queue_depth() const override { return queue_.queued(); }
 
   /// Pure timing helper (no queueing): service time of one request given
   /// the head position; exposed for the analytic model and unit tests.
@@ -176,28 +82,11 @@ class Disk {
 
   sim::Simulation& sim_;
   DiskParams params_;
-  int id_;
   ScsiBus* bus_;
   sim::Resource queue_;  // the disk arm: capacity 1, 2 priority classes
   obs::BusyRecorder busy_rec_;
   obs::DepthRecorder depth_rec_;
   std::uint64_t head_pos_ = 0;
-  bool failed_ = false;
-  bool rebuilding_ = false;
-  std::uint64_t rebuild_watermark_ = 0;
-
-  std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
-
-  /// Integrity state (populated only after enable_integrity()).
-  bool integrity_enabled_ = false;
-  std::uint32_t zero_block_crc_ = 0;  // CRC32C of one all-zero block
-  std::unordered_map<std::uint64_t, std::uint32_t> sums_;
-  std::unordered_set<std::uint64_t> corrupted_;
-
-  std::uint64_t reads_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t bytes_read_ = 0;
-  std::uint64_t bytes_written_ = 0;
 };
 
 }  // namespace raidx::disk

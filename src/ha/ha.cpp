@@ -17,6 +17,20 @@ namespace {
 
 constexpr sim::Time kUnknownFaultTime = -1;
 
+/// Bit c set when node n racks devices of class c, for SparePool seeding.
+std::vector<std::uint8_t> device_class_masks(const cluster::Cluster& cluster) {
+  const auto& geo = cluster.geometry();
+  std::vector<std::uint8_t> masks(static_cast<std::size_t>(geo.nodes), 0);
+  for (int node = 0; node < geo.nodes; ++node) {
+    for (int row = 0; row < geo.disks_per_node; ++row) {
+      masks[static_cast<std::size_t>(node)] |= static_cast<std::uint8_t>(
+          1u << static_cast<int>(
+              cluster.device_class(geo.disk_id(row, node))));
+    }
+  }
+  return masks;
+}
+
 std::string disk_detail(int disk, const char* extra = nullptr) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "disk=%d%s%s", disk, extra ? " " : "",
@@ -31,7 +45,7 @@ Orchestrator::Orchestrator(raid::ArrayController& engine, HaParams params)
       fabric_(engine.fabric()),
       params_(params),
       spares_(fabric_.cluster().num_nodes(), params.spares_per_node,
-              params.global_spares),
+              params.global_spares, device_class_masks(fabric_.cluster())),
       state_(static_cast<std::size_t>(fabric_.cluster().total_disks()),
              DiskState::kHealthy),
       fault_time_(static_cast<std::size_t>(fabric_.cluster().total_disks()),
@@ -49,7 +63,7 @@ Orchestrator::Orchestrator(raid::ArrayController& engine, HaParams params)
   double rate_mbs = params_.rebuild_mbs;
   if (rate_mbs <= 0 && params_.rebuild_disk_fraction > 0) {
     rate_mbs = params_.rebuild_disk_fraction *
-               fabric_.cluster().disk(0).params().media_rate_mbs;
+               fabric_.cluster().disk(0).nominal_rate_mbs();
   }
   if (rate_mbs > 0) {
     const double rate = rate_mbs * 1e6;  // bytes/s
@@ -125,21 +139,25 @@ void Orchestrator::note_disk_serviced(int disk) {
         fabric_.cluster().sim().spawn(recover_disk(disk));
         break;
       }
-      // Recovered slot: the operator's visit restocks the local rack.
-      spares_.restock(fabric_.cluster().geometry().node_of(disk));
+      // Recovered slot: the operator's visit restocks the local rack
+      // with a drive of the slot's own class.
+      spares_.restock(fabric_.cluster().geometry().node_of(disk),
+                      fabric_.cluster().device_class(disk));
       break;
     }
     case DiskState::kSwapping:
     case DiskState::kRebuilding:
       // Recovery already in progress on a spare; the serviced original
       // replenishes the rack it came from.
-      spares_.restock(fabric_.cluster().geometry().node_of(disk));
+      spares_.restock(fabric_.cluster().geometry().node_of(disk),
+                      fabric_.cluster().device_class(disk));
       break;
     case DiskState::kFailed:
     case DiskState::kDegraded:
       // No spare was available: the serviced drive IS the spare -- stock
       // it into the local rack so recover_disk's take() finds it.
-      spares_.restock(fabric_.cluster().geometry().node_of(disk));
+      spares_.restock(fabric_.cluster().geometry().node_of(disk),
+                      fabric_.cluster().device_class(disk));
       slot = DiskState::kFailed;
       ++recoveries_in_flight_;
       fabric_.cluster().sim().spawn(recover_disk(disk));
@@ -181,11 +199,19 @@ sim::Task<> Orchestrator::recover_disk(int disk) {
       params_.monitor_node,
       obs::SpanArgs{}.tag("disk", disk).tag("node", node));
 
-  if (!spares_.take(node)) {
-    // Nothing to fail over to; the array keeps serving via its degraded
-    // path until note_disk_serviced brings a fresh drive.
+  const disk::DeviceClass cls = cluster.device_class(disk);
+  if (!spares_.take(node, cls)) {
+    // Nothing class-matched to fail over to; the array keeps serving via
+    // its degraded path until note_disk_serviced brings a fresh drive.
     state_[idx] = DiskState::kDegraded;
     ++stats_.spare_exhausted;
+    if (spares_.available(node) > 0 || spares_.global_available() > 0) {
+      // Spares of the WRONG class were on the rack: a spindle cannot
+      // stand in for flash (or vice versa).
+      ++stats_.spare_class_mismatch;
+      obs::log_event(cluster.sim(), "ha.spare_class_mismatch",
+                     disk_detail(disk, disk::to_string(cls)));
+    }
     obs::log_event(cluster.sim(), "ha.spare_exhausted", disk_detail(disk));
     --recoveries_in_flight_;
     co_return;

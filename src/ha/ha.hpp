@@ -27,11 +27,13 @@
 // sequence to builds that predate this subsystem.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "cdd/cdd.hpp"
+#include "disk/device.hpp"
 #include "sim/time.hpp"
 
 namespace raidx::cache {
@@ -85,43 +87,82 @@ enum class DiskState : std::uint8_t {
   kDegraded,    // failed with no spare left; serving degraded reads
 };
 
-/// Per-node hot spares with a global overflow pool.
+/// Per-node hot spares with a global overflow pool, racked per device
+/// class: an HDD spare cannot stand in for a failed SSD (and vice versa)
+/// -- rebuild would demand flash latency from a spindle.  Each node stocks
+/// `per_node` spares of every class it actually racks (a homogeneous
+/// cluster therefore stocks exactly the pre-heterogeneity counts), and the
+/// global pool stocks `global` of every class present anywhere.
 class SparePool {
  public:
-  SparePool(int nodes, int per_node, int global)
-      : per_node_(static_cast<std::size_t>(nodes), per_node),
-        global_(global) {}
+  static constexpr int kClasses = 2;  // disk::DeviceClass cardinality
 
-  /// Take a spare for a failure on `node`: local rack first, then the
-  /// global pool.  False when both are empty.
-  bool take(int node) {
-    auto& n = per_node_[static_cast<std::size_t>(node)];
+  /// `node_masks[n]` has bit c set when node n racks devices of class c;
+  /// empty = every node is HDD-only (the homogeneous default).
+  SparePool(int nodes, int per_node, int global,
+            const std::vector<std::uint8_t>& node_masks = {})
+      : per_node_(static_cast<std::size_t>(nodes), {0, 0}), global_{0, 0} {
+    std::uint8_t all = 0;
+    for (int n = 0; n < nodes; ++n) {
+      const std::uint8_t mask =
+          node_masks.empty() ? std::uint8_t{1}
+                             : node_masks[static_cast<std::size_t>(n)];
+      all |= mask;
+      for (int c = 0; c < kClasses; ++c) {
+        if (mask & (1u << c)) {
+          per_node_[static_cast<std::size_t>(n)][static_cast<std::size_t>(
+              c)] = per_node;
+        }
+      }
+    }
+    for (int c = 0; c < kClasses; ++c) {
+      if (all & (1u << c)) global_[static_cast<std::size_t>(c)] = global;
+    }
+  }
+
+  /// Take a class-matched spare for a failure on `node`: local rack
+  /// first, then the global pool.  False when both are empty -- even if
+  /// the other class's racks are full.
+  bool take(int node, disk::DeviceClass cls = disk::DeviceClass::kHdd) {
+    const auto c = static_cast<std::size_t>(cls);
+    auto& n = per_node_[static_cast<std::size_t>(node)][c];
     if (n > 0) {
       --n;
       return true;
     }
-    if (global_ > 0) {
-      --global_;
+    if (global_[c] > 0) {
+      --global_[c];
       return true;
     }
     return false;
   }
   /// Return one spare to `node`'s rack (a serviced drive restocks it).
-  void restock(int node) { ++per_node_[static_cast<std::size_t>(node)]; }
-
-  int available(int node) const {
-    return per_node_[static_cast<std::size_t>(node)];
+  void restock(int node, disk::DeviceClass cls = disk::DeviceClass::kHdd) {
+    ++per_node_[static_cast<std::size_t>(node)][static_cast<std::size_t>(
+        cls)];
   }
-  int global_available() const { return global_; }
+
+  int available(int node, disk::DeviceClass cls) const {
+    return per_node_[static_cast<std::size_t>(node)][static_cast<std::size_t>(
+        cls)];
+  }
+  int available(int node) const {
+    int t = 0;
+    for (int s : per_node_[static_cast<std::size_t>(node)]) t += s;
+    return t;
+  }
+  int global_available() const { return global_[0] + global_[1]; }
   int total_available() const {
-    int t = global_;
-    for (int n : per_node_) t += n;
+    int t = global_available();
+    for (const auto& n : per_node_) {
+      for (int s : n) t += s;
+    }
     return t;
   }
 
  private:
-  std::vector<int> per_node_;
-  int global_;
+  std::vector<std::array<int, kClasses>> per_node_;
+  std::array<int, kClasses> global_;
 };
 
 struct HaStats {
@@ -130,6 +171,9 @@ struct HaStats {
   std::uint64_t detections_by_probe = 0;
   std::uint64_t failovers = 0;
   std::uint64_t spare_exhausted = 0;
+  /// Subset of spare_exhausted where spares of the WRONG device class were
+  /// on the rack -- the heterogeneity tax, distinct from plain exhaustion.
+  std::uint64_t spare_class_mismatch = 0;
   std::uint64_t rebuilds_completed = 0;
   std::uint64_t rebuilds_failed = 0;
   std::uint64_t nodes_declared_down = 0;

@@ -84,7 +84,7 @@ void IntegrityPlane::on_corruption_found(int disk, std::uint64_t offset,
   // rebuild) instead of playing block-repair whack-a-mole.
   if (params_.fail_threshold > 0) {
     const int errors = ++disk_errors_[disk];
-    disk::Disk& d = cluster_.disk(disk);
+    disk::Device& d = cluster_.disk(disk);
     if (errors >= params_.fail_threshold && !d.failed()) {
       ++stats_.escalations;
       obs::log_event(sim_, "integrity.escalated", block_detail(disk, offset));
@@ -148,7 +148,7 @@ sim::Task<> IntegrityPlane::scrub_pass() {
   const std::uint32_t bs = geo.block_bytes;
   const std::uint32_t chunk = std::max(1u, params_.scrub_chunk_blocks);
   for (int d = 0; d < cluster_.total_disks(); ++d) {
-    disk::Disk& dd = cluster_.disk(d);
+    disk::Device& dd = cluster_.disk(d);
     dd.enable_integrity();  // covers a spare swapped in after construction
     if (dd.failed()) continue;
     const int client =
@@ -189,7 +189,7 @@ sim::Task<> IntegrityPlane::attention_loop() {
 
 void IntegrityPlane::reconcile_injected() {
   for (auto it = injected_.begin(); it != injected_.end();) {
-    const disk::Disk& d = cluster_.disk(disk_of(it->first));
+    const disk::Device& d = cluster_.disk(disk_of(it->first));
     if (d.failed() || !d.corrupted(block_of(it->first))) {
       ++stats_.overwritten;
       if (undetected_ > 0) --undetected_;

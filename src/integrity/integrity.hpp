@@ -7,7 +7,7 @@
 // single I/O space:
 //
 //  * Checksum plane.  Every CDD keeps a CRC32C per block beside the data
-//    it manages (disk::Disk::enable_integrity), updated on the write path.
+//    it manages (disk::Device::enable_integrity), updated on the write path.
 //    Zero-run payloads checksum in O(log n) without materializing bytes
 //    (integrity::crc32c_zeros), so the perf-sweep configurations that ship
 //    zero-run writes pay no per-byte cost.
@@ -122,7 +122,7 @@ class IntegrityPlane : public cdd::IntegrityHooks {
                            bool by_scrub) override;
 
   /// Fault injection announces each corrupted block here (after flipping
-  /// the media via disk::Disk::corrupt), so the plane can track detection
+  /// the media via disk::Device::corrupt), so the plane can track detection
   /// latency and -- when the scrub daemon is on -- switch to attention
   /// mode until the error is accounted for.
   void note_corruption_injected(int disk, std::uint64_t block);

@@ -6,6 +6,7 @@
 #include "cache/cache_fabric.hpp"
 #include "cdd/cdd.hpp"
 #include "cluster/cluster.hpp"
+#include "flash/ssd.hpp"
 #include "ha/ha.hpp"
 #include "integrity/integrity.hpp"
 #include "obs/obs.hpp"
@@ -51,7 +52,7 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
   // section (bench::add_obs); direct callers use sim.frame_pool_stats().
 
   for (int d = 0; d < cluster.total_disks(); ++d) {
-    const disk::Disk& disk = cluster.disk(d);
+    const disk::Device& disk = cluster.disk(d);
     reg.counter(key("disk", d, "reads")).inc(disk.reads());
     reg.counter(key("disk", d, "writes")).inc(disk.writes());
     reg.counter(key("disk", d, "bytes_read")).inc(disk.bytes_read());
@@ -61,6 +62,29 @@ void collect_cluster(Registry& reg, cluster::Cluster& cluster,
     reg.gauge(key("disk", d, "util"))
         .set(elapsed > 0.0 ? static_cast<double>(disk.busy_time()) / elapsed
                            : 0.0);
+
+    // Flash counters exist only for SSD slots, so spindle-only key sets
+    // stay unchanged (same gating rule as ha.*/integrity.* below).
+    if (const auto* ssd = dynamic_cast<const flash::SsdDevice*>(&disk)) {
+      reg.counter(key("flash", d, "host_pages_written"))
+          .inc(ssd->host_pages_written());
+      reg.counter(key("flash", d, "flash_pages_written"))
+          .inc(ssd->flash_pages_written());
+      reg.counter(key("flash", d, "gc_runs")).inc(ssd->gc_runs());
+      reg.counter(key("flash", d, "gc_erases")).inc(ssd->gc_erases());
+      reg.counter(key("flash", d, "gc_pages_copied"))
+          .inc(ssd->gc_pages_copied());
+      reg.counter(key("flash", d, "gc_write_stalls"))
+          .inc(ssd->gc_write_stalls());
+      reg.counter(key("flash", d, "gc_busy_ns"))
+          .inc(static_cast<std::uint64_t>(ssd->gc_busy_time()));
+      reg.counter(key("flash", d, "gc_max_pause_ns"))
+          .inc(static_cast<std::uint64_t>(ssd->gc_max_pause()));
+      reg.counter(key("flash", d, "free_blocks_min"))
+          .inc(static_cast<std::uint64_t>(ssd->min_free_blocks()));
+      reg.gauge(key("flash", d, "write_amp"))
+          .set(ssd->write_amplification());
+    }
   }
 
   net::Network& net = cluster.network();

@@ -800,7 +800,8 @@ sim::Task<block::Payload> Raid5Controller::degraded_read_block(
 
 Raid10Controller::Raid10Controller(cdd::CddFabric& fabric,
                                    EngineParams params)
-    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+    : ArrayController(fabric, params),
+      layout_(fabric.cluster().geometry(), params.hybrid_mirrors) {}
 
 sim::Task<> Raid10Controller::read_chunk(int client, std::uint64_t lba,
                                          std::uint32_t nblocks,
@@ -990,7 +991,8 @@ sim::Task<block::Payload> Raid1Controller::degraded_read_block(
 // ---------------------------------------------------------------- RAID-x --
 
 RaidxController::RaidxController(cdd::CddFabric& fabric, EngineParams params)
-    : ArrayController(fabric, params), layout_(fabric.cluster().geometry()) {}
+    : ArrayController(fabric, params),
+      layout_(fabric.cluster().geometry(), params.hybrid_mirrors) {}
 
 sim::Task<> RaidxController::read_chunk(int client, std::uint64_t lba,
                                         std::uint32_t nblocks,

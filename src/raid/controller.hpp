@@ -67,6 +67,10 @@ struct EngineParams {
   bool clustered_images = true;
   /// RAID-10: spread reads over primary and mirror copies.
   bool balance_mirror_reads = false;
+  /// RAID-1/10/x hybrid (HDA-style) placement: primaries on the top half
+  /// of the disk rows (SSD in a heterogeneous cluster), mirror images on
+  /// the bottom half (HDD).  Requires an even disks_per_node.
+  bool hybrid_mirrors = false;
   /// Client-side XOR cost for parity math (400 MHz-era ~10 ns/byte).
   double xor_ns_per_byte = 10.0;
 };

@@ -7,12 +7,12 @@ namespace raidx::raid {
 block::PhysBlock Raid10Layout::data_location(std::uint64_t lba) const {
   assert(lba < logical_blocks());
   const auto n = static_cast<std::uint64_t>(geo_.nodes);
-  const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+  const auto k = static_cast<std::uint64_t>(data_rows());
   const std::uint64_t stripe = lba / n;
   const int slot = static_cast<int>(lba % n);
   const int row = static_cast<int>(stripe % k);
   const std::uint64_t offset = stripe / k;
-  assert(offset < mirror_zone_base());
+  assert(offset < data_zone_blocks());
   return block::PhysBlock{geo_.disk_id(row, slot), offset};
 }
 
@@ -21,7 +21,7 @@ std::vector<block::PhysBlock> Raid10Layout::mirror_locations(
   const block::PhysBlock primary = data_location(lba);
   const int node = geo_.node_of(primary.disk);
   const int row = geo_.row_of(primary.disk);
-  const int chained = geo_.disk_id(row, (node + 1) % geo_.nodes);
+  const int chained = geo_.disk_id(image_row(row), (node + 1) % geo_.nodes);
   return {block::PhysBlock{chained, mirror_zone_base() + primary.offset}};
 }
 

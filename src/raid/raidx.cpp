@@ -4,17 +4,21 @@
 
 namespace raidx::raid {
 
-RaidxLayout::RaidxLayout(block::ArrayGeometry geo)
+RaidxLayout::RaidxLayout(block::ArrayGeometry geo, bool hybrid)
     : Layout(geo),
+      // Hybrid drops the data zone from the image disks, so each HDD needs
+      // only n image slots per stripe-row q instead of n+1 mixed slots.
       q_max_(geo.blocks_per_disk /
-             static_cast<std::uint64_t>(geo.nodes + 1)) {
+             static_cast<std::uint64_t>(geo.nodes + (hybrid ? 0 : 1))),
+      hybrid_(hybrid) {
   assert(q_max_ > 0);
+  assert(!hybrid_ || geo_.disks_per_node % 2 == 0);
 }
 
 block::PhysBlock RaidxLayout::data_location(std::uint64_t lba) const {
   assert(lba < logical_blocks());
   const auto n = static_cast<std::uint64_t>(geo_.nodes);
-  const auto k = static_cast<std::uint64_t>(geo_.disks_per_node);
+  const auto k = static_cast<std::uint64_t>(data_rows());
   const std::uint64_t stripe = lba / n;
   const int slot = static_cast<int>(lba % n);
   const int row = static_cast<int>(stripe % k);
@@ -31,13 +35,13 @@ int RaidxLayout::image_node(std::uint64_t stripe) const {
 RaidxLayout::StripeImages RaidxLayout::stripe_images(
     std::uint64_t stripe) const {
   const int n = geo_.nodes;
-  const int k = geo_.disks_per_node;
+  const int k = data_rows();
   const int row = static_cast<int>(stripe % static_cast<std::uint64_t>(k));
   const std::uint64_t q = stripe / static_cast<std::uint64_t>(k);
   const int d = image_node(stripe);
 
   StripeImages out;
-  out.clustered.disk = geo_.disk_id(row, d);
+  out.clustered.disk = geo_.disk_id(image_row(row), d);
   out.clustered.offset =
       clustered_zone_base() + q * static_cast<std::uint64_t>(n - 1);
   out.clustered.nblocks = static_cast<std::uint32_t>(n - 1);
@@ -48,8 +52,8 @@ RaidxLayout::StripeImages RaidxLayout::stripe_images(
                                  static_cast<std::uint64_t>(j));
   }
   out.neighbor_lba = stripe_first_lba(stripe) + static_cast<std::uint64_t>(d);
-  out.neighbor =
-      block::PhysBlock{geo_.disk_id(row, (d + 1) % n), neighbor_zone_base() + q};
+  out.neighbor = block::PhysBlock{geo_.disk_id(image_row(row), (d + 1) % n),
+                                  neighbor_zone_base() + q};
   return out;
 }
 

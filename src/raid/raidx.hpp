@@ -32,14 +32,28 @@
 
 namespace raidx::raid {
 
+// Hybrid (HDA-style) variant: with `hybrid` set, the disk rows split in
+// half -- data stripes over the top rows (SSD in a hybrid cluster), ALL
+// mirror images land on the bottom rows (HDD).  The placement logic is
+// unchanged -- image node d still rotates, clustered runs stay one long
+// sequential write -- only the *row* of every image disk shifts down by
+// k/2.  That routes RAID-x's small random foreground writes at flash and
+// its long sequential background image flushes at spinning media: the
+// paper's key asymmetry, inverted onto modern hardware.  Zone split per
+// HDD disk: [0, q_max*(n-1)) clustered, [q_max*(n-1), q_max*n) neighbor,
+// with q_max = blocks_per_disk / n (the data zone moved off-device, so the
+// image zones stretch).  SSD disks are pure data: [0, q_max).
 class RaidxLayout : public Layout {
  public:
-  explicit RaidxLayout(block::ArrayGeometry geo);
+  explicit RaidxLayout(block::ArrayGeometry geo, bool hybrid = false);
 
-  std::string name() const override { return "RAID-x"; }
+  std::string name() const override {
+    return hybrid_ ? "RAID-x/hybrid" : "RAID-x";
+  }
 
   std::uint64_t logical_blocks() const override {
-    return static_cast<std::uint64_t>(geo_.total_disks()) * q_max_;
+    return static_cast<std::uint64_t>(geo_.nodes) *
+           static_cast<std::uint64_t>(data_rows()) * q_max_;
   }
 
   block::PhysBlock data_location(std::uint64_t lba) const override;
@@ -72,13 +86,41 @@ class RaidxLayout : public Layout {
 
   /// Zone boundaries (exposed for tests and the rebuild engine).
   std::uint64_t data_zone_blocks() const { return q_max_; }
-  std::uint64_t clustered_zone_base() const { return q_max_; }
+  std::uint64_t clustered_zone_base() const { return hybrid_ ? 0 : q_max_; }
   std::uint64_t neighbor_zone_base() const {
-    return q_max_ * static_cast<std::uint64_t>(geo_.nodes);
+    return q_max_ * static_cast<std::uint64_t>(geo_.nodes -
+                                               (hybrid_ ? 1 : 0));
+  }
+
+  // ------------------------------------------------------------------ //
+  // Row roles.  Non-hybrid: every row holds both data and images, and the
+  // row maps below are the identity -- callers written against them behave
+  // bit-identically to the pre-hybrid arithmetic.
+
+  bool hybrid() const { return hybrid_; }
+  /// Rows that carry data stripes (all of them, or the top half).
+  int data_rows() const {
+    return hybrid_ ? geo_.disks_per_node / 2 : geo_.disks_per_node;
+  }
+  bool holds_data(int row) const { return !hybrid_ || row < data_rows(); }
+  bool holds_images(int row) const { return !hybrid_ || row >= data_rows(); }
+  /// Row of the disks holding images for data row `data_row`.
+  int image_row(int data_row) const {
+    return hybrid_ ? data_row + data_rows() : data_row;
+  }
+  /// Data row whose images live on image row `row` (inverse of image_row).
+  int data_row_of(int row) const {
+    return hybrid_ && row >= data_rows() ? row - data_rows() : row;
+  }
+  /// The unique stripe with data on (row, q).
+  std::uint64_t stripe_at(int row, std::uint64_t q) const {
+    return q * static_cast<std::uint64_t>(data_rows()) +
+           static_cast<std::uint64_t>(row);
   }
 
  private:
   std::uint64_t q_max_;
+  bool hybrid_;
 };
 
 }  // namespace raidx::raid

@@ -32,7 +32,7 @@ namespace {
 // begin_rebuild() restarts the sweep state from scratch.
 class RebuildScope {
  public:
-  explicit RebuildScope(disk::Disk& d) : disk_(d) { disk_.begin_rebuild(); }
+  explicit RebuildScope(disk::Device& d) : disk_(d) { disk_.begin_rebuild(); }
   ~RebuildScope() {
     if (completed_) disk_.finish_rebuild();
   }
@@ -42,7 +42,7 @@ class RebuildScope {
   void complete() { completed_ = true; }
 
  private:
-  disk::Disk& disk_;
+  disk::Device& disk_;
   bool completed_ = false;
 };
 }  // namespace
@@ -141,24 +141,32 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
   const int n = geo.nodes;
   const int node = geo.node_of(disk_id);
   const int row = geo.row_of(disk_id);
-  const std::uint64_t limit = std::min(max_offset, lay.mirror_zone_base());
+  const std::uint64_t limit = std::min(max_offset, lay.data_zone_blocks());
   const auto nk = static_cast<std::uint64_t>(n);
+  // Which halves of the layout this disk carries (both, unless hybrid
+  // split the roles across rows).
+  const bool has_primary = lay.holds_data(row);
+  const bool has_mirror = lay.holds_images(row);
   RebuildScope scope(fabric_.cluster().disk(disk_id));
 
   for (std::uint64_t off = 0; off < limit; ++off) {
     scope.advance(off);
-    const std::uint64_t stripe =
-        off * static_cast<std::uint64_t>(geo.disks_per_node) +
-        static_cast<std::uint64_t>(row);
+    // Primary at `off` (if any) belongs to this row's stripe; the mirror
+    // slot at the same offset backs the chained-from data row's stripe.
+    const std::uint64_t stripe = lay.stripe_at(row, off);
+    const std::uint64_t backed_stripe =
+        lay.stripe_at(lay.data_row_of(row), off);
     const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
     const std::uint64_t backed_lba =
-        stripe * nk + static_cast<std::uint64_t>((node + n - 1) % n);
+        backed_stripe * nk + static_cast<std::uint64_t>((node + n - 1) % n);
 
     // Writers lock per logical block; this row restores the primary of
     // `lba` and the mirror of `backed_lba`.
     std::vector<std::uint64_t> groups;
-    if (lba < logical_blocks()) groups.push_back(lock_group_of(lba));
-    if (backed_lba < logical_blocks()) {
+    if (has_primary && lba < logical_blocks()) {
+      groups.push_back(lock_group_of(lba));
+    }
+    if (has_mirror && backed_lba < logical_blocks()) {
       groups.push_back(lock_group_of(backed_lba));
     }
     std::sort(groups.begin(), groups.end());
@@ -169,9 +177,10 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
     }
     std::exception_ptr err;
     try {
-      // Primary zone: block `lba` lived here; its copy is on the next node.
-      if (lba < logical_blocks()) {
-        const int mirror_disk = geo.disk_id(row, (node + 1) % n);
+      // Primary zone: block `lba` lived here; its copy is on the next
+      // node's mirror-holding row.
+      if (has_primary && lba < logical_blocks()) {
+        const int mirror_disk = geo.disk_id(lay.image_row(row), (node + 1) % n);
         cdd::Reply r =
             co_await fabric_.read(client, mirror_disk,
                                   lay.mirror_zone_base() + off, 1,
@@ -182,8 +191,9 @@ sim::Task<> Raid10Controller::rebuild_disk(int client, int disk_id,
                                disk::IoPriority::kBackground, span.ctx());
       }
       // Mirror zone: this disk backs the previous node's primaries.
-      if (backed_lba < logical_blocks()) {
-        const int primary_disk = geo.disk_id(row, (node + n - 1) % n);
+      if (has_mirror && backed_lba < logical_blocks()) {
+        const int primary_disk =
+            geo.disk_id(lay.data_row_of(row), (node + n - 1) % n);
         cdd::Reply r = co_await fabric_.read(client, primary_disk, off, 1,
                                              disk::IoPriority::kBackground,
                                              span.ctx());
@@ -264,19 +274,26 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
 
   for (std::uint64_t q = 0; q < limit; ++q) {
     scope.advance(q);
-    const std::uint64_t stripe =
-        q * static_cast<std::uint64_t>(geo.disks_per_node) +
-        static_cast<std::uint64_t>(row);
+    // Data stripe with a block on this disk (when the row holds data),
+    // and the stripe whose images this disk would hold (same row in the
+    // homogeneous layout, the paired data row in hybrid mode).
+    const bool has_data = layout_.holds_data(row);
+    const std::uint64_t stripe = layout_.stripe_at(row, q);
+    const std::uint64_t istripe =
+        layout_.stripe_at(layout_.data_row_of(row), q);
     const std::uint64_t lba = stripe * nk + static_cast<std::uint64_t>(node);
-    const bool clusters = layout_.image_node(stripe) == node;
-    const bool strays = (layout_.image_node(stripe) + 1) % n == node;
+    const bool clusters =
+        layout_.holds_images(row) && layout_.image_node(istripe) == node;
+    const bool strays = layout_.holds_images(row) &&
+                        (layout_.image_node(istripe) + 1) % n == node;
 
     // Lock every logical block this row touches: the restored data block,
     // plus -- when this disk holds the stripe's images -- the data blocks
     // whose images get regenerated.
-    std::vector<std::uint64_t> groups{lock_group_of(lba)};
+    std::vector<std::uint64_t> groups;
+    if (has_data) groups.push_back(lock_group_of(lba));
     if (clusters || strays) {
-      const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+      const RaidxLayout::StripeImages imgs = layout_.stripe_images(istripe);
       if (clusters) {
         for (std::uint32_t i = 0; i < imgs.clustered.nblocks; ++i) {
           groups.push_back(lock_group_of(imgs.clustered_lbas[i]));
@@ -297,7 +314,7 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
       // deferred image flush still in flight is fresher than the image
       // disk; restoring from the disk would freeze the previous write
       // into the spare.
-      {
+      if (has_data) {
         block::Payload restored;
         if (const block::Payload* p = pending_image(lba)) {
           restored = *p;
@@ -314,10 +331,10 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
                                disk::IoPriority::kBackground, span.ctx());
       }
 
-      // Clustered zone: if this disk clusters stripe `stripe`'s images,
+      // Clustered zone: if this disk clusters stripe `istripe`'s images,
       // regenerate the run from the surviving data blocks.
       if (clusters) {
-        const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+        const RaidxLayout::StripeImages imgs = layout_.stripe_images(istripe);
         std::vector<cdd::Reply> blocks;
         blocks.reserve(imgs.clustered.nblocks);
         bool all_zero = true;
@@ -352,9 +369,9 @@ sim::Task<> RaidxController::rebuild_disk(int client, int disk_id,
                                disk::IoPriority::kBackground, span.ctx());
       }
 
-      // Neighbor zone: if this disk holds the stray image of `stripe`.
+      // Neighbor zone: if this disk holds the stray image of `istripe`.
       if (strays) {
-        const RaidxLayout::StripeImages imgs = layout_.stripe_images(stripe);
+        const RaidxLayout::StripeImages imgs = layout_.stripe_images(istripe);
         const block::PhysBlock src = layout_.data_location(imgs.neighbor_lba);
         cdd::Reply r = co_await fabric_.read(client, src.disk, src.offset, 1,
                                              disk::IoPriority::kBackground,

@@ -164,25 +164,24 @@ sim::Task<bool> Raid10Controller::repair_block(int client, int disk_id,
 
   // Invert the zone split: a primary-zone block re-fetches from the next
   // node's mirror copy; a mirror-zone block re-copies the previous node's
-  // primary.
+  // primary.  Hybrid mode distributes the zones across rows instead of
+  // within each disk, so the role check consults the layout's row map.
   int src_disk = 0;
   std::uint64_t src_off = 0;
   std::uint64_t lba = 0;
-  if (offset < m) {
-    const std::uint64_t stripe =
-        offset * static_cast<std::uint64_t>(geo.disks_per_node) +
-        static_cast<std::uint64_t>(row);
+  if (lay.holds_data(row) && offset < lay.data_zone_blocks()) {
+    const std::uint64_t stripe = lay.stripe_at(row, offset);
     lba = stripe * nk + static_cast<std::uint64_t>(node);
-    src_disk = geo.disk_id(row, (node + 1) % n);
+    src_disk = geo.disk_id(lay.image_row(row), (node + 1) % n);
     src_off = m + offset;
-  } else {
+  } else if (lay.holds_images(row) && offset >= m) {
     const std::uint64_t moff = offset - m;
-    const std::uint64_t stripe =
-        moff * static_cast<std::uint64_t>(geo.disks_per_node) +
-        static_cast<std::uint64_t>(row);
+    const std::uint64_t stripe = lay.stripe_at(lay.data_row_of(row), moff);
     lba = stripe * nk + static_cast<std::uint64_t>((node + n - 1) % n);
-    src_disk = geo.disk_id(row, (node + n - 1) % n);
+    src_disk = geo.disk_id(lay.data_row_of(row), (node + n - 1) % n);
     src_off = moff;
+  } else {
+    co_return false;
   }
   if (lba >= logical_blocks()) co_return false;
 
@@ -223,36 +222,47 @@ sim::Task<bool> RaidxController::repair_block(int client, int disk_id,
       obs::SpanArgs{}.tag("client", client).tag("disk", disk_id));
   const auto& geo = fabric_.cluster().geometry();
   const int n = geo.nodes;
-  const auto k = static_cast<std::uint64_t>(geo.disks_per_node);
   const int node = geo.node_of(disk_id);
-  const auto row = static_cast<std::uint64_t>(geo.row_of(disk_id));
+  const int row = geo.row_of(disk_id);
+  // The data row whose images this disk's image zones hold (identity when
+  // the layout is homogeneous).
+  const int irow = layout_.data_row_of(row);
 
   // Invert the three-zone split (see raidx.hpp): which logical block's
   // bytes does this physical slot carry, and where is the other copy?
-  const bool data_zone = offset < layout_.data_zone_blocks();
+  const bool data_zone =
+      layout_.holds_data(row) && offset < layout_.data_zone_blocks();
   std::uint64_t lba = 0;
   if (data_zone) {
-    const std::uint64_t stripe = offset * k + row;
+    const std::uint64_t stripe = layout_.stripe_at(row, offset);
     lba = stripe * static_cast<std::uint64_t>(n) +
           static_cast<std::uint64_t>(node);
     if (lba >= logical_blocks()) co_return false;
-  } else if (offset < layout_.neighbor_zone_base()) {
+  } else if (layout_.holds_images(row) &&
+             offset >= layout_.clustered_zone_base() &&
+             offset < layout_.neighbor_zone_base()) {
     const std::uint64_t idx = offset - layout_.clustered_zone_base();
     const std::uint64_t q = idx / static_cast<std::uint64_t>(n - 1);
     const std::uint64_t i = idx % static_cast<std::uint64_t>(n - 1);
-    const std::uint64_t stripe = q * k + row;
+    const std::uint64_t stripe = layout_.stripe_at(irow, q);
     // Only ~1/n of the reserved image slots are populated; a slot whose
     // stripe clusters elsewhere carries nothing recoverable (and nothing
     // checksummed either).
     if (layout_.image_node(stripe) != node) co_return false;
     lba = layout_.stripe_images(stripe)
               .clustered_lbas[static_cast<std::size_t>(i)];
-  } else {
+  } else if (layout_.holds_images(row) &&
+             offset >= layout_.neighbor_zone_base()) {
     const std::uint64_t q = offset - layout_.neighbor_zone_base();
-    const std::uint64_t stripe = q * k + row;
+    // Slack slots past the last stripe-row (blocks_per_disk need not be a
+    // zone multiple) carry nothing.
+    if (q >= layout_.data_zone_blocks()) co_return false;
+    const std::uint64_t stripe = layout_.stripe_at(irow, q);
     const int img = layout_.image_node(stripe);
     if ((img + 1) % n != node) co_return false;
     lba = layout_.stripe_first_lba(stripe) + static_cast<std::uint64_t>(img);
+  } else {
+    co_return false;
   }
 
   std::vector<std::uint64_t> groups{lock_group_of(lba)};

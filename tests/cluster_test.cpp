@@ -94,8 +94,8 @@ TEST(Cluster, ForcesDiskModelToMatchGeometry) {
   p.disk.block_bytes = 512;       // inconsistent on purpose
   p.disk.total_blocks = 999'999;
   Cluster cluster(sim, p);
-  EXPECT_EQ(cluster.disk(0).params().block_bytes, 8192u);
-  EXPECT_EQ(cluster.disk(0).params().total_blocks, 1234u);
+  EXPECT_EQ(cluster.disk(0).block_bytes(), 8192u);
+  EXPECT_EQ(cluster.disk(0).total_blocks(), 1234u);
 }
 
 sim::Task<> burn(Node& node, int times, std::uint64_t bytes) {

@@ -60,6 +60,16 @@ namespace {
       "  --scattered        scatter ops over the client region\n"
       "  --block SZ         stripe unit (default 32K)\n"
       "  --fail D           fail disk D before the run (repeatable)\n"
+      "  --disk-type T      hdd|ssd|hybrid device mix (default hdd).\n"
+      "                     ssd and hybrid accept ':key=val,...' tuning:\n"
+      "                       op=F            over-provisioning fraction "
+      "(default 0.07)\n"
+      "                       gc=greedy|costben  victim selection (default "
+      "greedy)\n"
+      "                     hybrid splits each node's disks: top half SSD\n"
+      "                     (data), bottom half HDD (mirror images); needs\n"
+      "                     --arch raid1|raid10|raidx and an even --disks\n"
+      "                     (raid1: even/odd disk of each pair instead)\n"
       "  --no-bg-mirrors    RAID-x: synchronous image writes\n"
       "  --no-locks         disable lock-group traffic\n"
       "  --window W         outstanding chunks per stream (default 2)\n"
@@ -269,6 +279,80 @@ OpenLoopCli parse_open_loop_spec(const char* argv0, const std::string& spec) {
   return cli;
 }
 
+/// Parsed --disk-type: which device model backs each array slot, plus the
+/// flash tuning shared by every SSD in the run.
+struct DiskTypeCli {
+  enum class Kind { kHdd, kSsd, kHybrid };
+  Kind kind = Kind::kHdd;
+  flash::FlashParams flash;
+};
+
+/// "hdd", "ssd", "hybrid", optionally ':key=val,...' (ssd/hybrid only).
+/// A malformed clause cites itself verbatim and exits 2, same convention
+/// as --faults and --open-loop.
+DiskTypeCli parse_disk_type_spec(const char* argv0, const std::string& spec) {
+  DiskTypeCli cli;
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "hdd") cli.kind = DiskTypeCli::Kind::kHdd;
+  else if (kind == "ssd") cli.kind = DiskTypeCli::Kind::kSsd;
+  else if (kind == "hybrid") cli.kind = DiskTypeCli::Kind::kHybrid;
+  else {
+    std::fprintf(stderr, "%s: --disk-type %s (hdd|ssd|hybrid)\n", argv0,
+                 kind.c_str());
+    std::exit(2);
+  }
+  if (colon == std::string::npos) return cli;
+  if (cli.kind == DiskTypeCli::Kind::kHdd) {
+    std::fprintf(stderr,
+                 "%s: --disk-type hdd takes no tuning spec ('%s' tunes the "
+                 "flash model; use ssd:... or hybrid:...)\n",
+                 argv0, spec.substr(colon + 1).c_str());
+    std::exit(2);
+  }
+  const std::string tail = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos < tail.size()) {
+    std::size_t comma = tail.find(',', pos);
+    if (comma == std::string::npos) comma = tail.size();
+    const std::string kv = tail.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "%s: --disk-type clause '%s' is not key=value\n",
+                   argv0, kv.c_str());
+      std::exit(2);
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string val = kv.substr(eq + 1);
+    if (key == "op") {
+      cli.flash.over_provision = std::atof(val.c_str());
+      if (cli.flash.over_provision < 0.0 ||
+          cli.flash.over_provision >= 1.0) {
+        std::fprintf(stderr,
+                     "%s: --disk-type op=%s needs a fraction in [0,1)\n",
+                     argv0, val.c_str());
+        std::exit(2);
+      }
+    } else if (key == "gc") {
+      if (val == "greedy") cli.flash.gc_policy = flash::GcPolicy::kGreedy;
+      else if (val == "costben") {
+        cli.flash.gc_policy = flash::GcPolicy::kCostBenefit;
+      } else {
+        std::fprintf(stderr, "%s: --disk-type gc=%s (greedy|costben)\n",
+                     argv0, val.c_str());
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "%s: --disk-type has no key '%s'\n", argv0,
+                   key.c_str());
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
 /// Shared clause scanner for the telemetry specs (--slo, --watch,
 /// --trace-sample): comma-separated key=value pairs, same grammar as
 /// --open-loop.  A malformed clause cites itself verbatim and exits 2.
@@ -433,6 +517,7 @@ int main(int argc, char** argv) {
   std::string open_loop_spec;
   std::string slo_spec, watch_spec, trace_sample_spec;
   bool slo_on = false, watch_on = false, trace_sample_on = false;
+  std::string disk_type_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -470,6 +555,7 @@ int main(int argc, char** argv) {
     else if (a == "--scattered") scattered = true;
     else if (a == "--block") block = static_cast<std::uint32_t>(parse_size(next()));
     else if (a == "--fail") fails.push_back(std::atoi(next().c_str()));
+    else if (a == "--disk-type") disk_type_spec = next();
     else if (a == "--no-bg-mirrors") bg_mirrors = false;
     else if (a == "--no-locks") locks = false;
     else if (a == "--window") window = std::atoi(next().c_str());
@@ -578,6 +664,39 @@ int main(int argc, char** argv) {
   OpenLoopCli olcli;
   if (!open_loop_spec.empty()) {
     olcli = parse_open_loop_spec(argv[0], open_loop_spec);
+  }
+  // Device mix: parse first, then check the combinations the layouts can
+  // actually place.
+  DiskTypeCli dtcli;
+  if (!disk_type_spec.empty()) {
+    dtcli = parse_disk_type_spec(argv[0], disk_type_spec);
+  }
+  if (dtcli.kind == DiskTypeCli::Kind::kHybrid) {
+    if (arch != workload::Arch::kRaid1 && arch != workload::Arch::kRaid10 &&
+        arch != workload::Arch::kRaidX) {
+      std::fprintf(stderr,
+                   "%s: --disk-type hybrid places primaries on SSD and "
+                   "mirror images on HDD; it needs a mirrored layout "
+                   "(--arch raid1|raid10|raidx)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (arch != workload::Arch::kRaid1 && disks % 2 != 0) {
+      std::fprintf(stderr,
+                   "%s: --disk-type hybrid splits each node's disk rows in "
+                   "half (SSD data rows over HDD image rows); --disks %d "
+                   "must be even\n",
+                   argv[0], disks);
+      return 2;
+    }
+  }
+  if (dtcli.kind != DiskTypeCli::Kind::kHdd && shards > 1) {
+    std::fprintf(stderr,
+                 "%s: --disk-type %s builds a heterogeneous device map; "
+                 "the sharded runner is spindle-only (drop --shards)\n",
+                 argv[0],
+                 dtcli.kind == DiskTypeCli::Kind::kSsd ? "ssd" : "hybrid");
+    return 2;
   }
   // Sharded-engine validation: every rejected combination cites the clause
   // that makes it impossible, so a bad invocation fails in milliseconds
@@ -729,6 +848,10 @@ int main(int argc, char** argv) {
   ep.use_locks = locks;
   ep.read_window = window;
   ep.write_window = window;
+  // RAID-1 pairs are already split even/odd by the device map; only the
+  // row-split layouts need the hybrid placement variant.
+  ep.hybrid_mirrors = dtcli.kind == DiskTypeCli::Kind::kHybrid &&
+                      arch != workload::Arch::kRaid1;
 
   cache::CacheParams cp;
   if (cache_policy == "none") {
@@ -918,6 +1041,28 @@ int main(int argc, char** argv) {
   // Andrew builds a real file system and verifies its bytes, so the disks
   // must store data; the synthetic sweeps only measure timing.
   params.disk.store_data = workload_kind == "andrew";
+
+  // Device mix: ssd makes every slot flash; hybrid puts the top disk rows
+  // (data) on flash and the bottom rows (mirror images) on spindles --
+  // except RAID-1, whose mirror pairs are adjacent global ids, so the map
+  // splits even (primary, SSD) from odd (mirror, HDD) instead.
+  params.flash = dtcli.flash;
+  if (dtcli.kind != DiskTypeCli::Kind::kHdd) {
+    const int total = nodes * disks;
+    params.device_map.assign(static_cast<std::size_t>(total),
+                             disk::DeviceClass::kHdd);
+    for (int id = 0; id < total; ++id) {
+      bool ssd = true;
+      if (dtcli.kind == DiskTypeCli::Kind::kHybrid) {
+        ssd = arch == workload::Arch::kRaid1 ? id % 2 == 0
+                                             : id / nodes < disks / 2;
+      }
+      if (ssd) {
+        params.device_map[static_cast<std::size_t>(id)] =
+            disk::DeviceClass::kSsd;
+      }
+    }
+  }
 
   sim::Simulation sim;
   obs::Hub hub;
