@@ -113,7 +113,16 @@ inline T smoke_pick(T full, T reduced) {
 /// and every simulated result is bit-identical to v8: the disk::Device
 /// extraction is a pure interface split, and the spindle implementation is
 /// unchanged behind it.
-inline constexpr int kBenchSchemaVersion = 9;
+/// v10: obs snapshots may carry the WAN federation keys (`site.NNN.*`
+/// per-site registry merges, `wan.link.NNN.*` per-link counters, the
+/// `wan.read.*`/`wan.write.*` hierarchy counters, and the `wan.repl.*`
+/// mirror-pipeline keys) -- but only in worlds that build a
+/// wan::Federation (the new bench/wan_replication report).  Single-site
+/// benches emit the exact v9 key set with bit-identical values: the
+/// controller's write-observer hook defaults to null and the open-loop
+/// base_lba defaults to 0, so no event is added or reordered anywhere in
+/// a non-federated run.
+inline constexpr int kBenchSchemaVersion = 10;
 
 /// Start a machine-readable report: every BENCH_*.json leads with the
 /// schema version and bench name.

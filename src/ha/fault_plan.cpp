@@ -70,11 +70,40 @@ std::uint64_t parse_u64(const std::string& s, const std::string& what,
   }
 }
 
+double parse_double(const std::string& s, const std::string& what,
+                    const std::string& clause) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    bad_clause(clause, "unparseable " + what + " '" + s + "'");
+  }
+}
+
+/// WAN site/link events are only meaningful against a federation; the
+/// caller signals one by passing its site/link counts.
+void require_federation(int sites, const std::string& clause) {
+  if (sites <= 0) {
+    bad_clause(clause,
+               "site/link clauses need a WAN federation (--sites > 1)");
+  }
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::parse(const std::string& spec, int total_disks,
-                           std::uint64_t blocks_per_disk) {
+                           std::uint64_t blocks_per_disk, int sites,
+                           int links) {
   FaultPlan plan;
+  // Site partition/heal pairing is validated over the *time-sorted*
+  // sequence (clauses may be written in any order): re-partitioning a
+  // site still down, or healing one that is up, is a recipe typo.
+  struct SiteToggle {
+    sim::Time at = 0;
+    bool partition = false;
+    int site = 0;
+    std::string clause;
+  };
+  std::vector<SiteToggle> toggles;
   std::size_t start = 0;
   while (start <= spec.size()) {
     std::size_t end = spec.find(';', start);
@@ -175,6 +204,39 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks,
       continue;
     }
 
+    if (verb == "brownout") {
+      require_federation(sites, item);
+      const std::size_t at = body.find('@');
+      if (at == std::string::npos) bad_clause(item, "missing '@time'");
+      FaultEvent ev;
+      ev.kind = FaultEvent::Kind::kBrownoutLink;
+      ev.at = parse_time(body.substr(at + 1), item);
+      bool have_link = false;
+      bool have_bw = false;
+      for (const auto& [k, v] : parse_kv(body.substr(0, at), item)) {
+        if (k == "link") {
+          ev.target = static_cast<int>(parse_u64(v, "link", item));
+          have_link = true;
+        } else if (k == "bw") {
+          ev.mbs = parse_double(v, "bandwidth", item);
+          have_bw = true;
+        } else {
+          bad_clause(item, "unknown brownout key '" + k + "'");
+        }
+      }
+      if (!have_link || !have_bw) {
+        bad_clause(item, "brownout needs link=L,bw=MBS");
+      }
+      if (ev.target < 0 || ev.target >= links) {
+        bad_clause(item, "link " + std::to_string(ev.target) +
+                             " out of range (federation has " +
+                             std::to_string(links) + " links)");
+      }
+      if (ev.mbs <= 0.0) bad_clause(item, "bw must be positive");
+      plan.events_.push_back(ev);
+      continue;
+    }
+
     // verb:target@time
     const std::size_t at = body.find('@');
     if (at == std::string::npos) bad_clause(item, "missing '@time'");
@@ -209,10 +271,54 @@ FaultPlan FaultPlan::parse(const std::string& spec, int total_disks,
       ev.kind = FaultEvent::Kind::kPartitionNode;
     } else if (verb == "join" && kind == "node") {
       ev.kind = FaultEvent::Kind::kJoinNode;
+    } else if (verb == "partition" && kind == "site") {
+      require_federation(sites, item);
+      ev.kind = FaultEvent::Kind::kPartitionSite;
+      if (target < 0 || target >= sites) {
+        bad_clause(item, "site " + std::to_string(target) +
+                             " out of range (federation has " +
+                             std::to_string(sites) + " sites)");
+      }
+      toggles.push_back(SiteToggle{when, true, target, item});
+    } else if (verb == "heal" && kind == "site") {
+      require_federation(sites, item);
+      ev.kind = FaultEvent::Kind::kHealSite;
+      if (target < 0 || target >= sites) {
+        bad_clause(item, "site " + std::to_string(target) +
+                             " out of range (federation has " +
+                             std::to_string(sites) + " sites)");
+      }
+      toggles.push_back(SiteToggle{when, false, target, item});
+    } else if (verb == "heal" && kind == "link") {
+      require_federation(sites, item);
+      ev.kind = FaultEvent::Kind::kHealLink;
+      if (target < 0 || target >= links) {
+        bad_clause(item, "link " + std::to_string(target) +
+                             " out of range (federation has " +
+                             std::to_string(links) + " links)");
+      }
     } else {
       bad_clause(item, "unknown event '" + verb + ":" + kind + "'");
     }
     plan.events_.push_back(ev);
+  }
+
+  std::stable_sort(toggles.begin(), toggles.end(),
+                   [](const SiteToggle& a, const SiteToggle& b) {
+                     return a.at < b.at;
+                   });
+  std::vector<char> down(static_cast<std::size_t>(sites > 0 ? sites : 0), 0);
+  for (const SiteToggle& t : toggles) {
+    char& d = down[static_cast<std::size_t>(t.site)];
+    if (t.partition && d) {
+      bad_clause(t.clause, "site " + std::to_string(t.site) +
+                               " is already partitioned");
+    }
+    if (!t.partition && !d) {
+      bad_clause(t.clause,
+                 "site " + std::to_string(t.site) + " is not partitioned");
+    }
+    d = t.partition ? 1 : 0;
   }
   return plan;
 }
@@ -308,9 +414,24 @@ bool FaultPlan::has_corruption() const {
                      });
 }
 
+bool FaultPlan::has_wan() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const FaultEvent& ev) {
+                       return ev.kind == FaultEvent::Kind::kPartitionSite ||
+                              ev.kind == FaultEvent::Kind::kHealSite ||
+                              ev.kind == FaultEvent::Kind::kBrownoutLink ||
+                              ev.kind == FaultEvent::Kind::kHealLink;
+                     });
+}
+
 void FaultPlan::arm(cluster::Cluster& cluster, Orchestrator* orch,
                     integrity::IntegrityPlane* plane) {
   if (events_.empty()) return;
+  if (has_wan()) {
+    throw std::invalid_argument(
+        "fault plan has WAN site/link events: arm it against a "
+        "wan::Federation, not a bare cluster");
+  }
   // Stable sort: same-instant events apply in spec order.
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -354,6 +475,11 @@ sim::Task<> FaultPlan::driver(cluster::Cluster& cluster, Orchestrator* orch,
         obs::log_event(cluster.sim(), "fault.node_joined", detail);
         if (orch) orch->note_node_joined(ev.target);
         break;
+      case FaultEvent::Kind::kPartitionSite:
+      case FaultEvent::Kind::kHealSite:
+      case FaultEvent::Kind::kBrownoutLink:
+      case FaultEvent::Kind::kHealLink:
+        break;  // unreachable: arm() rejects WAN plans above
       case FaultEvent::Kind::kCorruptBlock:
         // Silent by construction: the media decays, the disk's status
         // stays clean, and nothing downstream is told -- except the
@@ -383,6 +509,12 @@ std::string FaultPlan::describe() const {
       out += buf;
       continue;
     }
+    if (ev.kind == FaultEvent::Kind::kBrownoutLink) {
+      std::snprintf(buf, sizeof(buf), "brownout link %d to %.1f MB/s @ %.3fs\n",
+                    ev.target, ev.mbs, sim::to_seconds(ev.at));
+      out += buf;
+      continue;
+    }
     const char* what = "";
     const char* unit = "disk";
     switch (ev.kind) {
@@ -396,7 +528,20 @@ std::string FaultPlan::describe() const {
         what = "join";
         unit = "node";
         break;
+      case FaultEvent::Kind::kPartitionSite:
+        what = "partition";
+        unit = "site";
+        break;
+      case FaultEvent::Kind::kHealSite:
+        what = "heal";
+        unit = "site";
+        break;
+      case FaultEvent::Kind::kHealLink:
+        what = "heal";
+        unit = "link";
+        break;
       case FaultEvent::Kind::kCorruptBlock:
+      case FaultEvent::Kind::kBrownoutLink:
         break;  // handled above
     }
     std::snprintf(buf, sizeof(buf), "%s %s %d @ %.3fs\n", what, unit,

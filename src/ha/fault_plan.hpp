@@ -25,6 +25,17 @@
 //                         (disk, block) pairs at uniform instants inside
 //                         [window/10, window]
 //
+// WAN federation clauses (accepted only when the caller passes the
+// federation's site/link counts -- single-cluster parses reject them):
+//   partition:site=1@5s   drop every WAN link touching site 1 at t=5s
+//   heal:site=1@15s       restore site 1's links at t=15s
+//   brownout:link=0,bw=5@3s
+//                         degrade link 0 to 5 MB/s at t=3s
+//   heal:link=0@9s        restore link 0's nominal bandwidth at t=9s
+// A site already partitioned (and not yet healed) cannot be partitioned
+// again, and healing a site that is not partitioned is rejected --
+// duplicate-site typos in a chaos recipe fail at parse time, not mid-run.
+//
 // Parse errors cite the offending *clause*, not the whole spec, so a long
 // chaos recipe with one typo points straight at it.
 #pragma once
@@ -55,10 +66,15 @@ struct FaultEvent {
     kPartitionNode,
     kJoinNode,
     kCorruptBlock,
+    kPartitionSite,  // WAN: every link touching the site goes down
+    kHealSite,       // WAN: the site's links come back
+    kBrownoutLink,   // WAN: degrade one link to `mbs`
+    kHealLink,       // WAN: restore the link's nominal bandwidth
   };
   Kind kind = Kind::kFailDisk;
-  int target = 0;  // disk id or node id
+  int target = 0;  // disk, node, site, or link id
   std::uint64_t block = 0;  // kCorruptBlock: physical block on that disk
+  double mbs = 0.0;         // kBrownoutLink: degraded bandwidth, MB/s
   sim::Time at = 0;
 };
 
@@ -70,9 +86,12 @@ class FaultPlan {
   /// rand: generator; `blocks_per_disk` bounds corrupt:/rot: block
   /// addresses and feeds the rot: generator (0 = corruption clauses
   /// rejected -- the caller has no geometry to validate against).
-  /// Throws std::invalid_argument naming the offending clause.
+  /// `sites`/`links` bound the WAN clauses the same way (0 = rejected:
+  /// no federation to aim them at).  Throws std::invalid_argument naming
+  /// the offending clause.
   static FaultPlan parse(const std::string& spec, int total_disks,
-                         std::uint64_t blocks_per_disk = 0);
+                         std::uint64_t blocks_per_disk = 0, int sites = 0,
+                         int links = 0);
 
   /// Seeded random plan: `faults` disk failures at distinct uniform times
   /// in [window/10, window], targets drawn over [0, targets); when
@@ -93,6 +112,9 @@ class FaultPlan {
   /// Does the plan inject silent corruption (so callers know an integrity
   /// plane is needed to ever notice)?
   bool has_corruption() const;
+  /// Does the plan carry WAN site/link events (so callers know it must be
+  /// armed against a wan::Federation, not a bare Cluster)?
+  bool has_wan() const;
 
   /// Spawn the driver task: sleeps to each event's instant and applies it
   /// (disk.fail(), network partition, ...), notifying `orch` when given so

@@ -293,7 +293,7 @@ void OpenLoopDriver::start() {
 
   // Carve tenant working sets back-to-back from the logical space and
   // size the shared read scratch to the largest op.
-  std::uint64_t next_base = 0;
+  std::uint64_t next_base = config.base_lba;
   std::size_t max_op_bytes = 0;
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     const TenantLoad& cfg = config.tenants[t];

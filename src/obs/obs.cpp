@@ -15,6 +15,7 @@ const char* track_name(Track t) {
     case Track::kNetTx: return "link.tx";
     case Track::kNetRx: return "link.rx";
     case Track::kServer: return "server";
+    case Track::kWan: return "wan";
   }
   return "unknown";
 }

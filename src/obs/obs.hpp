@@ -67,6 +67,7 @@ enum class Track : std::uint8_t {
   kNetTx,   // idx = sender node; TX port occupancy
   kNetRx,   // idx = receiver node; RX port occupancy
   kServer,  // idx = node id; CDD/NFS server-side handling
+  kWan,     // idx = 2*link id + direction (0 = a->b); inter-site pipe
 };
 
 const char* track_name(Track t);
@@ -372,7 +373,8 @@ inline int lane_of(Track track, const char* name) {
     case Track::kDisk: return static_cast<int>(Lane::kDiskService);
     case Track::kBus:
     case Track::kNetTx:
-    case Track::kNetRx: return static_cast<int>(Lane::kNetService);
+    case Track::kNetRx:
+    case Track::kWan: return static_cast<int>(Lane::kNetService);
     case Track::kServer: return static_cast<int>(Lane::kCddService);
     case Track::kRequest: break;
   }

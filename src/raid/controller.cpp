@@ -209,6 +209,9 @@ sim::Task<> ArrayController::write(int client, std::uint64_t lba,
     co_await fabric_.unlock_groups(client, std::move(groups), owner, ctx);
   }
   if (error) std::rethrow_exception(error);
+  if (write_observer_ != nullptr) {
+    write_observer_->on_client_write(client, lba, nblocks);
+  }
   attr.complete();
 }
 

@@ -77,6 +77,18 @@ struct EngineParams {
 
 // IoError / AdmissionError / AdmissionGate live in raid/admission.hpp.
 
+/// Observer of committed client writes -- the WAN federation's
+/// replication log hangs here.  Implementations are synchronous
+/// bookkeeping only (no awaits, no simulation events), so a null
+/// observer -- the default -- leaves the event sequence bit-identical.
+class WriteObserver {
+ public:
+  virtual ~WriteObserver() = default;
+  /// write() of [lba, lba+nblocks) by `client` just committed.
+  virtual void on_client_write(int client, std::uint64_t lba,
+                               std::uint32_t nblocks) = 0;
+};
+
 /// The block-level API workloads program against: a logical volume
 /// addressed in blocks, usable from any client node.
 class IoEngine {
@@ -171,6 +183,13 @@ class ArrayController : public IoEngine {
   /// gated.
   void set_admission(AdmissionGate* gate) { admission_ = gate; }
   AdmissionGate* admission() const { return admission_; }
+
+  /// Notify `obs` after every successful top-level client write().
+  /// Internal traffic -- rebuild sweeps, cache write-back, scrub repair,
+  /// replication apply into mirror regions -- never fires it.  The
+  /// observer is borrowed, not owned; null (the default) disables it.
+  void set_write_observer(WriteObserver* obs) { write_observer_ = obs; }
+  WriteObserver* write_observer() const { return write_observer_; }
 
   /// Restore a replaced disk's contents from redundancy.  Levels with a
   /// rebuild path (RAID-1/5/10/x) override; the base (RAID-0 has no
@@ -279,6 +298,7 @@ class ArrayController : public IoEngine {
   cdd::CddFabric& fabric_;
   EngineParams params_;
   AdmissionGate* admission_ = nullptr;
+  WriteObserver* write_observer_ = nullptr;
   int background_in_flight_ = 0;
   sim::TokenBucket* rebuild_throttle_ = nullptr;
   std::uint64_t rebuild_bytes_ = 0;

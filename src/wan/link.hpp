@@ -1,0 +1,139 @@
+// Long-fat inter-site pipes: the WAN cost model under the federation tier.
+//
+// A Link joins two sites with a full-duplex path whose behavior follows
+// the Kukol/Gray transcontinental-transfer report: throughput on a long
+// fat network is NOT the pipe rate but min(bw, W/RTT) per flow, where W
+// is the flow's in-flight window.  transfer() models exactly that: the
+// payload is cut into window-sized chunks; each chunk serializes on the
+// direction's shared capacity-1 pipe resource at the link's *current*
+// rate (brownouts degrade it), and the next chunk may not start before
+// the previous chunk's ack returns -- one RTT after its first byte.  A
+// single flow therefore progresses one window per max(RTT, W/bw), i.e.
+// throughput = W / max(RTT, W/bw) = min(bw, W/RTT), while contention
+// between flows is still bounded by the shared pipe at bw.  Delivery
+// completes one-way propagation (RTT/2) after the last byte serializes.
+//
+// Failure states:
+//  * set_up(false) -- hard partition.  In-flight and new transfers fail
+//    (the frames are lost; the caller sees `false` and owns retry
+//    policy).  wait_up() parks a coroutine until the link heals, which is
+//    how replication shippers sleep through a partition without polling.
+//  * set_brownout(bw) -- degraded bandwidth (congestion, a flapping
+//    circuit).  Transfers still succeed, just slower; 0 restores the
+//    nominal rate.  Chunks already holding the pipe keep the rate they
+//    were granted at -- determinism requires the cost of an event to be
+//    fixed once scheduled.
+//
+// Observability: each direction keeps a `wan` busy timeline (pipe
+// occupancy) and a queue-depth timeline (flows waiting for or holding the
+// pipe) at idx = 2*link_id + direction, so Chrome traces grow one WAN row
+// per direction next to the intra-site rows.  Determinism: like every
+// other layer, recording never adds or reorders simulation events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/obs.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace raidx::wan {
+
+struct LinkParams {
+  /// Nominal pipe rate, MB/s.  WAN circuits are far below the intra-site
+  /// Ethernet: the default models a dedicated OC-12-class long-haul path.
+  double bandwidth_mbs = 60.0;
+  /// Round-trip propagation (a transcontinental path is ~40-80 ms).
+  sim::Time rtt = sim::milliseconds(40);
+  /// Per-flow in-flight window, bytes.  Kept at the transfer protocol's
+  /// socket-buffer size; a window below the bandwidth-delay product caps
+  /// the flow at W/RTT regardless of the pipe rate.
+  std::uint64_t window_bytes = std::uint64_t{1} << 20;
+  /// Fixed framing per transfer (request header + ack).
+  std::uint32_t header_bytes = 512;
+
+  /// The pipe's bandwidth-delay product: the window that just fills it.
+  std::uint64_t bdp_bytes() const {
+    return static_cast<std::uint64_t>(bandwidth_mbs * 1e6 *
+                                      sim::to_seconds(rtt));
+  }
+};
+
+/// Per-direction transfer counters (direction 0 carries site_a -> site_b).
+struct LinkDirStats {
+  std::uint64_t transfers = 0;  // completed transfers
+  std::uint64_t bytes = 0;      // payload+framing bytes delivered
+  std::uint64_t windows = 0;    // window-sized chunks serialized
+  std::uint64_t drops = 0;      // transfers lost to a partition
+  sim::Time busy = 0;           // pipe occupancy
+};
+
+class Link {
+ public:
+  Link(sim::Simulation& sim, int id, int site_a, int site_b, LinkParams p);
+
+  int id() const { return id_; }
+  int site_a() const { return site_a_; }
+  int site_b() const { return site_b_; }
+  bool joins(int site) const { return site == site_a_ || site == site_b_; }
+  int peer_of(int site) const { return site == site_a_ ? site_b_ : site_a_; }
+  const LinkParams& params() const { return params_; }
+
+  /// Carry `bytes` of payload (plus framing) from `from_site` to the
+  /// other end.  Resolves true when the last byte lands; false when the
+  /// link is partitioned before delivery completes.
+  sim::Task<bool> transfer(int from_site, std::uint64_t bytes,
+                           obs::TraceContext ctx = {});
+
+  /// Hard partition state.  Healing resumes every wait_up() parker.
+  void set_up(bool up);
+  bool up() const { return up_; }
+
+  /// Degrade to `bw_mbs` (brownout); 0 restores the nominal rate.
+  void set_brownout(double bw_mbs);
+  bool browned_out() const { return brownout_mbs_ > 0.0; }
+  /// Effective rate new chunks serialize at.
+  double current_mbs() const {
+    return brownout_mbs_ > 0.0 ? brownout_mbs_ : params_.bandwidth_mbs;
+  }
+
+  /// Park until the link is up (immediately if it already is).
+  sim::Task<> wait_up();
+
+  const LinkDirStats& dir_stats(int dir) const { return stats_[dir & 1]; }
+  std::uint64_t bytes_carried() const {
+    return stats_[0].bytes + stats_[1].bytes;
+  }
+  std::uint64_t drops() const { return stats_[0].drops + stats_[1].drops; }
+  std::uint64_t brownouts() const { return brownouts_; }
+  std::uint64_t partitions() const { return partitions_; }
+
+ private:
+  sim::Time serialization_time(std::uint64_t chunk_bytes) const;
+
+  sim::Simulation& sim_;
+  int id_;
+  int site_a_;
+  int site_b_;
+  LinkParams params_;
+  bool up_ = true;
+  double brownout_mbs_ = 0.0;  // 0 = nominal
+  std::uint64_t brownouts_ = 0;
+  std::uint64_t partitions_ = 0;
+  /// One capacity-1 pipe per direction: serialization is FIFO, so frames
+  /// from concurrent flows land in acquisition order (in-order delivery
+  /// holds per flow AND per direction, brownout or not).
+  std::unique_ptr<sim::Resource> pipe_[2];
+  int queue_depth_[2] = {0, 0};
+  LinkDirStats stats_[2];
+  /// Re-armed each time the link goes down; set() on heal.
+  std::unique_ptr<sim::Trigger> up_trigger_;
+  obs::BusyRecorder busy_rec_[2];
+  obs::DepthRecorder depth_rec_[2];
+};
+
+}  // namespace raidx::wan

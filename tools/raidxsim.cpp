@@ -10,6 +10,7 @@
 //
 // Prints aggregate and sustained bandwidth, per-op latency percentiles,
 // and per-resource utilization.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "obs/collect.hpp"
 #include "obs/obs.hpp"
 #include "sim/stats.hpp"
+#include "wan/federation.hpp"
 #include "workload/andrew.hpp"
 #include "workload/engines.hpp"
 #include "workload/parallel_io.hpp"
@@ -52,6 +54,21 @@ namespace {
       "                     and at least 2 nodes per shard\n"
       "  --threads T        worker threads driving the shards (default =\n"
       "                     shards; changes wall-clock only, never results)\n"
+      "  --sites S          federate S identical sites (each a full\n"
+      "                     --nodes x --disks cluster) over a WAN mesh\n"
+      "                     (default 1 = the classic engine).  S > 1 needs\n"
+      "                     --open-loop and conflicts with --shards\n"
+      "  --wan-rtt MS       inter-site round-trip propagation (default 40)\n"
+      "  --wan-bw MBS       inter-site link bandwidth, MB/s (default 60)\n"
+      "  --wan-window SZ    per-flow in-flight window, K/M suffix ok\n"
+      "                     (default 1M; below the BDP it caps each flow\n"
+      "                     at window/RTT)\n"
+      "  --geo-rep          asynchronously mirror each site's primary\n"
+      "                     region to every peer (bounded-staleness\n"
+      "                     accounting; reads degrade to the mirror when\n"
+      "                     the origin is unreachable)\n"
+      "  --geo-rep-mbs X    throttle each replication stream's catch-up at\n"
+      "                     X MB/s (default 0 = uncapped)\n"
       "  --disks K          disks per node (default 1)\n"
       "  --clients C        parallel clients (default 8)\n"
       "  --op read|write    operation (default read)\n"
@@ -86,7 +103,10 @@ namespace {
       "                     or 'rand:seed=7,faults=2,window=10s,heal=3s';\n"
       "                     implies --ha unless --no-ha is given.  Silent\n"
       "                     corruption: 'corrupt:disk=3,block=17@2s' or\n"
-      "                     'rot:seed=7,errors=5,window=10s' (bit-rot storm)\n"
+      "                     'rot:seed=7,errors=5,window=10s' (bit-rot storm).\n"
+      "                     WAN chaos (needs --sites > 1):\n"
+      "                     'partition:site=1@5s;heal:site=1@15s' or\n"
+      "                     'brownout:link=0,bw=5@3s;heal:link=0@9s'\n"
       "  --verify-reads     checksum-verify every read at the serving CDD\n"
       "  --scrub-rate X     background scrub daemon capped at X MB/s\n"
       "                     (default 0 = no scrubbing)\n"
@@ -133,6 +153,8 @@ namespace {
       "                       remote=F        fraction of arrivals executed\n"
       "                     on the next shard over the spine (needs --shards "
       "> 1)\n"
+      "                     or on a peer site over the WAN (with --sites > "
+      "1)\n"
       "  --seed S           workload seed (default 42)\n"
       "  --replay FILE      replay a block trace instead of the synthetic "
       "workload\n"
@@ -518,6 +540,13 @@ int main(int argc, char** argv) {
   std::string slo_spec, watch_spec, trace_sample_spec;
   bool slo_on = false, watch_on = false, trace_sample_on = false;
   std::string disk_type_spec;
+  int sites = 1;
+  double wan_rtt_ms = 40.0, wan_bw = 60.0;
+  std::uint64_t wan_window = std::uint64_t{1} << 20;
+  bool geo_rep = false;
+  double geo_rep_mbs = 0.0;
+  bool wan_rtt_set = false, wan_bw_set = false, wan_window_set = false,
+       geo_rep_mbs_set = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -546,6 +575,12 @@ int main(int argc, char** argv) {
     if (a == "--arch") arch = parse_arch(next());
     else if (a == "--nodes") nodes = std::atoi(next().c_str());
     else if (a == "--shards") shards = std::atoi(next().c_str());
+    else if (a == "--sites") sites = std::atoi(next().c_str());
+    else if (a == "--wan-rtt") { wan_rtt_ms = std::atof(next().c_str()); wan_rtt_set = true; }
+    else if (a == "--wan-bw") { wan_bw = std::atof(next().c_str()); wan_bw_set = true; }
+    else if (a == "--wan-window") { wan_window = parse_size(next()); wan_window_set = true; }
+    else if (a == "--geo-rep") geo_rep = true;
+    else if (a == "--geo-rep-mbs") { geo_rep_mbs = std::atof(next().c_str()); geo_rep_mbs_set = true; }
     else if (a == "--threads") threads = std::atoi(next().c_str());
     else if (a == "--disks") disks = std::atoi(next().c_str());
     else if (a == "--clients") clients = std::atoi(next().c_str());
@@ -718,12 +753,98 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  if (olcli.remote > 0.0 && shards == 1) {
+  if (olcli.remote > 0.0 && shards == 1 && sites == 1) {
     std::fprintf(stderr,
-                 "%s: --open-loop remote=%g sends traffic across shards; "
-                 "it needs --shards > 1\n",
+                 "%s: --open-loop remote=%g sends traffic across shards or "
+                 "sites; it needs --shards > 1 or --sites > 1\n",
                  argv[0], olcli.remote);
     return 2;
+  }
+  // WAN federation validation: every rejected combination cites the flag
+  // that makes it impossible.
+  if (sites < 1) {
+    std::fprintf(stderr, "%s: --sites must be >= 1 (got %d)\n", argv[0],
+                 sites);
+    return 2;
+  }
+  if (sites == 1 &&
+      (wan_rtt_set || wan_bw_set || wan_window_set || geo_rep)) {
+    std::fprintf(stderr,
+                 "%s: --wan-rtt/--wan-bw/--wan-window/--geo-rep shape the "
+                 "inter-site WAN; they need --sites > 1\n",
+                 argv[0]);
+    return 2;
+  }
+  if (geo_rep_mbs_set && !geo_rep) {
+    std::fprintf(stderr,
+                 "%s: --geo-rep-mbs throttles replication catch-up; add "
+                 "--geo-rep\n",
+                 argv[0]);
+    return 2;
+  }
+  if (sites > 1) {
+    if (shards > 1) {
+      std::fprintf(stderr,
+                   "%s: --sites and --shards are different federations "
+                   "(WAN mesh vs threaded placement groups); pick one\n",
+                   argv[0]);
+      return 2;
+    }
+    if (open_loop_spec.empty()) {
+      std::fprintf(stderr,
+                   "%s: --sites %d drives each site with open-loop "
+                   "traffic; add --open-loop SPEC\n",
+                   argv[0], sites);
+      return 2;
+    }
+    if (arch == workload::Arch::kNfs) {
+      std::fprintf(stderr,
+                   "%s: --sites needs a block engine per site; --arch nfs "
+                   "has one central server and cannot federate\n",
+                   argv[0]);
+      return 2;
+    }
+    if (wan_rtt_ms <= 0 || wan_bw <= 0 || wan_window == 0) {
+      std::fprintf(stderr,
+                   "%s: --wan-rtt/--wan-bw/--wan-window must be > 0\n",
+                   argv[0]);
+      return 2;
+    }
+    if (geo_rep_mbs < 0) {
+      std::fprintf(stderr, "%s: --geo-rep-mbs must be >= 0\n", argv[0]);
+      return 2;
+    }
+    if (ha_on) {
+      std::fprintf(stderr,
+                   "%s: --ha orchestration is per-site and not federated "
+                   "yet; WAN chaos runs raw (drop --ha)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (olcli.qos_mbs > 0.0) {
+      std::fprintf(stderr,
+                   "%s: --open-loop qos-mbs gates one array; the WAN "
+                   "federation does not gate yet (drop qos-mbs or "
+                   "--sites)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (!fails.empty() || verify_reads || scrub_rate > 0 ||
+        fail_threshold > 0 || warm > 0) {
+      std::fprintf(stderr,
+                   "%s: --fail/--verify-reads/--scrub-rate/"
+                   "--fail-threshold/--warm are single-site features (use "
+                   "--faults for WAN chaos)\n",
+                   argv[0]);
+      return 2;
+    }
+    if (watch_on) {
+      std::fprintf(stderr,
+                   "%s: --watch scrapes one cluster's resources; it does "
+                   "not support --sites > 1 yet\n",
+                   argv[0]);
+      return 2;
+    }
   }
   if (shards > 1) {
     if (open_loop_spec.empty()) {
@@ -1076,6 +1197,294 @@ int main(int argc, char** argv) {
     if (slo_on) hub.enable_slo(slo_cfg);
     sim.set_hub(&hub);
   }
+
+  if (sites > 1) {
+    // WAN federation: N identical sites (each the full --nodes x --disks
+    // cluster) under one simulation, joined by a full mesh of BDP-limited
+    // links, driven by per-site open-loop traffic with optional cross-site
+    // redirection and geo-replicated mirrors.
+    wan::FederationParams fp;
+    fp.sites = sites;
+    fp.link.bandwidth_mbs = wan_bw;
+    fp.link.rtt = sim::milliseconds(wan_rtt_ms);
+    fp.link.window_bytes = wan_window;
+    fp.geo_rep = geo_rep;
+    fp.repl.ship_mbs = geo_rep_mbs;
+    fp.cluster = params;
+    fp.arch = arch;
+    fp.engine = ep;
+    fp.cache = cp;
+    fp.cdd = cddp;
+
+    // Chaos plan in federation-global ids: site s owns disks
+    // [s * nodes * disks, ...); partition:site=/brownout:link= clauses are
+    // range-checked by the parser against the mesh.
+    ha::FaultPlan plan;
+    if (!faults_spec.empty()) {
+      try {
+        plan = ha::FaultPlan::parse(faults_spec, sites * nodes * disks,
+                                    params.geometry.blocks_per_disk, sites,
+                                    wan::Federation::mesh_links(sites));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
+      for (const ha::FaultEvent& ev : plan.events()) {
+        if (ev.kind == ha::FaultEvent::Kind::kPartitionNode ||
+            ev.kind == ha::FaultEvent::Kind::kJoinNode) {
+          std::fprintf(stderr,
+                       "%s: part:/join: node faults are single-site "
+                       "features; use partition:site= under --sites\n",
+                       argv[0]);
+          return 2;
+        }
+        if (ev.kind == ha::FaultEvent::Kind::kCorruptBlock) {
+          std::fprintf(stderr,
+                       "%s: corrupt:/rot: faults need the integrity plane, "
+                       "which is single-site; use fail:/partition: chaos "
+                       "under --sites\n",
+                       argv[0]);
+          return 2;
+        }
+      }
+    }
+
+    std::unique_ptr<wan::Federation> fed;
+    try {
+      fed = std::make_unique<wan::Federation>(sim, fp);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+      return 2;
+    }
+
+    // Per-site working sets are carved from the site's own primary
+    // region, so they must fit in region_blocks, not the whole array.
+    std::uint64_t need = 0;
+    for (int t = 0; t < olcli.tenants; ++t) {
+      const std::uint64_t slots = std::max<std::uint64_t>(
+          1, olcli.shape.working_set_blocks / olcli.shape.blocks_per_op);
+      need += slots * olcli.shape.blocks_per_op;
+    }
+    if (need > fed->region_blocks()) {
+      std::fprintf(
+          stderr,
+          "%s: per-site tenant working sets need %llu blocks but each "
+          "site's primary region holds %llu (shrink --open-loop ws=/"
+          "tenants= or grow the array)\n",
+          argv[0], static_cast<unsigned long long>(need),
+          static_cast<unsigned long long>(fed->region_blocks()));
+      return 2;
+    }
+
+    if (!plan.empty()) {
+      std::printf("fault plan (raw, %d sites):\n%s", sites,
+                  plan.describe().c_str());
+      try {
+        fed->arm_faults(plan);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 2;
+      }
+    }
+
+    std::printf(
+        "raidxsim: wan federation on %s, %d sites x %d nodes, %d link(s) "
+        "@ %.0f MB/s, rtt %.0f ms, window %llu KB%s\n",
+        fed->engine(0).name().c_str(), sites, nodes, fed->num_links(),
+        wan_bw, wan_rtt_ms,
+        static_cast<unsigned long long>(wan_window >> 10),
+        geo_rep ? " [geo-rep]" : "");
+    std::printf(
+        "raidxsim: open-loop per site, %d tenant(s) x %.0f ops/s, zipf "
+        "%.2f, remote %.1f%%\n",
+        olcli.tenants, olcli.shape.rate_ops, olcli.shape.zipf_alpha,
+        100.0 * olcli.remote);
+
+    std::vector<load::OpenLoopConfig> cfgs(
+        static_cast<std::size_t>(sites));
+    std::vector<std::unique_ptr<load::OpenLoopDriver>> drivers;
+    for (int s = 0; s < sites; ++s) {
+      load::OpenLoopConfig& cfg = cfgs[static_cast<std::size_t>(s)];
+      cfg.tenants.assign(static_cast<std::size_t>(olcli.tenants),
+                         olcli.shape);
+      cfg.duration = sim::seconds(olcli.duration_s);
+      cfg.seed = seed + static_cast<std::uint64_t>(s);
+      cfg.max_in_flight = olcli.cap;
+      cfg.base_lba = fed->region_base(s);
+      if (olcli.remote > 0.0) {
+        cfg.remote.fraction = olcli.remote;
+        wan::Federation* f = fed.get();
+        cfg.remote.exec = [f, s](std::uint64_t slot, std::uint32_t nblocks,
+                                 bool write) {
+          return f->remote_io(s, slot, nblocks, write);
+        };
+      }
+      drivers.push_back(
+          std::make_unique<load::OpenLoopDriver>(fed->engine(s), cfg));
+    }
+    try {
+      for (auto& d : drivers) d->start();
+      sim.run();
+    } catch (const std::exception& e) {
+      std::printf("run failed: %s\n", e.what());
+      return 1;
+    }
+
+    load::OpenLoopResult total;
+    std::vector<load::OpenLoopResult> per_site;
+    per_site.reserve(drivers.size());
+    for (auto& d : drivers) per_site.push_back(d->finish());
+    for (const load::OpenLoopResult& r : per_site) {
+      total.offered += r.offered;
+      total.completed += r.completed;
+      total.rejected += r.rejected;
+      total.shed += r.shed;
+      total.failed += r.failed;
+      total.cap_dropped += r.cap_dropped;
+      total.remote_ops += r.remote_ops;
+      total.offered_mbs += r.offered_mbs;
+      total.goodput_mbs += r.goodput_mbs;
+      total.drained_at = std::max(total.drained_at, r.drained_at);
+      total.latency.merge(r.latency);
+    }
+    std::printf("\noffered             : %8.2f MB/s (%llu requests over "
+                "%.3f s, all sites)\n",
+                total.offered_mbs,
+                static_cast<unsigned long long>(total.offered),
+                olcli.duration_s);
+    std::printf("goodput             : %8.2f MB/s (%llu completed, slowest "
+                "site drained at %.3f s)\n",
+                total.goodput_mbs,
+                static_cast<unsigned long long>(total.completed),
+                sim::to_seconds(total.drained_at));
+    std::printf("turned away         : %llu rejected, %llu shed, %llu "
+                "failed, %llu cap-dropped\n",
+                static_cast<unsigned long long>(total.rejected),
+                static_cast<unsigned long long>(total.shed),
+                static_cast<unsigned long long>(total.failed),
+                static_cast<unsigned long long>(total.cap_dropped));
+    std::printf("latency             : p50 %.2f ms, p99 %.2f ms, p999 "
+                "%.2f ms\n",
+                total.latency.quantile(0.50) / 1e6,
+                total.latency.quantile(0.99) / 1e6,
+                total.latency.quantile(0.999) / 1e6);
+    if (verbose) {
+      for (int s = 0; s < sites; ++s) {
+        const load::OpenLoopResult& r =
+            per_site[static_cast<std::size_t>(s)];
+        std::printf("  site %2d: offered %7.2f MB/s, goodput %7.2f MB/s, "
+                    "p99 %8.2f ms, %llu remote\n",
+                    s, r.offered_mbs, r.goodput_mbs,
+                    r.latency.quantile(0.99) / 1e6,
+                    static_cast<unsigned long long>(r.remote_ops));
+      }
+    }
+
+    const wan::WanStats& ws = fed->stats();
+    std::uint64_t link_bytes = 0, link_drops = 0;
+    for (int l = 0; l < fed->num_links(); ++l) {
+      link_bytes += fed->link_by_id(l).bytes_carried();
+      link_drops += fed->link_by_id(l).drops();
+    }
+    std::printf("wan reads           : %llu remote (%llu site-cache hits, "
+                "%llu origin, %llu mirror [%llu stale], %llu unreachable, "
+                "%llu redirected)\n",
+                static_cast<unsigned long long>(ws.remote_reads),
+                static_cast<unsigned long long>(ws.cache_hits),
+                static_cast<unsigned long long>(ws.origin_reads),
+                static_cast<unsigned long long>(ws.mirror_reads),
+                static_cast<unsigned long long>(ws.stale_served),
+                static_cast<unsigned long long>(ws.unreachable),
+                static_cast<unsigned long long>(ws.redirects));
+    std::printf("wan writes          : %llu forwarded, %llu forward "
+                "failures\n",
+                static_cast<unsigned long long>(ws.remote_writes),
+                static_cast<unsigned long long>(ws.write_forward_failures));
+    if (ws.remote_reads > 0) {
+      std::printf("wan read latency    : p50 %.2f ms, p99 %.2f ms\n",
+                  fed->remote_read_latency().quantile(0.50) / 1e6,
+                  fed->remote_read_latency().quantile(0.99) / 1e6);
+    }
+    std::printf("wan links           : %.2f MB carried, %llu drops\n",
+                static_cast<double>(link_bytes) / 1e6,
+                static_cast<unsigned long long>(link_drops));
+    if (wan::Replicator* rep = fed->replicator()) {
+      std::uint64_t appended = 0, coalesced = 0, shipped = 0, failed = 0;
+      for (int a = 0; a < sites; ++a) {
+        for (int b = 0; b < sites; ++b) {
+          if (a == b) continue;
+          const wan::StreamStats& st = rep->stream(a, b);
+          appended += st.appended;
+          coalesced += st.coalesced;
+          shipped += st.shipped;
+          failed += st.failed_ships;
+        }
+      }
+      std::printf("geo-rep             : %llu appended (%llu coalesced), "
+                  "%llu shipped, %llu failed ships, backlog %llu (peak "
+                  "%llu)\n",
+                  static_cast<unsigned long long>(appended),
+                  static_cast<unsigned long long>(coalesced),
+                  static_cast<unsigned long long>(shipped),
+                  static_cast<unsigned long long>(failed),
+                  static_cast<unsigned long long>(rep->total_backlog()),
+                  static_cast<unsigned long long>(rep->peak_backlog()));
+      if (rep->lag().count() > 0) {
+        std::printf("geo-rep lag         : p50 %.2f ms, p99 %.2f ms, max "
+                    "%.2f ms, %llu violation(s) of the %.1f s bound\n",
+                    rep->lag().quantile(0.50) / 1e6,
+                    rep->lag().quantile(0.99) / 1e6,
+                    static_cast<double>(rep->max_lag()) / 1e6,
+                    static_cast<unsigned long long>(
+                        rep->staleness_violations()),
+                    sim::to_seconds(fp.repl.staleness_bound));
+      }
+      if (rep->total_backlog() == 0) {
+        std::printf("geo-rep converged   : %8.3f s\n",
+                    sim::to_seconds(rep->last_converged()));
+      } else {
+        std::printf("geo-rep converged   : never (a partition outlived the "
+                    "run; %llu entries still queued)\n",
+                    static_cast<unsigned long long>(rep->total_backlog()));
+      }
+    }
+
+    if (!trace_out.empty()) {
+      std::string err;
+      if (!hub.tracer().export_chrome(trace_out, sim.now(), &err)) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+      }
+      std::printf("trace               : %zu spans -> %s\n",
+                  hub.tracer().spans().size(), trace_out.c_str());
+    }
+    if (hub.slo() != nullptr) {
+      const obs::SloStats& ss = hub.slo()->stats();
+      std::printf("slo                 : %llu/%llu over %.1f ms target, "
+                  "%llu breach(es)\n",
+                  static_cast<unsigned long long>(ss.violations),
+                  static_cast<unsigned long long>(ss.requests),
+                  sim::to_milliseconds(hub.slo()->config().latency_target),
+                  static_cast<unsigned long long>(ss.breaches));
+    }
+    if (!metrics_out.empty()) {
+      fed->collect(hub.registry());
+      std::ofstream out(metrics_out);
+      if (hub.events() != nullptr) {
+        out << "{\"metrics\":" << hub.registry().snapshot_json()
+            << ",\"events\":" << hub.events()->json() << "}\n";
+      } else {
+        out << hub.registry().snapshot_json() << "\n";
+      }
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+        return 1;
+      }
+      std::printf("metrics             : %s\n", metrics_out.c_str());
+    }
+    return 0;
+  }
+
   cluster::Cluster cluster(sim, params);
   cdd::CddFabric fabric(cluster, cddp);
 
